@@ -1,0 +1,114 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation, driving the
+// same harness as cmd/annbench at reduced scale so `go test -bench=.`
+// exercises every experiment. Tables print through b.Log only under
+// -v; the benchmark timings themselves measure one full experiment
+// execution.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/hnsw"
+	"repro/internal/vec"
+)
+
+func benchOpts() exp.Options {
+	return exp.Options{
+		Points:  12_000,
+		Queries: 200,
+		K:       10,
+		Seed:    1,
+		Out:     io.Discard,
+		Quick:   true,
+	}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := exp.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3a regenerates Figure 3(a): strong scaling on the MDCGen
+// synthetic datasets.
+func BenchmarkFig3a(b *testing.B) { runExperiment(b, "fig3a") }
+
+// BenchmarkFig3b regenerates Figure 3(b): strong scaling on the
+// SIFT/DEEP descriptor stand-ins.
+func BenchmarkFig3b(b *testing.B) { runExperiment(b, "fig3b") }
+
+// BenchmarkTable2 regenerates Table II: distributed construction times.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig4a regenerates Figure 4(a): query time vs replication.
+func BenchmarkFig4a(b *testing.B) { runExperiment(b, "fig4a") }
+
+// BenchmarkFig4b regenerates Figure 4(b): query distribution vs
+// replication factor.
+func BenchmarkFig4b(b *testing.B) { runExperiment(b, "fig4b") }
+
+// BenchmarkTable3 regenerates Table III: ours vs the distributed KD
+// tree baseline.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig5 regenerates Figure 5: search time breakdown.
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6: recall vs query time across HNSW
+// M values.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkOwners reproduces the Section IV master-worker vs
+// multiple-owner comparison.
+func BenchmarkOwners(b *testing.B) { runExperiment(b, "owners") }
+
+// BenchmarkAblateRMA runs the one-sided vs two-sided ablation.
+func BenchmarkAblateRMA(b *testing.B) { runExperiment(b, "ablate-rma") }
+
+// BenchmarkAblateRouting runs the VP-vs-flat-pivot routing ablation.
+func BenchmarkAblateRouting(b *testing.B) { runExperiment(b, "ablate-routing") }
+
+// BenchmarkAblateSelect isolates HNSW's diversity-based neighbor
+// selection (Algorithm 4 of Malkov & Yashunin) against naive closest-M:
+// it measures build+search cost; the recall difference is asserted in
+// the hnsw package tests.
+func BenchmarkAblateSelect(b *testing.B) {
+	ds, err := dataset.Named("sift", 8000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := dataset.PerturbedQueries(ds, 100, 4, 4)
+	for _, heuristic := range []bool{true, false} {
+		name := "heuristic"
+		if !heuristic {
+			name = "closestM"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := hnsw.DefaultConfig(vec.L2)
+				cfg.Heuristic = heuristic
+				g, _, err := hnsw.Build(ds, cfg, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for qi := 0; qi < qs.Len(); qi++ {
+					if _, _, err := g.Search(qs.At(qi), 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+// annbuild builds a partitioned VP+HNSW index (the paper's engine in its
+// single-node form) from an fvecs file and saves it:
+//
+//	annbuild -data sift.fvecs -partitions 16 -m 16 -out sift.ann
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hnsw"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annbuild: ")
+	var (
+		data   = flag.String("data", "", "input fvecs file (required)")
+		limit  = flag.Int("limit", 0, "load at most this many points (0 = all)")
+		parts  = flag.Int("partitions", 16, "number of VP-tree partitions")
+		m      = flag.Int("m", 16, "HNSW M parameter")
+		efc    = flag.Int("efc", 200, "HNSW efConstruction")
+		nprobe = flag.Int("nprobe", 2, "partitions searched per query (stored as default)")
+		seed   = flag.Int64("seed", 1, "construction seed")
+		out    = flag.String("out", "index.ann", "output index file")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := dataset.LoadFvecsFile(*data, *limit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d x %d from %s\n", ds.Len(), ds.Dim, *data)
+
+	cfg := core.DefaultConfig(*parts)
+	cfg.NProbe = *nprobe
+	cfg.Seed = *seed
+	cfg.HNSW = hnsw.DefaultConfig(vec.L2)
+	cfg.HNSW.M = *m
+	cfg.HNSW.EfConstruction = *efc
+
+	t0 := time.Now()
+	e, err := core.NewEngine(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d partitions in %v\n", e.Partitions(), time.Since(t0).Round(time.Millisecond))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := e.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(st.Size())/(1<<20))
+}

@@ -1,0 +1,84 @@
+// anngen generates the synthetic datasets of the paper's evaluation
+// (Table I stand-ins) plus query sets and exact ground truth, in the
+// TEXMEX fvecs/ivecs formats:
+//
+//	anngen -dataset sift -n 100000 -queries 1000 -out data/
+//
+// writes data/sift.fvecs, data/sift_query.fvecs, data/sift_gt.ivecs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("anngen: ")
+	var (
+		name    = flag.String("dataset", "sift", "dataset: sift, deep, gist, syn1m, syn10m")
+		n       = flag.Int("n", 100_000, "number of points")
+		queries = flag.Int("queries", 1000, "number of queries (0 to skip)")
+		k       = flag.Int("k", 10, "ground-truth neighbors per query (0 to skip)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Named(*name, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	base := filepath.Join(*out, *name)
+	if err := dataset.SaveFvecsFile(base+".fvecs", ds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s.fvecs (%d x %d)\n", base, ds.Len(), ds.Dim)
+
+	if *queries <= 0 {
+		return
+	}
+	qs := dataset.PerturbedQueries(ds, *queries, perturb(*name), *seed+1)
+	if err := dataset.SaveFvecsFile(base+"_query.fvecs", qs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s_query.fvecs (%d x %d)\n", base, qs.Len(), qs.Dim)
+
+	if *k <= 0 {
+		return
+	}
+	gt := bruteforce.GroundTruth(ds, qs, *k, vec.L2)
+	f, err := os.Create(base + "_gt.ivecs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteIvecs(f, gt); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s_gt.ivecs (%d x %d)\n", base, len(gt), *k)
+}
+
+func perturb(name string) float64 {
+	switch name {
+	case "sift":
+		return 4
+	case "deep":
+		return 0.05
+	case "gist":
+		return 0.01
+	}
+	return 0.5
+}

@@ -1,0 +1,140 @@
+// annquery answers a query batch against an index built with annbuild,
+// optionally scoring recall against ivecs ground truth:
+//
+//	annquery -index sift.ann -queries sift_query.fvecs -gt sift_gt.ivecs -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annquery: ")
+	var (
+		index   = flag.String("index", "", "index file from annbuild (required)")
+		queries = flag.String("queries", "", "query fvecs file (required)")
+		gt      = flag.String("gt", "", "optional ground-truth ivecs file for recall")
+		k       = flag.Int("k", 10, "neighbors per query")
+		nprobe  = flag.Int("nprobe", 0, "override partitions searched per query")
+		ef      = flag.Int("ef", 0, "override HNSW efSearch")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		show    = flag.Int("show", 3, "print the first N query results")
+		latency = flag.Bool("latency", false, "also measure per-query latency percentiles (serial pass)")
+		tune    = flag.Float64("tune", 0, "tune nprobe/efSearch to this recall target before querying (needs -gt)")
+	)
+	flag.Parse()
+	if *index == "" || *queries == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := core.LoadEngine(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *nprobe > 0 {
+		e.SetNProbe(*nprobe)
+	}
+	if *ef > 0 {
+		e.SetEfSearch(*ef)
+	}
+	qs, err := dataset.LoadFvecsFile(*queries, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d points, %d partitions; queries: %d x %d\n",
+		e.Len(), e.Partitions(), qs.Len(), qs.Dim)
+
+	if *tune > 0 {
+		if *gt == "" {
+			log.Fatal("-tune requires -gt ground truth")
+		}
+		gf, err := os.Open(*gt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := dataset.ReadIvecs(gf, qs.Len())
+		gf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range truth {
+			if len(truth[i]) > *k {
+				truth[i] = truth[i][:*k]
+			}
+		}
+		// tune on a held-out prefix to keep the timing pass honest
+		n := qs.Len() / 4
+		if n < 10 {
+			n = qs.Len()
+		}
+		res, err := e.Tune(qs.Slice(0, n), truth[:n], *k, *tune)
+		if res != nil {
+			fmt.Printf("tuned: nprobe=%d efSearch=%d recall=%.3f (%d points evaluated)\n",
+				res.NProbe, res.EfSearch, res.Recall, len(res.Evaluated))
+		}
+		if err != nil {
+			log.Printf("tuning: %v", err)
+		}
+	}
+
+	t0 := time.Now()
+	res, err := e.SearchBatch(qs, *k, *threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("answered %d queries in %v (%.0f queries/s)\n",
+		qs.Len(), elapsed.Round(time.Microsecond), float64(qs.Len())/elapsed.Seconds())
+
+	if *latency {
+		lats := make([]float64, qs.Len())
+		for i := 0; i < qs.Len(); i++ {
+			q0 := time.Now()
+			if _, err := e.Search(qs.At(i), *k); err != nil {
+				log.Fatal(err)
+			}
+			lats[i] = float64(time.Since(q0).Microseconds())
+		}
+		fmt.Printf("per-query latency (µs): %s\n", metrics.Summarize(lats))
+	}
+
+	for i := 0; i < *show && i < len(res); i++ {
+		fmt.Printf("q%d:", i)
+		for _, r := range res[i] {
+			fmt.Printf(" %d(%.3f)", r.ID, r.Dist)
+		}
+		fmt.Println()
+	}
+
+	if *gt != "" {
+		gf, err := os.Open(*gt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := dataset.ReadIvecs(gf, qs.Len())
+		gf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range truth {
+			if len(truth[i]) > *k {
+				truth[i] = truth[i][:*k]
+			}
+		}
+		fmt.Printf("recall@%d = %.4f\n", *k, metrics.MeanRecall(res, truth))
+	}
+}

@@ -1,0 +1,66 @@
+// annworker runs one worker rank of a TCP deployment; see annmaster for
+// the full invocation. The worker receives its shard from the master,
+// participates in the distributed VP-tree construction, builds its local
+// HNSW index, and serves query batches until the master shuts the
+// cluster down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		rank    = flag.Int("rank", 0, "this worker's rank (1..P; required)")
+		addrs   = flag.String("addrs", "", "comma-separated rank addresses (required)")
+		k       = flag.Int("k", 10, "neighbors per query (must match the master)")
+		nprobe  = flag.Int("nprobe", 2, "must match the master")
+		repl    = flag.Int("replication", 1, "must match the master")
+		threads = flag.Int("threads", 4, "searcher threads")
+		seed    = flag.Int64("seed", 1, "must match the master")
+		wait    = flag.Duration("wait", 60*time.Second, "peer dial timeout")
+		ckpt    = flag.String("checkpoint", "", "save the built index under this directory")
+		resume  = flag.String("resume", "", "serve from a checkpoint directory instead of building")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("annworker[%d]: ", *rank))
+	list := strings.Split(*addrs, ",")
+	if *addrs == "" || *rank <= 0 || *rank >= len(list) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	node, comm, err := cluster.JoinTCP(*rank, list, *wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	cfg := core.DefaultConfig(len(list) - 1)
+	cfg.K = *k
+	cfg.NProbe = *nprobe
+	cfg.Replication = *repl
+	cfg.ThreadsPerWorker = *threads
+	cfg.Seed = *seed
+
+	cfg.CheckpointDir = *ckpt
+	log.Printf("joined cluster of %d ranks, serving", len(list))
+	var err2 error
+	if *resume != "" {
+		err2 = core.RunClusterFromCheckpoint(comm, *resume, cfg, nil)
+	} else {
+		err2 = core.RunCluster(comm, nil, cfg, nil)
+	}
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+	log.Printf("shut down cleanly")
+}

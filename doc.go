@@ -1,0 +1,14 @@
+// Package repro is a pure-Go reproduction of "Fast Scalable Approximate
+// Nearest Neighbor Search for High-dimensional Data" (Bashyam &
+// Vadhiyar, IEEE CLUSTER 2020): a distributed approximate k-NN engine
+// that partitions the dataset with a cooperatively built vantage point
+// tree, indexes each partition with HNSW, and serves query batches
+// through a master-worker protocol with one-sided result accumulation
+// and replication-based load balancing.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory); runnable entry points are the binaries under cmd/ and the
+// programs under examples/. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation at reduced scale;
+// the annbench binary runs the full-scale versions.
+package repro

@@ -1,0 +1,71 @@
+// Distributed: the full message-passing engine end to end in one
+// process — rank 0 is the master, eight worker ranks cooperatively build
+// the VP tree (Algorithms 1-2), index their partitions with HNSW, and
+// answer a batch through the master-worker protocol with one-sided
+// result accumulation and replication-based load balancing (Algorithms
+// 3-5).
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bruteforce"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	const workers = 8
+
+	ds, err := dataset.Named("sift", 40_000, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := dataset.PerturbedQueries(ds, 500, 4, 10)
+	truth := bruteforce.GroundTruth(ds, queries, 10, vec.L2)
+	fmt.Printf("SIFT-like dataset: %d x %d, %d queries, %d workers + 1 master\n",
+		ds.Len(), ds.Dim, queries.Len(), workers)
+
+	cfg := core.DefaultConfig(workers)
+	cfg.NProbe = 3
+	cfg.Replication = 2      // workgroups of 2 (Section IV-C2)
+	cfg.ThreadsPerWorker = 2 // the "OpenMP threads"
+	cfg.OneSided = true      // MPI_Get_accumulate-style results (IV-C1)
+
+	world := cluster.NewWorld(workers + 1)
+	err = world.Run(func(c *cluster.Comm) error {
+		return core.RunCluster(c, ds, cfg, func(m *core.Master) error {
+			cs := m.ConstructionStats()
+			fmt.Printf("distributed construction: vptree=%v hnsw=%v replicate=%v\n",
+				cs.VPTree.Round(time.Millisecond), cs.HNSW.Round(time.Millisecond),
+				cs.Replicate.Round(time.Millisecond))
+
+			res, err := m.Search(queries)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("search: %d queries in %v, %d tasks dispatched\n",
+				queries.Len(), res.Elapsed.Round(time.Millisecond), res.Dispatched)
+			fmt.Printf("recall@10 = %.3f\n", metrics.MeanRecall(res.Results, truth))
+
+			h := metrics.NewHistogram(res.PerWorkerQueries)
+			mn, _, med, _, mx := h.Quartiles()
+			fmt.Printf("tasks/worker: min=%.0f median=%.0f max=%.0f (replication r=%d)\n",
+				mn, med, mx, cfg.Replication)
+			fmt.Printf("world traffic: %d messages, %.1f KB\n",
+				world.Stats().Messages(), float64(world.Stats().Bytes())/1024)
+			return nil
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Metric space: VP trees are metric-agnostic (Yianilos; Section III-B
+// of the paper: "VP trees are metric-agnostic, whereas KD trees perform
+// poorly for metrics other than L2 and Linf"). This example runs the
+// same exact VP tree under L2, L1 and cosine dissimilarity, checks each
+// against brute force, and shows the pruning a KD tree cannot offer off
+// L2.
+//
+//	go run ./examples/metricspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+func main() {
+	log.SetFlags(0)
+	g, err := dataset.GenerateClusters(dataset.ClusterConfig{
+		N: 20_000, Dim: 24, Clusters: 6, Seed: 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := g.Data
+	queries := dataset.PerturbedQueries(ds, 200, 0.1, 14)
+
+	fmt.Println("true metrics (triangle inequality holds -> pruning is exact):")
+	for _, metric := range []vec.Metric{vec.L2, vec.L1, vec.Cosine} {
+		if metric == vec.Cosine {
+			fmt.Println("non-metric dissimilarity (no triangle inequality -> pruning unsound,")
+			fmt.Println("results become approximate; embed-and-normalise to get exact L2 instead):")
+		}
+		tree := vptree.NewTree(ds, vptree.TreeConfig{Metric: metric, Seed: 1})
+		var dists int64
+		exact := 0
+		for i := 0; i < queries.Len(); i++ {
+			q := queries.At(i)
+			got, st := tree.Search(q, 5)
+			dists += st.DistComps
+			want := bruteforce.Search(ds, q, 5, metric)
+			ok := len(got) == len(want)
+			for j := 0; ok && j < len(got); j++ {
+				ok = got[j].Dist == want[j].Dist
+			}
+			if ok {
+				exact++
+			}
+		}
+		fmt.Printf("metric %-7v exact results %d/%d, mean distance computations %6.0f/%d (%.1f%% pruned)\n",
+			metric, exact, queries.Len(),
+			float64(dists)/float64(queries.Len()), ds.Len(),
+			100*(1-float64(dists)/float64(queries.Len())/float64(ds.Len())))
+	}
+	fmt.Println("\nthe same tree and search code served every distance; only the function")
+	fmt.Println("changed — the metric-agnosticism the paper exploits (Section VI: \"general")
+	fmt.Println("metric spaces\"). Exactness holds precisely when the triangle inequality does.")
+}

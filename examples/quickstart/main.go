@@ -1,0 +1,67 @@
+// Quickstart: build the paper's engine over a synthetic dataset and
+// answer a few k-NN queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A 64-dimensional clustered dataset (50k points, 8 clusters).
+	gen, err := dataset.GenerateClusters(dataset.ClusterConfig{
+		N: 50_000, Dim: 64, Clusters: 8, Outliers: 500, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := gen.Data
+	fmt.Printf("dataset: %d points, %d dimensions\n", ds.Len(), ds.Dim)
+
+	// 2. Build the engine: VP-tree partitioning + one HNSW index per
+	// partition (Sections III-IV of the paper).
+	cfg := core.DefaultConfig(16) // 16 partitions
+	cfg.NProbe = 3                // search the 3 most promising partitions
+	t0 := time.Now()
+	engine, err := core.NewEngine(ds.Clone(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d partitions in %v\n", engine.Partitions(), time.Since(t0).Round(time.Millisecond))
+
+	// 3. Single query.
+	q := ds.At(123)
+	results, err := engine.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("5-NN of point 123 (itself first):")
+	for _, r := range results {
+		fmt.Printf("  id=%-6d distance=%.4f\n", r.ID, r.Dist)
+	}
+
+	// 4. Batched throughput + recall vs exact search.
+	queries := dataset.PerturbedQueries(ds, 1000, 0.1, 7)
+	t1 := time.Now()
+	batch, err := engine.SearchBatch(queries, 10, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t1)
+	truth := bruteforce.GroundTruth(ds, queries, 10, vec.L2)
+	fmt.Printf("batch: %d queries in %v (%.0f q/s), recall@10 = %.3f\n",
+		queries.Len(), elapsed.Round(time.Millisecond),
+		float64(queries.Len())/elapsed.Seconds(),
+		metrics.MeanRecall(batch, truth))
+}

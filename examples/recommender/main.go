@@ -1,0 +1,102 @@
+// Recommender: the batched-throughput scenario from the paper's
+// introduction — "queries need not be answered in real time and can be
+// batched together like in recommender systems".
+//
+// Items are embedding vectors; each user has a taste vector; the nightly
+// job batches all users and retrieves each user's top-k candidate items.
+//
+//	go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+const (
+	nItems = 80_000
+	nUsers = 5_000
+	dim    = 96 // DEEP-like embedding width
+	topK   = 10
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(11))
+
+	// Item embeddings: unit vectors in latent "genre" clusters.
+	genres := make([][]float32, 40)
+	for g := range genres {
+		genres[g] = randUnit(rng, dim)
+	}
+	items := vec.NewDataset(dim, nItems)
+	v := make([]float32, dim)
+	for i := 0; i < nItems; i++ {
+		g := genres[rng.Intn(len(genres))]
+		for j := range v {
+			v[j] = g[j] + float32(rng.NormFloat64()*0.3)
+		}
+		vec.Normalize(v)
+		items.Append(v, int64(i))
+	}
+
+	// The engine indexes the catalogue once.
+	cfg := core.DefaultConfig(24)
+	cfg.NProbe = 4
+	t0 := time.Now()
+	engine, err := core.NewEngine(items, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d items (%d-d) into %d partitions in %v\n",
+		nItems, dim, engine.Partitions(), time.Since(t0).Round(time.Millisecond))
+
+	// User taste vectors: mixtures of a few genres.
+	users := vec.NewDataset(dim, nUsers)
+	for u := 0; u < nUsers; u++ {
+		for j := range v {
+			v[j] = 0
+		}
+		for m := 0; m < 3; m++ {
+			g := genres[rng.Intn(len(genres))]
+			w := float32(rng.Float64())
+			for j := range v {
+				v[j] += w * g[j]
+			}
+		}
+		vec.Normalize(v)
+		users.Append(v, int64(u))
+	}
+
+	// The nightly batch.
+	t1 := time.Now()
+	recs, err := engine.SearchBatch(users, topK, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t1)
+	fmt.Printf("recommended top-%d items for %d users in %v (%.0f users/s)\n",
+		topK, nUsers, elapsed.Round(time.Millisecond), float64(nUsers)/elapsed.Seconds())
+
+	fmt.Println("sample recommendations:")
+	for u := 0; u < 3; u++ {
+		fmt.Printf("  user %d:", u)
+		for _, r := range recs[u][:5] {
+			fmt.Printf(" item%d", r.ID)
+		}
+		fmt.Println()
+	}
+}
+
+func randUnit(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return vec.Normalize(v)
+}

@@ -1,0 +1,89 @@
+// TCP cluster: the same distributed engine over real sockets. This
+// example spawns a master and three workers as goroutines, each joined
+// to the cluster through its own loopback TCP endpoint — byte-for-byte
+// the deployment path of cmd/annmaster and cmd/annworker, runnable on
+// one machine.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bruteforce"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	const workers = 3
+
+	ds, err := dataset.Named("deep", 20_000, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := dataset.PerturbedQueries(ds, 300, 0.05, 22)
+	truth := bruteforce.GroundTruth(ds, queries, 10, vec.L2)
+
+	// Reserve loopback ports for every rank.
+	addrs := make([]string, workers+1)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	fmt.Printf("cluster endpoints: %v\n", addrs)
+
+	cfg := core.DefaultConfig(workers)
+	cfg.NProbe = 2
+	cfg.ThreadsPerWorker = 2
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers+1)
+	for rank := 0; rank <= workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			node, comm, err := cluster.JoinTCP(rank, addrs, 10*time.Second)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer node.Close()
+			if rank == 0 {
+				errs[rank] = core.RunCluster(comm, ds, cfg, func(m *core.Master) error {
+					res, err := m.Search(queries)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("master: %d queries answered over TCP in %v\n",
+						queries.Len(), res.Elapsed.Round(time.Millisecond))
+					fmt.Printf("recall@10 = %.3f\n", metrics.MeanRecall(res.Results, truth))
+					fmt.Printf("traffic at master: %d msgs, %.1f KB\n",
+						node.Stats().Messages(), float64(node.Stats().Bytes())/1024)
+					return nil
+				})
+			} else {
+				errs[rank] = core.RunCluster(comm, nil, cfg, nil)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			log.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	fmt.Println("all ranks shut down cleanly")
+}

@@ -1,0 +1,89 @@
+// Package bruteforce provides exact k-NN by exhaustive scan. It serves
+// two roles: computing ground truth for recall measurement (the paper
+// scores recall against the TEXMEX ground-truth files; we regenerate
+// equivalent truth for synthetic data) and acting as the trivially
+// correct baseline in tests.
+package bruteforce
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Search returns the exact k nearest neighbors of q in ds.
+func Search(ds *vec.Dataset, q []float32, k int, metric vec.Metric) []topk.Result {
+	dist := metric.Func()
+	if metric == vec.L2 {
+		// squared-L2 scan with one sqrt fixup at the end
+		c := topk.New(k)
+		for i := 0; i < ds.Len(); i++ {
+			c.Push(ds.ID(i), vec.SquaredL2Distance(q, ds.At(i)))
+		}
+		rs := c.Results()
+		for i := range rs {
+			rs[i].Dist = sqrt32(rs[i].Dist)
+		}
+		return rs
+	}
+	c := topk.New(k)
+	for i := 0; i < ds.Len(); i++ {
+		c.Push(ds.ID(i), dist(q, ds.At(i)))
+	}
+	return c.Results()
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// SearchBatch computes exact k-NN for every query using all CPUs. The
+// result rows are ordered like the queries.
+func SearchBatch(ds, queries *vec.Dataset, k int, metric vec.Metric) [][]topk.Result {
+	out := make([][]topk.Result, queries.Len())
+	nw := runtime.GOMAXPROCS(0)
+	if nw > queries.Len() {
+		nw = queries.Len()
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, nw*2)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = Search(ds, queries.At(i), k, metric)
+			}
+		}()
+	}
+	for i := 0; i < queries.Len(); i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// GroundTruth computes the exact neighbor ID lists for a query set, in
+// the shape ReadIvecs/WriteIvecs use.
+func GroundTruth(ds, queries *vec.Dataset, k int, metric vec.Metric) [][]int32 {
+	res := SearchBatch(ds, queries, k, metric)
+	out := make([][]int32, len(res))
+	for i, rs := range res {
+		row := make([]int32, len(rs))
+		for j, r := range rs {
+			row[j] = int32(r.ID)
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func randDS(rng *rand.Rand, n, dim int) *vec.Dataset {
+	ds := vec.NewDataset(dim, n)
+	v := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		ds.Append(v, int64(i))
+	}
+	return ds
+}
+
+func TestSearchExactAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randDS(rng, 300, 9)
+	q := randDS(rng, 1, 9).At(0)
+	got := Search(ds, q, 5, vec.L2)
+	type pair struct {
+		id int64
+		d  float64
+	}
+	var all []pair
+	for i := 0; i < ds.Len(); i++ {
+		all = append(all, pair{ds.ID(i), float64(vec.L2Distance(q, ds.At(i)))})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	for i, r := range got {
+		if r.ID != all[i].id {
+			t.Fatalf("rank %d: got %d want %d", i, r.ID, all[i].id)
+		}
+		if math.Abs(float64(r.Dist)-all[i].d) > 1e-4 {
+			t.Fatalf("rank %d dist %v want %v", i, r.Dist, all[i].d)
+		}
+	}
+}
+
+func TestSearchNonL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randDS(rng, 100, 5)
+	q := ds.At(0)
+	got := Search(ds, q, 3, vec.L1)
+	if got[0].ID != 0 || got[0].Dist != 0 {
+		t.Fatalf("self not nearest: %+v", got[0])
+	}
+}
+
+func TestSearchBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := randDS(rng, 200, 7)
+	qs := randDS(rng, 37, 7)
+	batch := SearchBatch(ds, qs, 4, vec.L2)
+	if len(batch) != 37 {
+		t.Fatalf("len %d", len(batch))
+	}
+	for i := 0; i < qs.Len(); i++ {
+		single := Search(ds, qs.At(i), 4, vec.L2)
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("q%d r%d: %+v vs %+v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+func TestGroundTruthShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := randDS(rng, 50, 3)
+	qs := randDS(rng, 5, 3)
+	gt := GroundTruth(ds, qs, 10, vec.L2)
+	if len(gt) != 5 {
+		t.Fatalf("rows %d", len(gt))
+	}
+	for _, row := range gt {
+		if len(row) != 10 {
+			t.Fatalf("row len %d", len(row))
+		}
+	}
+}
+
+func TestSearchBatchEmptyQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := randDS(rng, 10, 2)
+	qs := vec.NewDataset(2, 0)
+	if got := SearchBatch(ds, qs, 3, vec.L2); len(got) != 0 {
+		t.Fatalf("got %d rows", len(got))
+	}
+}
+
+func BenchmarkBrute10kDim128(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	ds := randDS(rng, 10000, 128)
+	q := ds.At(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search(ds, q, 10, vec.L2)
+	}
+}

@@ -1,0 +1,337 @@
+// Package cluster is the communication substrate that replaces MPI in
+// this reproduction. The paper's engine is a hybrid MPI-OpenMP program;
+// Go has neither, so cluster provides the same message-passing semantics
+// on two transports:
+//
+//   - an in-process transport where every rank is a goroutine and message
+//     delivery is a queue append (used for all experiments; goroutines
+//     stand in for MPI ranks and worker-pool goroutines for OpenMP
+//     threads);
+//   - a TCP transport (see tcp.go) where each rank is an OS process,
+//     used by cmd/annmaster and cmd/annworker for real multi-machine
+//     deployments.
+//
+// The API mirrors the MPI subset the paper uses: Send/Recv with tags and
+// wildcards, non-blocking Isend/Irecv with Test/Wait (Algorithm 4's
+// polling loop), collectives (Barrier, Bcast, Gatherv, AlltoAllv,
+// Allreduce — Algorithm 2's shuffle is an AlltoAllv), communicator Split
+// for the recursive halving in the distributed VP-tree construction, and
+// one-sided windows with atomic accumulate (window.go) standing in for
+// MPI_Win_lock/MPI_Get_accumulate.
+//
+// All traffic is metered (message and byte counters per world) so the
+// cost model can price communication the way Figure 5 of the paper does.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Any is the wildcard source or tag for Recv/Irecv/Probe, mirroring
+// MPI_ANY_SOURCE / MPI_ANY_TAG.
+const Any = -1
+
+// Reserved internal tags. User tags must be non-negative.
+const (
+	tagBarrier = -2
+	tagBcast   = -3
+	tagGather  = -4
+	tagScatter = -5
+	tagA2A     = -6
+	tagReduce  = -7
+	tagWindow  = -8
+	tagSplit   = -9
+)
+
+// Envelope is one message in flight.
+type Envelope struct {
+	Comm    uint64 // communicator ID: messages only match within a communicator
+	From    int32  // world rank of the sender
+	Tag     int32
+	Payload []byte
+}
+
+// mailbox is one rank's incoming queue: an unbounded FIFO with
+// predicate-matching receive, which is what lets wildcard and tagged
+// receives coexist (collectives, window traffic and user messages all
+// flow through the same box, matched by communicator and tag).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e Envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.q = append(m.q, e)
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first queued envelope matching pred. With
+// block=false it returns ok=false immediately when nothing matches; with
+// block=true it waits. A closed mailbox yields err.
+func (m *mailbox) take(pred func(*Envelope) bool, block bool) (Envelope, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.q {
+			if pred(&m.q[i]) {
+				e := m.q[i]
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return e, true, nil
+			}
+		}
+		if m.closed {
+			return Envelope{}, false, ErrClosed
+		}
+		if !block {
+			return Envelope{}, false, nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// ErrClosed is returned when communicating on a torn-down world.
+var ErrClosed = errors.New("cluster: world closed")
+
+// transport delivers envelopes between world ranks.
+type transport interface {
+	// send delivers e to world rank "to".
+	send(to int, e Envelope) error
+	// box returns this rank's mailbox.
+	box() *mailbox
+	// registry returns the shared-object registry if all ranks share an
+	// address space (in-process transport), else nil.
+	registry() *registry
+	// stats returns the world-level traffic accounting.
+	stats() *Stats
+}
+
+// Comm is a communicator: a group of ranks that can exchange messages
+// isolated from other communicators, like an MPI_Comm.
+type Comm struct {
+	t     transport
+	id    uint64
+	rank  int   // rank within this communicator
+	group []int // group[i] = world rank of communicator rank i
+
+	splitSeq uint64 // per-instance collective-order counter for Split/Window IDs
+	winSeq   uint64
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns the world rank behind communicator rank r.
+func (c *Comm) WorldRank(r int) int { return c.group[r] }
+
+// localOf maps a world rank to a communicator rank (-1 if absent).
+func (c *Comm) localOf(world int32) int {
+	for i, w := range c.group {
+		if w == int(world) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int // communicator rank of the sender
+	Tag    int
+	Bytes  int
+}
+
+// Send delivers payload to communicator rank "to" with the given tag.
+// It corresponds to MPI_Send; with the unbounded mailboxes of this
+// runtime it never blocks, so MPI_Isend maps to it too.
+func (c *Comm) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= len(c.group) {
+		return fmt.Errorf("cluster: send to invalid rank %d (size %d)", to, c.Size())
+	}
+	if tag < 0 {
+		return fmt.Errorf("cluster: user tags must be non-negative, got %d", tag)
+	}
+	return c.sendInternal(to, tag, payload)
+}
+
+func (c *Comm) sendInternal(to, tag int, payload []byte) error {
+	s := c.t.stats()
+	s.count(len(payload))
+	return c.t.send(c.group[to], Envelope{
+		Comm:    c.id,
+		From:    int32(c.group[c.rank]),
+		Tag:     int32(tag),
+		Payload: payload,
+	})
+}
+
+// match builds the receive predicate for (from, tag) with wildcards.
+func (c *Comm) match(from, tag int) func(*Envelope) bool {
+	return func(e *Envelope) bool {
+		if e.Comm != c.id {
+			return false
+		}
+		if tag != Any && int(e.Tag) != tag {
+			return false
+		}
+		if from != Any {
+			return int(e.From) == c.group[from]
+		}
+		// wildcard source: sender must still be a member
+		return c.localOf(e.From) >= 0
+	}
+}
+
+// Recv blocks until a message from "from" (or Any) with tag "tag" (or
+// Any) arrives and returns its payload.
+func (c *Comm) Recv(from, tag int) ([]byte, Status, error) {
+	e, _, err := c.t.box().take(c.match(from, tag), true)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return e.Payload, c.status(e), nil
+}
+
+// RecvTags blocks until a message from "from" (or Any) carrying any of
+// the listed user tags arrives. Worker threads use it to wait for either
+// a query or the End-of-Queries command with one blocking call instead
+// of an MPI_Test poll loop.
+func (c *Comm) RecvTags(from int, tags ...int) ([]byte, Status, error) {
+	pred := func(e *Envelope) bool {
+		if e.Comm != c.id {
+			return false
+		}
+		hit := false
+		for _, t := range tags {
+			if int(e.Tag) == t {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+		if from != Any {
+			return int(e.From) == c.group[from]
+		}
+		return c.localOf(e.From) >= 0
+	}
+	e, _, err := c.t.box().take(pred, true)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return e.Payload, c.status(e), nil
+}
+
+// TryRecv is a non-blocking Recv: ok=false when no matching message is
+// queued (MPI_Iprobe + MPI_Recv).
+func (c *Comm) TryRecv(from, tag int) ([]byte, Status, bool, error) {
+	e, ok, err := c.t.box().take(c.match(from, tag), false)
+	if err != nil {
+		return nil, Status{}, false, err
+	}
+	if !ok {
+		return nil, Status{}, false, nil
+	}
+	return e.Payload, c.status(e), true, nil
+}
+
+// Probe reports whether a matching message is queued without consuming
+// it.
+func (c *Comm) Probe(from, tag int) bool {
+	box := c.t.box()
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	pred := c.match(from, tag)
+	for i := range box.q {
+		if pred(&box.q[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Comm) status(e Envelope) Status {
+	return Status{Source: c.localOf(e.From), Tag: int(e.Tag), Bytes: len(e.Payload)}
+}
+
+// Request is a non-blocking receive in progress, in the style of
+// MPI_Irecv + MPI_Test/MPI_Wait. (Sends complete immediately in this
+// runtime, so only receives need requests.)
+type Request struct {
+	c         *Comm
+	from, tag int
+	done      bool
+	payload   []byte
+	status    Status
+	err       error
+	cancelled bool
+}
+
+// Irecv posts a non-blocking receive.
+func (c *Comm) Irecv(from, tag int) *Request {
+	return &Request{c: c, from: from, tag: tag}
+}
+
+// Test polls the request; it returns true once a message has been
+// matched (payload available via Payload).
+func (r *Request) Test() bool {
+	if r.done || r.cancelled {
+		return r.done
+	}
+	p, st, ok, err := r.c.TryRecv(r.from, r.tag)
+	if err != nil {
+		r.err, r.done = err, true
+		return true
+	}
+	if ok {
+		r.payload, r.status, r.done = p, st, true
+	}
+	return r.done
+}
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() ([]byte, Status, error) {
+	if r.cancelled {
+		return nil, Status{}, errors.New("cluster: request cancelled")
+	}
+	if !r.done {
+		p, st, err := r.c.Recv(r.from, r.tag)
+		r.payload, r.status, r.err, r.done = p, st, err, true
+	}
+	return r.payload, r.status, r.err
+}
+
+// Cancel abandons an incomplete request (MPI_Cancel); the message, if it
+// ever arrives, stays in the mailbox for other receivers.
+func (r *Request) Cancel() {
+	if !r.done {
+		r.cancelled = true
+	}
+}
+
+// Payload returns the received bytes after Test reported completion.
+func (r *Request) Payload() ([]byte, Status, error) { return r.payload, r.status, r.err }

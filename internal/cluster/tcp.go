@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: each rank is an OS process reachable at a known
+// address. This is the deployment path of cmd/annmaster and
+// cmd/annworker — the same Comm API (point-to-point, collectives,
+// windows in message-emulation mode) over real sockets, so the engine
+// code is byte-for-byte identical in-process and across machines.
+//
+// Wire format per envelope, little-endian:
+//
+//	u64 commID | u32 from | i32 tag | u32 payloadLen | payload
+//
+// Connections are full-mesh and lazy: rank i dials rank j on first send
+// and keeps the connection; every rank runs an accept loop feeding its
+// mailbox. Per-pair FIFO holds because each ordered pair uses one
+// stream.
+
+// TCPNode is one rank of a TCP world.
+type TCPNode struct {
+	rank  int
+	addrs []string
+	ln    net.Listener
+	mbox  *mailbox
+	st    Stats
+
+	dialTimeout time.Duration
+
+	mu       sync.Mutex
+	conns    map[int]*tcpConn
+	accepted []net.Conn
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// JoinTCP starts rank's listener and returns the node and its world
+// communicator. addrs lists every rank's listen address in rank order;
+// peers may come up in any order (dials retry until dialTimeout).
+func JoinTCP(rank int, addrs []string, dialTimeout time.Duration) (*TCPNode, *Comm, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, nil, fmt.Errorf("cluster: rank %d out of range for %d addrs", rank, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	n := &TCPNode{
+		rank:  rank,
+		addrs: addrs,
+		ln:    ln,
+		mbox:  newMailbox(),
+		conns: make(map[int]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	if dialTimeout <= 0 {
+		dialTimeout = 30 * time.Second
+	}
+	n.dialTimeout = dialTimeout
+	n.wg.Add(1)
+	go n.acceptLoop()
+	group := make([]int, len(addrs))
+	for i := range group {
+		group[i] = i
+	}
+	comm := &Comm{t: n, id: 1, rank: rank, group: group}
+	return n, comm, nil
+}
+
+// Addr returns the actual listen address (useful with ":0" ports).
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		n.mu.Lock()
+		n.accepted = append(n.accepted, c)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *TCPNode) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	hdr := make([]byte, 20)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		e := Envelope{
+			Comm: binary.LittleEndian.Uint64(hdr[0:8]),
+			From: int32(binary.LittleEndian.Uint32(hdr[8:12])),
+			Tag:  int32(binary.LittleEndian.Uint32(hdr[12:16])),
+		}
+		ln := binary.LittleEndian.Uint32(hdr[16:20])
+		if ln > 1<<30 {
+			return // implausible frame; drop the connection
+		}
+		if ln > 0 {
+			e.Payload = make([]byte, ln)
+			if _, err := io.ReadFull(c, e.Payload); err != nil {
+				return
+			}
+		}
+		n.mbox.put(e)
+	}
+}
+
+var _ transport = (*TCPNode)(nil)
+
+func (n *TCPNode) send(to int, e Envelope) error {
+	if to == n.rank {
+		n.mbox.put(e)
+		return nil
+	}
+	tc, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 20+len(e.Payload))
+	binary.LittleEndian.PutUint64(buf[0:8], e.Comm)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(e.From))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(e.Tag))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(e.Payload)))
+	copy(buf[20:], e.Payload)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	_, err = tc.c.Write(buf)
+	return err
+}
+
+func (n *TCPNode) conn(to int) (*tcpConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	// Dial outside the lock; last writer wins benignly.
+	deadline := time.Now().Add(n.dialTimeout)
+	var raw net.Conn
+	var err error
+	for {
+		raw, err = net.DialTimeout("tcp", n.addrs[to], 2*time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: rank %d cannot reach rank %d at %s: %w",
+				n.rank, to, n.addrs[to], err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if t, ok := raw.(*net.TCPConn); ok {
+		t.SetNoDelay(true)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.conns[to]; ok {
+		raw.Close()
+		return c, nil
+	}
+	c := &tcpConn{c: raw}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) box() *mailbox       { return n.mbox }
+func (n *TCPNode) registry() *registry { return nil } // windows emulate via messages
+func (n *TCPNode) stats() *Stats       { return &n.st }
+
+// Stats exposes this process's traffic counters.
+func (n *TCPNode) Stats() *Stats { return &n.st }
+
+// Close shuts the node down: stops accepting, closes connections, and
+// unblocks local receivers with ErrClosed.
+func (n *TCPNode) Close() error {
+	close(n.done)
+	err := n.ln.Close()
+	n.mu.Lock()
+	for _, c := range n.conns {
+		c.c.Close()
+	}
+	for _, c := range n.accepted {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.mbox.close()
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Window is the one-sided communication primitive standing in for
+// MPI_Win_create + MPI_Win_lock(shared) + MPI_Get_accumulate, the
+// optimisation of Section IV-C1 of the paper: the master exposes a slot
+// per query; workers atomically merge their local k-NN results into the
+// slots without the master posting receives.
+//
+// Two execution paths, chosen automatically:
+//
+//   - shared address space (in-process transport): Accumulate locks the
+//     slot mutex and applies the merge function directly on the owner's
+//     memory — the moral equivalent of RMA over Cray Aries;
+//   - message emulation (TCP transport): Accumulate sends the update to
+//     the owner, where a service goroutine applies it; this is exactly
+//     how MPI implements one-sided ops on networks without native RMA.
+//
+// The merge function must be pure with respect to its inputs (it may
+// return either argument or fresh memory).
+type Window struct {
+	c     *Comm
+	owner int // communicator rank owning the memory
+	merge MergeFunc
+	key   string // registry key (shared path)
+
+	shared *sharedWin // non-nil on the shared path
+
+	// owner-side message-emulation state
+	svcDone chan struct{}
+	applied atomic.Int64
+	slots   [][]byte
+	slotMu  []sync.Mutex
+}
+
+// MergeFunc combines the current slot contents (nil if empty) with an
+// update and returns the new contents.
+type MergeFunc func(cur, update []byte) []byte
+
+type sharedWin struct {
+	slots   [][]byte
+	mu      []sync.Mutex
+	applied atomic.Int64
+}
+
+// poisonSlot shuts down the owner's service loop on the emulated path.
+const poisonSlot = ^uint32(0)
+
+// NewWindow collectively creates a window with nSlots byte-slice slots
+// owned by communicator rank owner. Every rank must call it with the
+// same arguments and a semantically identical merge function.
+func NewWindow(c *Comm, owner, nSlots int, merge MergeFunc) (*Window, error) {
+	if owner < 0 || owner >= c.Size() {
+		return nil, fmt.Errorf("cluster: window owner %d out of range", owner)
+	}
+	c.winSeq++
+	w := &Window{c: c, owner: owner, merge: merge}
+	if reg := c.t.registry(); reg != nil {
+		w.key = fmt.Sprintf("win/%d/%d", c.id, c.winSeq)
+		w.shared = reg.getOrStore(w.key, func() any {
+			return &sharedWin{slots: make([][]byte, nSlots), mu: make([]sync.Mutex, nSlots)}
+		}).(*sharedWin)
+		// Barrier so no rank accumulates before every rank has joined.
+		if err := c.Barrier(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	if c.rank == owner {
+		w.slots = make([][]byte, nSlots)
+		w.slotMu = make([]sync.Mutex, nSlots)
+		w.svcDone = make(chan struct{})
+		go w.service()
+	}
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// service applies accumulate messages at the owner until poisoned.
+func (w *Window) service() {
+	defer close(w.svcDone)
+	for {
+		p, _, err := w.c.Recv(Any, tagWindow)
+		if err != nil {
+			return // world torn down
+		}
+		if binary.LittleEndian.Uint32(p[:4]) == poisonSlot {
+			return
+		}
+		w.applyLocal(p)
+	}
+}
+
+func (w *Window) applyLocal(p []byte) {
+	slot := int(binary.LittleEndian.Uint32(p[:4]))
+	data := p[4:]
+	w.slotMu[slot].Lock()
+	w.slots[slot] = w.merge(w.slots[slot], data)
+	w.slotMu[slot].Unlock()
+	w.applied.Add(1)
+}
+
+// Accumulate atomically merges data into the owner's slot. Callable from
+// any rank, including the owner.
+func (w *Window) Accumulate(slot int, data []byte) error {
+	if w.shared != nil {
+		s := w.shared
+		if slot < 0 || slot >= len(s.slots) {
+			return fmt.Errorf("cluster: window slot %d out of range", slot)
+		}
+		// Meter like a send: one-sided ops still cross the interconnect.
+		w.c.t.stats().count(len(data))
+		s.mu[slot].Lock()
+		s.slots[slot] = w.merge(s.slots[slot], data)
+		s.mu[slot].Unlock()
+		s.applied.Add(1)
+		return nil
+	}
+	buf := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(slot))
+	copy(buf[4:], data)
+	if w.c.rank == w.owner {
+		w.applyLocal(buf)
+		return nil
+	}
+	return w.c.sendInternal(w.owner, tagWindow, buf)
+}
+
+// Applied returns how many accumulates have been applied at the owner.
+func (w *Window) Applied() int64 {
+	if w.shared != nil {
+		return w.shared.applied.Load()
+	}
+	return w.applied.Load()
+}
+
+// Read returns the owner's current contents of slot. Only meaningful at
+// the owner after synchronisation (WaitApplied).
+func (w *Window) Read(slot int) []byte {
+	if w.shared != nil {
+		s := w.shared
+		s.mu[slot].Lock()
+		defer s.mu[slot].Unlock()
+		return s.slots[slot]
+	}
+	w.slotMu[slot].Lock()
+	defer w.slotMu[slot].Unlock()
+	return w.slots[slot]
+}
+
+// WaitApplied blocks until at least n accumulates have been applied at
+// the owner. Workers report how many accumulates they issued via
+// ordinary messages; the master passes the total here before reading the
+// window — the passive-target synchronisation step of the paper.
+func (w *Window) WaitApplied(n int64) {
+	for w.Applied() < n {
+		runtime.Gosched()
+	}
+}
+
+// Free releases the window. Collective.
+func (w *Window) Free() error {
+	if w.shared != nil {
+		if err := w.c.Barrier(); err != nil {
+			return err
+		}
+		if w.c.rank == w.owner {
+			if reg := w.c.t.registry(); reg != nil {
+				reg.delete(w.key)
+			}
+		}
+		return nil
+	}
+	// Quiesce remote accumulates before poisoning the service loop: the
+	// barrier guarantees every rank is done issuing accumulates, and
+	// per-pair FIFO guarantees they were delivered before the poison.
+	if err := w.c.Barrier(); err != nil {
+		return err
+	}
+	if w.c.rank == w.owner {
+		poison := make([]byte, 4)
+		binary.LittleEndian.PutUint32(poison, poisonSlot)
+		if err := w.c.sendInternal(w.owner, tagWindow, poison); err != nil {
+			return err
+		}
+		<-w.svcDone
+	}
+	return nil
+}

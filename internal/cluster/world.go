@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats meters world traffic: the cost model prices communication from
+// these counters the way the paper's Figure 5 breaks down MPI time.
+type Stats struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func (s *Stats) count(n int) {
+	s.msgs.Add(1)
+	s.bytes.Add(int64(n))
+}
+
+// Messages returns the total number of messages sent in the world.
+func (s *Stats) Messages() int64 { return s.msgs.Load() }
+
+// Bytes returns the total payload bytes sent in the world.
+func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { s.msgs.Store(0); s.bytes.Store(0) }
+
+// registry is the shared-object rendezvous used by one-sided windows on
+// the in-process transport (all ranks share an address space, like RMA
+// over a real interconnect).
+type registry struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+func (r *registry) getOrStore(key string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m[key]; ok {
+		return v
+	}
+	v := mk()
+	r.m[key] = v
+	return v
+}
+
+func (r *registry) delete(key string) {
+	r.mu.Lock()
+	delete(r.m, key)
+	r.mu.Unlock()
+}
+
+// World is an in-process group of ranks (goroutines). It implements the
+// role MPI_COMM_WORLD plays in the paper's runs: one rank per processing
+// core.
+type World struct {
+	n     int
+	boxes []*mailbox
+	reg   registry
+	st    Stats
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("cluster: world size must be positive")
+	}
+	w := &World{n: n, boxes: make([]*mailbox, n), reg: registry{m: make(map[string]any)}}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Stats returns the world's traffic counters.
+func (w *World) Stats() *Stats { return &w.st }
+
+// localTransport binds one rank to the world.
+type localTransport struct {
+	w    *World
+	rank int
+}
+
+func (t *localTransport) send(to int, e Envelope) error {
+	if to < 0 || to >= t.w.n {
+		return fmt.Errorf("cluster: world rank %d out of range", to)
+	}
+	t.w.boxes[to].put(e)
+	return nil
+}
+
+func (t *localTransport) box() *mailbox       { return t.w.boxes[t.rank] }
+func (t *localTransport) registry() *registry { return &t.w.reg }
+func (t *localTransport) stats() *Stats       { return &t.w.st }
+
+// Comm returns the world communicator for the given rank. Typically used
+// through Run; exposed for tests that drive ranks manually.
+func (w *World) Comm(rank int) *Comm {
+	group := make([]int, w.n)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{t: &localTransport{w: w, rank: rank}, id: 1, rank: rank, group: group}
+}
+
+// Run spawns one goroutine per rank executing fn and waits for all of
+// them. The first error (or converted panic) is returned; afterwards all
+// mailboxes are closed, which unblocks any rank still waiting in Recv
+// with ErrClosed.
+//
+// A rank that PANICS aborts the whole world immediately (the MPI_Abort
+// semantic): other ranks blocked in receives fail with ErrClosed rather
+// than deadlocking. A rank that merely returns an error does not abort
+// the others — the engine's failure handling relies on degraded protocol
+// completion (workers always report Done).
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("cluster: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+					w.Close()
+				}
+			}()
+			errs[rank] = fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	w.Close()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears the world down; subsequent receives fail with ErrClosed.
+func (w *World) Close() {
+	for _, b := range w.boxes {
+		b.close()
+	}
+}
+
+// hash64 derives deterministic child-communicator IDs.
+func hash64(parts ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

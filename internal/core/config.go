@@ -1,0 +1,171 @@
+// Package core implements the paper's system: a distributed approximate
+// k-NN engine that partitions the dataset with a vantage point tree
+// (built cooperatively by all ranks, Algorithms 1–2), indexes each
+// partition with HNSW, and answers query batches with a master–worker
+// protocol (Algorithms 3–4) optionally optimised with one-sided result
+// accumulation (Section IV-C1) and replication-based load balancing
+// (Section IV-C2, Algorithm 5).
+//
+// Three entry points:
+//
+//   - Engine: single-process facade — partitions, indexes and searches in
+//     one address space with a worker pool. This is the library API the
+//     examples use.
+//   - RunDistributed: the full message-passing engine on a cluster.Comm
+//     (rank 0 = master, ranks 1..P = workers), used by every scaling
+//     experiment and by the TCP deployment.
+//   - RunMultipleOwner: the multiple-owner variant the paper discusses in
+//     Section IV.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hnsw"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// RoutingMode selects how the master computes F(q).
+type RoutingMode int
+
+const (
+	// RouteTop searches the NProbe partitions with the smallest VP-tree
+	// lower bounds — the throughput-oriented mode of the paper.
+	RouteTop RoutingMode = iota
+	// RouteAdaptive first searches the home partition, then widens to
+	// every partition whose region intersects the ball of the current
+	// k-th distance (two-phase; higher recall, more work).
+	RouteAdaptive
+)
+
+// Strategy selects the coordination scheme.
+type Strategy int
+
+const (
+	// MasterWorker is the paper's main design: one master routes all
+	// queries (Algorithm 3), workers search (Algorithm 4).
+	MasterWorker Strategy = iota
+	// MultipleOwner shares the VP tree among all ranks; each query is
+	// owned by hash (Section IV, discussed and measured as slightly
+	// better at low core counts but worse at scale).
+	MultipleOwner
+)
+
+// Config parameterises the engine.
+type Config struct {
+	// K is the number of neighbors per query (the paper uses 10).
+	K int
+	// Partitions is P, the number of data partitions = processing cores.
+	Partitions int
+	// NProbe is |F(q)| in RouteTop mode (default 2).
+	NProbe int
+	// Routing selects the routing mode.
+	Routing RoutingMode
+	// Replication is the load-balancing replication factor r (Section
+	// IV-C2); 1 means no replication.
+	Replication int
+	// ThreadsPerWorker is the number of searcher goroutines per worker
+	// rank — the OpenMP threads of the paper (default 1).
+	ThreadsPerWorker int
+	// CoresPerNode groups partitions into compute nodes (Figure 1 of the
+	// paper: a node with cores {p1..pn} hosts partitions {D1..Dn}, all
+	// reachable by any of the node's threads). Each worker rank then
+	// plays one compute node serving CoresPerNode partitions; default 1
+	// (one partition per rank, the flat layout). Supported by the
+	// prebuilt path.
+	CoresPerNode int
+	// OneSided enables the MPI_Get_accumulate-style result path (default
+	// set by DefaultConfig; the ablation toggles it).
+	OneSided bool
+	// Metric is the distance metric (the paper uses L2 everywhere).
+	Metric vec.Metric
+	// HNSW configures the local indexes; zero value means
+	// hnsw.DefaultConfig(Metric).
+	HNSW hnsw.Config
+	// LocalIndex selects the per-partition index algorithm for the
+	// single-process Engine: "hnsw" (default, the paper's choice), or
+	// the exact alternatives "vp", "kd", "flat" — the extensibility
+	// point Section VI describes. The distributed engine currently
+	// always uses HNSW (its replication path ships serialized graphs).
+	LocalIndex string
+	// Seed makes partitioning and index construction reproducible.
+	Seed int64
+	// CheckpointDir, when non-empty, makes every worker save its built
+	// partition (and rank 0 the routing tree) there after construction;
+	// RunClusterFromCheckpoint restarts a cluster from the directory.
+	CheckpointDir string
+	// Trace, when non-nil, records master and worker events (routing,
+	// dispatch, task execution, completion) for timeline inspection.
+	// In-process worlds share the recorder directly; the TCP deployment
+	// records per process.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the configuration used by the paper's headline
+// experiments: k=10, L2, one-sided communication on, no replication.
+func DefaultConfig(partitions int) Config {
+	return Config{
+		K:                10,
+		Partitions:       partitions,
+		NProbe:           2,
+		Replication:      1,
+		ThreadsPerWorker: 1,
+		OneSided:         true,
+		Metric:           vec.L2,
+		Seed:             1,
+	}
+}
+
+func (c *Config) fill(dim int) error {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Partitions <= 0 {
+		return fmt.Errorf("core: need positive partition count, got %d", c.Partitions)
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = 2
+	}
+	if c.NProbe > c.Partitions {
+		c.NProbe = c.Partitions
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.Replication > c.Partitions {
+		c.Replication = c.Partitions
+	}
+	if c.ThreadsPerWorker <= 0 {
+		c.ThreadsPerWorker = 1
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 1
+	}
+	if c.HNSW.M == 0 {
+		c.HNSW = hnsw.DefaultConfig(c.Metric)
+	}
+	c.HNSW.Metric = c.Metric
+	_ = dim
+	return nil
+}
+
+// WorkStats aggregates the work performed during a batch search; the
+// cost model (internal/costmodel) prices these into modelled times for
+// the large-P experiments.
+type WorkStats struct {
+	DistComps int64 // distance computations across all ranks
+	Hops      int64 // HNSW graph expansions
+	Messages  int64 // messages sent (including one-sided accumulates)
+	Bytes     int64 // payload bytes moved
+}
+
+// Add combines two work stats.
+func (w WorkStats) Add(o WorkStats) WorkStats {
+	return WorkStats{
+		DistComps: w.DistComps + o.DistComps,
+		Hops:      w.Hops + o.Hops,
+		Messages:  w.Messages + o.Messages,
+		Bytes:     w.Bytes + o.Bytes,
+	}
+}

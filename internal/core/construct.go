@@ -1,0 +1,424 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hnsw"
+	"repro/internal/index"
+	"repro/internal/median"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// Internal tags used by construction and replication (user tag space).
+const (
+	tagTree    = 6
+	tagVPCand  = 7
+	tagReplica = 8
+)
+
+// Built is the per-rank outcome of the distributed construction: the
+// rank's own partition and HNSW index, plus (on rank 0 only) the global
+// routing tree. Replicas holds indexes of other partitions hosted here
+// when replication is enabled.
+type Built struct {
+	PartitionID int
+	Local       *vec.Dataset
+	Index       *hnsw.Graph
+	Tree        *vptree.PartitionTree // rank 0 only; nil elsewhere
+	// Replicas maps partitionID -> local index for every partition this
+	// rank hosts (its own plus replication copies). The distributed
+	// construction always builds HNSW; the Prebuilt injection path can
+	// supply any index.Local (the paper's Section VI extensibility).
+	Replicas map[int]index.Local
+	Stats    ConstructStats
+}
+
+// ConstructStats times the phases of Table II.
+type ConstructStats struct {
+	VPTree    time.Duration // distributed VP-tree construction (incl. shuffle)
+	HNSW      time.Duration // local index build
+	Replicate time.Duration // replication for load balancing
+	DistComps int64
+	HNSWWork  hnsw.Stats
+}
+
+// ScatterDataset distributes ds from root across the communicator in
+// near-equal random shards, the paper's initial equi-partitioning. Every
+// rank receives its shard.
+func ScatterDataset(c *cluster.Comm, root int, ds *vec.Dataset, seed int64) (*vec.Dataset, error) {
+	var chunks [][]byte
+	if c.Rank() == root {
+		n := ds.Len()
+		perm := rand.New(rand.NewSource(seed)).Perm(n)
+		p := c.Size()
+		chunks = make([][]byte, p)
+		for r := 0; r < p; r++ {
+			lo, hi := n*r/p, n*(r+1)/p
+			shard := vec.NewDataset(ds.Dim, hi-lo)
+			for _, idx := range perm[lo:hi] {
+				shard.Append(ds.At(idx), ds.ID(idx))
+			}
+			var buf bytes.Buffer
+			if err := shard.WriteBinary(&buf); err != nil {
+				return nil, err
+			}
+			chunks[r] = buf.Bytes()
+		}
+	}
+	mine, err := c.Scatterv(root, chunks)
+	if err != nil {
+		return nil, err
+	}
+	return vec.ReadBinary(bytes.NewReader(mine))
+}
+
+// BuildDistributed executes Algorithms 1–2 on the communicator: every
+// rank contributes its local shard, the group recursively selects
+// vantage points, computes split radii by a distributed median, shuffles
+// points with AlltoAllv and splits the communicator in half until each
+// rank owns exactly one partition, which it then indexes with HNSW.
+//
+// The returned Built.PartitionID always equals the calling rank, and
+// rank 0 holds the assembled routing tree.
+func BuildDistributed(c *cluster.Comm, local *vec.Dataset, cfg Config) (*Built, error) {
+	if err := cfg.fill(local.Dim); err != nil {
+		return nil, err
+	}
+	if cfg.Partitions != c.Size() {
+		return nil, fmt.Errorf("core: cfg.Partitions=%d but communicator size=%d", cfg.Partitions, c.Size())
+	}
+	b := &Built{}
+	dist := cfg.Metric.Func()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.Rank())*7919))
+
+	t0 := time.Now()
+	root, ds, err := buildNode(c, local, 0, cfg, dist, rng, &b.Stats)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.VPTree = time.Since(t0)
+	b.PartitionID = c.Rank()
+	b.Local = ds
+	if c.Rank() == 0 {
+		b.Tree = vptree.NewPartitionTree(local.Dim, cfg.Metric, root)
+	}
+
+	t1 := time.Now()
+	g, hst, err := hnsw.Build(ds, cfg.HNSW, cfg.ThreadsPerWorker)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.HNSW = time.Since(t1)
+	b.Stats.HNSWWork = hst
+	b.Index = g
+	b.Replicas = map[int]index.Local{b.PartitionID: index.WrapHNSW(g)}
+
+	t2 := time.Now()
+	if err := replicate(c, b, cfg); err != nil {
+		return nil, err
+	}
+	b.Stats.Replicate = time.Since(t2)
+	return b, nil
+}
+
+// buildNode builds one VP-tree node over the ranks of c, returning the
+// subtree root (meaningful on sub-rank 0 only), this rank's final
+// dataset and the updated base partition ID.
+func buildNode(c *cluster.Comm, ds *vec.Dataset, base int, cfg Config, dist vec.DistFunc, rng *rand.Rand, st *ConstructStats) (*vptree.PNode, *vec.Dataset, error) {
+	if c.Size() == 1 {
+		return &vptree.PNode{Leaf: int32(base + c.Rank())}, ds, nil
+	}
+	h := c.Size() / 2
+
+	// --- Algorithm 1: distributed vantage point selection ---
+	vp, err := selectVantageDistributed(c, ds, cfg, dist, rng, st)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- split radius: distributed median of distances to vp ---
+	dists := make([]float32, ds.Len())
+	for i := range dists {
+		dists[i] = dist(vp, ds.At(i))
+	}
+	st.DistComps += int64(ds.Len())
+	share := float64(h) / float64(c.Size())
+	mu, err := distributedQuantile(c, dists, share)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- partition and shuffle (MPI_Alltoallv) ---
+	left := vec.NewDataset(ds.Dim, ds.Len()/2)
+	right := vec.NewDataset(ds.Dim, ds.Len()/2)
+	for i := range dists {
+		if dists[i] <= mu {
+			left.Append(ds.At(i), ds.ID(i))
+		} else {
+			right.Append(ds.At(i), ds.ID(i))
+		}
+	}
+	// Degenerate split (all points equidistant from vp): divide by rank
+	// order to guarantee progress; the ball boundary is then vacuous but
+	// routing stays sound because both children share the same region.
+	nLeft, err := c.AllreduceInt64(int64(left.Len()), addInt64)
+	if err != nil {
+		return nil, nil, err
+	}
+	nRight, err := c.AllreduceInt64(int64(right.Len()), addInt64)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nLeft < int64(h) || nRight < int64(c.Size()-h) {
+		left = ds.Slice(0, int(float64(ds.Len())*share)).Clone()
+		right = ds.Slice(left.Len(), ds.Len()).Clone()
+	}
+
+	myDS, err := shuffleHalves(c, left, right, h)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- recurse on the halves ---
+	color := 0
+	if c.Rank() >= h {
+		color = 1
+	}
+	sub, err := c.Split(color, c.Rank())
+	if err != nil {
+		return nil, nil, err
+	}
+	childBase := base
+	if color == 1 {
+		childBase = base + h
+	}
+	child, finalDS, err := buildNode(sub, myDS, childBase, cfg, dist, rng, st)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- assemble the node at parent rank 0 ---
+	node := &vptree.PNode{VP: vp, Mu: mu, Leaf: -1}
+	switch {
+	case c.Rank() == h: // root of the right subtree: ship it to rank 0
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(child); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Send(0, tagTree, buf.Bytes()); err != nil {
+			return nil, nil, err
+		}
+	case c.Rank() == 0:
+		node.Left = child
+		p, _, err := c.Recv(h, tagTree)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rightNode *vptree.PNode
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&rightNode); err != nil {
+			return nil, nil, err
+		}
+		node.Right = rightNode
+	}
+	return node, finalDS, nil
+}
+
+func addInt64(a, b int64) int64 { return a + b }
+
+// selectVantageDistributed is Algorithm 1: every rank proposes its best
+// local candidate; rank 0 re-evaluates the proposals against its own
+// shard and broadcasts the winner.
+func selectVantageDistributed(c *cluster.Comm, ds *vec.Dataset, cfg Config, dist vec.DistFunc, rng *rand.Rand, st *ConstructStats) ([]float32, error) {
+	sel := vptree.DefaultSelect()
+	counted := func(a, b []float32) float32 {
+		st.DistComps++
+		return dist(a, b)
+	}
+	var mine []byte
+	if ds.Len() > 0 {
+		cands := vptree.SampleCandidates(ds.Len(), sel, rng)
+		best := vptree.SelectVantagePointSerial(ds, cands, sel, counted, rng)
+		bestVec := ds.At(best)
+		buf := make([]byte, 4*len(bestVec))
+		for i, x := range bestVec {
+			putFloat32(buf[4*i:], x)
+		}
+		mine = buf
+	}
+	proposals, err := c.Gatherv(0, mine)
+	if err != nil {
+		return nil, err
+	}
+	var winner []byte
+	if c.Rank() == 0 {
+		cands := vec.NewDataset(ds.Dim, c.Size())
+		for _, p := range proposals {
+			if len(p) == 0 {
+				continue
+			}
+			v := make([]float32, len(p)/4)
+			for i := range v {
+				v[i] = getFloat32(p[4*i:])
+			}
+			cands.Append(v, int64(cands.Len()))
+		}
+		if cands.Len() == 0 {
+			return nil, fmt.Errorf("core: no vantage candidates (all shards empty)")
+		}
+		best := 0
+		if ds.Len() > 0 && cands.Len() > 1 {
+			best = selectAmong(cands, ds, dist, rng, st)
+		}
+		winner = make([]byte, 4*cands.Dim)
+		bv := cands.At(best)
+		for i, x := range bv {
+			putFloat32(winner[4*i:], x)
+		}
+	}
+	winner, err = c.Bcast(0, winner)
+	if err != nil {
+		return nil, err
+	}
+	vp := make([]float32, len(winner)/4)
+	for i := range vp {
+		vp[i] = getFloat32(winner[4*i:])
+	}
+	return vp, nil
+}
+
+// selectAmong evaluates foreign candidate vectors against a local
+// evaluation sample and returns the index of the best spread.
+func selectAmong(cands, eval *vec.Dataset, dist vec.DistFunc, rng *rand.Rand, st *ConstructStats) int {
+	evalN := 100
+	if evalN > eval.Len() {
+		evalN = eval.Len()
+	}
+	idx := rng.Perm(eval.Len())[:evalN]
+	best, bestSpread := 0, -1.0
+	d := make([]float32, evalN)
+	for ci := 0; ci < cands.Len(); ci++ {
+		cv := cands.At(ci)
+		for i, e := range idx {
+			d[i] = dist(cv, eval.At(e))
+		}
+		st.DistComps += int64(evalN)
+		if s := vptree.Spread(d); s > bestSpread {
+			bestSpread, best = s, ci
+		}
+	}
+	return best
+}
+
+// distributedQuantile approximates the global quantile-q of the union of
+// all ranks' values using the paper's median-of-medians style combiner:
+// each rank contributes its local quantile weighted by its count.
+func distributedQuantile(c *cluster.Comm, vals []float32, q float64) (float32, error) {
+	var localQ float32
+	if len(vals) > 0 {
+		rank := int(float64(len(vals)-1) * q)
+		localQ = median.Select(append([]float32(nil), vals...), rank)
+	}
+	buf := make([]byte, 12)
+	putFloat32(buf[0:], localQ)
+	putUint64(buf[4:], uint64(len(vals)))
+	parts, err := c.Allgatherv(buf)
+	if err != nil {
+		return 0, err
+	}
+	var wvs []median.WeightedValue
+	for _, p := range parts {
+		w := int64(getUint64(p[4:]))
+		if w == 0 {
+			continue
+		}
+		wvs = append(wvs, median.WeightedValue{Value: getFloat32(p[0:]), Weight: w})
+	}
+	if len(wvs) == 0 {
+		return 0, fmt.Errorf("core: quantile over empty data")
+	}
+	return median.WeightedMedian(wvs), nil
+}
+
+// shuffleHalves sends left-side points to ranks [0,h) and right-side
+// points to ranks [h,size), chunked for balance, and returns the points
+// this rank receives.
+func shuffleHalves(c *cluster.Comm, left, right *vec.Dataset, h int) (*vec.Dataset, error) {
+	size := c.Size()
+	out := make([][]byte, size)
+	encodeChunk := func(part *vec.Dataset, lo, hi int) ([]byte, error) {
+		chunk := part.Slice(lo, hi)
+		var buf bytes.Buffer
+		if err := chunk.WriteBinary(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	var err error
+	for r := 0; r < h; r++ {
+		lo, hi := left.Len()*r/h, left.Len()*(r+1)/h
+		if out[r], err = encodeChunk(left, lo, hi); err != nil {
+			return nil, err
+		}
+	}
+	nR := size - h
+	for i := 0; i < nR; i++ {
+		lo, hi := right.Len()*i/nR, right.Len()*(i+1)/nR
+		if out[h+i], err = encodeChunk(right, lo, hi); err != nil {
+			return nil, err
+		}
+	}
+	in, err := c.AlltoAllv(out)
+	if err != nil {
+		return nil, err
+	}
+	merged := vec.NewDataset(left.Dim, 0)
+	for _, p := range in {
+		part, err := vec.ReadBinary(bytes.NewReader(p))
+		if err != nil {
+			return nil, err
+		}
+		merged.AppendAll(part)
+	}
+	return merged, nil
+}
+
+// replicate implements Section IV-C2's partition replication: partition
+// i is hosted by workgroup W_i = {p_i, ..., p_(i+r-1 mod P)}, so each
+// rank ships its built index to the r-1 ranks after it and hosts the
+// indexes of the r-1 partitions before it.
+func replicate(c *cluster.Comm, b *Built, cfg Config) error {
+	r := cfg.Replication
+	if r <= 1 {
+		return nil
+	}
+	p := c.Size()
+	var buf bytes.Buffer
+	if _, err := b.Index.WriteTo(&buf); err != nil {
+		return err
+	}
+	payload := buf.Bytes()
+	for off := 1; off < r; off++ {
+		if err := c.Send((c.Rank()+off)%p, tagReplica, payload); err != nil {
+			return err
+		}
+	}
+	for off := 1; off < r; off++ {
+		src := (c.Rank() - off + p) % p
+		data, _, err := c.Recv(src, tagReplica)
+		if err != nil {
+			return err
+		}
+		g, err := hnsw.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		b.Replicas[src] = index.WrapHNSW(g)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Dynamic updates. The paper's engine is built once over a static
+// snapshot; a production deployment also needs inserts and deletes
+// between batch windows. Inserts route new vectors to their home
+// partition's HNSW graph (the VP tree keeps routing correctly: the home
+// partition is by construction the region the point falls into).
+// Deletes are tombstones — HNSW graphs do not support structural removal
+// cheaply, so deleted IDs are filtered out of results and compacted away
+// on the next full rebuild.
+//
+// Updates and searches may interleave: the tombstone set takes an
+// RWMutex, and HNSW insertion is internally thread-safe.
+
+// dynamicState is lazily attached to an Engine on first update.
+type dynamicState struct {
+	mu        sync.RWMutex
+	tombstone map[int64]bool
+	inserted  int64
+}
+
+func (e *Engine) dyn() *dynamicState {
+	e.dynOnce.Do(func() {
+		e.dynamic = &dynamicState{tombstone: make(map[int64]bool)}
+	})
+	return e.dynamic
+}
+
+// Add inserts a vector with the given global ID into its home
+// partition. Only engines with HNSW local indexes support insertion.
+func (e *Engine) Add(v []float32, id int64) error {
+	if len(v) != e.dim {
+		return fmt.Errorf("core: vector dim %d, index dim %d", len(v), e.dim)
+	}
+	home := e.tree.Home(v)
+	g, ok := index.HNSWGraph(e.parts[home])
+	if !ok {
+		return fmt.Errorf("core: local index %q does not support insertion", e.parts[home].Kind())
+	}
+	if _, err := g.Add(v, id); err != nil {
+		return err
+	}
+	d := e.dyn()
+	d.mu.Lock()
+	d.inserted++
+	delete(d.tombstone, id) // re-adding a deleted ID revives it
+	d.mu.Unlock()
+	return nil
+}
+
+// Delete tombstones an ID: it stops appearing in results immediately.
+// Deleting an unknown ID is a no-op (idempotent).
+func (e *Engine) Delete(id int64) {
+	d := e.dyn()
+	d.mu.Lock()
+	d.tombstone[id] = true
+	d.mu.Unlock()
+}
+
+// Deleted reports whether id is tombstoned.
+func (e *Engine) Deleted(id int64) bool {
+	if e.dynamic == nil {
+		return false
+	}
+	d := e.dynamic
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tombstone[id]
+}
+
+// Tombstones returns the number of tombstoned IDs.
+func (e *Engine) Tombstones() int {
+	if e.dynamic == nil {
+		return 0
+	}
+	e.dynamic.mu.RLock()
+	defer e.dynamic.mu.RUnlock()
+	return len(e.dynamic.tombstone)
+}
+
+// filterDeleted strips tombstoned IDs from rs. To keep k results in the
+// presence of tombstones, callers over-fetch (see SearchStats).
+func (e *Engine) filterDeleted(rs []topk.Result, k int) []topk.Result {
+	if e.dynamic == nil {
+		if len(rs) > k {
+			rs = rs[:k]
+		}
+		return rs
+	}
+	d := e.dynamic
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.tombstone) == 0 {
+		if len(rs) > k {
+			rs = rs[:k]
+		}
+		return rs
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if !d.tombstone[r.ID] {
+			out = append(out, r)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// overfetch widens k to survive tombstone filtering.
+func (e *Engine) overfetch(k int) int {
+	if e.dynamic == nil {
+		return k
+	}
+	e.dynamic.mu.RLock()
+	nt := len(e.dynamic.tombstone)
+	e.dynamic.mu.RUnlock()
+	if nt == 0 {
+		return k
+	}
+	extra := nt
+	if extra > 3*k {
+		extra = 3 * k // bounded over-fetch; rebuild when tombstones pile up
+	}
+	return k + extra
+}
+
+// Rebuild compacts the engine: it re-partitions and re-indexes the
+// current live contents (original + inserted - tombstoned vectors),
+// clearing all tombstones. The paper rebuilds offline between batch
+// windows; this is that operation in-process.
+func (e *Engine) Rebuild() error {
+	live := vec.NewDataset(e.dim, e.Len())
+	for _, p := range e.parts {
+		g, ok := index.HNSWGraph(p)
+		if !ok {
+			return fmt.Errorf("core: Rebuild requires HNSW local indexes, have %q", p.Kind())
+		}
+		ds := g.Data()
+		for i := 0; i < ds.Len(); i++ {
+			if !e.Deleted(ds.ID(i)) {
+				live.Append(ds.At(i), ds.ID(i))
+			}
+		}
+	}
+	fresh, err := NewEngine(live, e.cfg)
+	if err != nil {
+		return err
+	}
+	e.tree = fresh.tree
+	e.parts = fresh.parts
+	e.dynamic = nil
+	e.dynOnce = sync.Once{}
+	return nil
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/hnsw"
+	"repro/internal/index"
+	"repro/internal/topk"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// Engine is the single-process facade over the paper's design: the
+// dataset is partitioned by a VP tree, each partition carries an HNSW
+// index, and queries are routed to their most promising partitions and
+// searched by a worker pool. It is the entry point for library users
+// (see examples/) and the reference implementation the distributed
+// engine is tested against.
+type Engine struct {
+	cfg   Config
+	tree  *vptree.PartitionTree
+	parts []index.Local
+	dim   int
+
+	dynOnce sync.Once
+	dynamic *dynamicState // lazily created by Add/Delete
+}
+
+// NewEngine partitions and indexes ds. The dataset is copied into the
+// partition indexes; ds itself is not retained.
+func NewEngine(ds *vec.Dataset, cfg Config) (*Engine, error) {
+	if err := cfg.fill(ds.Dim); err != nil {
+		return nil, err
+	}
+	res, err := vptree.BuildPartitions(ds, cfg.Partitions, vptree.PartitionConfig{
+		Metric: cfg.Metric,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim}
+
+	// Build the partition indexes in parallel, one builder goroutine per
+	// CPU (each build itself is single-threaded for reproducibility).
+	nw := runtime.GOMAXPROCS(0)
+	if nw > cfg.Partitions {
+		nw = cfg.Partitions
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Partitions)
+	work := make(chan int, cfg.Partitions)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				var build index.Builder
+				if cfg.LocalIndex == "" || cfg.LocalIndex == "hnsw" {
+					hcfg := cfg.HNSW
+					hcfg.Seed = cfg.Seed + int64(i)
+					build = index.NewHNSWBuilder(hcfg)
+				} else {
+					var err error
+					build, err = index.BuilderFor(cfg.LocalIndex)
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+				}
+				l, err := build(res.Partitions[i], cfg.Metric, 1)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				e.parts[i] = l
+			}
+		}()
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Dim returns the vector dimensionality.
+func (e *Engine) Dim() int { return e.dim }
+
+// Partitions returns the partition count.
+func (e *Engine) Partitions() int { return len(e.parts) }
+
+// Tree exposes the routing tree.
+func (e *Engine) Tree() *vptree.PartitionTree { return e.tree }
+
+// Len returns the total number of indexed vectors.
+func (e *Engine) Len() int {
+	n := 0
+	for _, p := range e.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// Search returns the approximate k nearest neighbors of q, searching the
+// configured number of partitions.
+func (e *Engine) Search(q []float32, k int) ([]topk.Result, error) {
+	rs, _, err := e.SearchStats(q, k)
+	return rs, err
+}
+
+// SearchStats is Search plus the work performed.
+func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, error) {
+	if len(q) != e.dim {
+		return nil, index.Stats{}, fmt.Errorf("core: query dim %d, index dim %d", len(q), e.dim)
+	}
+	if k <= 0 {
+		k = e.cfg.K
+	}
+	fetch := e.overfetch(k)
+	var routes []vptree.Route
+	if e.cfg.Routing == RouteAdaptive {
+		// search home first, then widen to the ball of the k-th distance
+		home := e.tree.Home(q)
+		first, st0, err := e.parts[home].Search(q, fetch)
+		if err != nil {
+			return nil, st0, err
+		}
+		if len(first) > 0 {
+			tau := first[len(first)-1].Dist
+			routes = e.tree.RouteBall(q, tau)
+		} else {
+			routes = e.tree.RouteAll(q)
+		}
+		lists := [][]topk.Result{first}
+		total := st0
+		for _, rt := range routes {
+			if rt.Partition == home {
+				continue
+			}
+			rs, st, err := e.parts[rt.Partition].Search(q, fetch)
+			if err != nil {
+				return nil, total, err
+			}
+			total.DistComps += st.DistComps
+			total.Hops += st.Hops
+			lists = append(lists, rs)
+		}
+		return e.filterDeleted(topk.Merge(fetch, lists...), k), total, nil
+	}
+	routes = e.tree.RouteTop(q, e.cfg.NProbe)
+	lists := make([][]topk.Result, 0, len(routes))
+	var total index.Stats
+	for _, rt := range routes {
+		rs, st, err := e.parts[rt.Partition].Search(q, fetch)
+		if err != nil {
+			return nil, total, err
+		}
+		total.DistComps += st.DistComps
+		total.Hops += st.Hops
+		lists = append(lists, rs)
+	}
+	return e.filterDeleted(topk.Merge(fetch, lists...), k), total, nil
+}
+
+// SearchBatch answers all queries using a pool of nThreads workers
+// (default GOMAXPROCS) — the single-node equivalent of the batched
+// throughput mode the paper targets.
+func (e *Engine) SearchBatch(queries *vec.Dataset, k, nThreads int) ([][]topk.Result, error) {
+	if queries.Dim != e.dim {
+		return nil, fmt.Errorf("core: query dim %d, index dim %d", queries.Dim, e.dim)
+	}
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]topk.Result, queries.Len())
+	errs := make([]error, queries.Len())
+	var wg sync.WaitGroup
+	work := make(chan int, nThreads*2)
+	for w := 0; w < nThreads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], errs[i] = e.Search(queries.At(i), k)
+			}
+		}()
+	}
+	for i := 0; i < queries.Len(); i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SetNProbe adjusts the number of partitions searched per query.
+func (e *Engine) SetNProbe(np int) {
+	if np > 0 {
+		if np > len(e.parts) {
+			np = len(e.parts)
+		}
+		e.cfg.NProbe = np
+	}
+}
+
+// SetEfSearch adjusts the beam width of every HNSW partition index
+// (no-op for exact local indexes).
+func (e *Engine) SetEfSearch(ef int) {
+	for _, p := range e.parts {
+		if g, ok := index.HNSWGraph(p); ok {
+			g.SetEfSearch(ef)
+		}
+	}
+}
+
+// LocalKind reports the local index algorithm in use.
+func (e *Engine) LocalKind() string {
+	if len(e.parts) == 0 {
+		return ""
+	}
+	return e.parts[0].Kind()
+}
+
+// engineMagic identifies the engine container format.
+const engineMagic = "ANNE"
+
+// Save serialises the engine (routing tree + all partition indexes).
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(engineMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(e.dim))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(e.parts)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(e.cfg.NProbe))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	// Length-prefix the gob blob: gob decoders read ahead, so the tree
+	// must be framed to keep the following index streams intact.
+	var tbuf bytes.Buffer
+	if err := e.tree.Encode(&tbuf); err != nil {
+		return err
+	}
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(tbuf.Len()))
+	if _, err := bw.Write(lenb[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(tbuf.Bytes()); err != nil {
+		return err
+	}
+	for i, p := range e.parts {
+		g, ok := index.HNSWGraph(p)
+		if !ok {
+			return fmt.Errorf("core: Save supports HNSW local indexes only (partition %d is %q)", i, p.Kind())
+		}
+		if _, err := g.WriteTo(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEngine reads an engine saved with Save.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != engineMagic {
+		return nil, fmt.Errorf("core: bad engine magic %q", magic)
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[0:]))
+	np := int(binary.LittleEndian.Uint32(hdr[4:]))
+	nprobe := int(binary.LittleEndian.Uint32(hdr[8:]))
+	var lenb [4]byte
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		return nil, err
+	}
+	tblob := make([]byte, binary.LittleEndian.Uint32(lenb[:]))
+	if _, err := io.ReadFull(br, tblob); err != nil {
+		return nil, err
+	}
+	tree, err := vptree.ReadPartitionTree(bytes.NewReader(tblob))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		tree:  tree,
+		parts: make([]index.Local, np),
+		dim:   dim,
+	}
+	for i := range e.parts {
+		g, err := hnsw.ReadFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		e.parts[i] = index.WrapHNSW(g)
+	}
+	e.cfg = DefaultConfig(np)
+	e.cfg.NProbe = nprobe
+	e.cfg.Metric = tree.Metric
+	if err := e.cfg.fill(dim); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,665 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hnsw"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// Distributed runs the paper's engine on a cluster.Comm with rank 0 as
+// the master and ranks 1..P as workers (one partition per worker, plus
+// replicas when Replication > 1).
+type Distributed struct {
+	comm *cluster.Comm
+	cfg  Config
+	dim  int
+
+	// master state
+	tree   *vptree.PartitionTree
+	cons   ConstructStats // aggregated (max over workers per phase)
+	builtB *Built         // worker state
+}
+
+// RunCluster is the lifecycle entry point: every rank of c calls it.
+// Rank 0 scatters ds, waits for the distributed build, then runs driver
+// with a Master handle; other ranks serve as workers until the driver
+// returns. ds and the driver are only consulted on rank 0.
+func RunCluster(c *cluster.Comm, ds *vec.Dataset, cfg Config, driver func(*Master) error) error {
+	if c.Size() < 2 {
+		return fmt.Errorf("core: need at least 1 master + 1 worker, got %d ranks", c.Size())
+	}
+	cfg.Partitions = c.Size() - 1
+	d, err := buildCluster(c, ds, cfg)
+	if err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		m := &Master{d: d}
+		derr := driver(m)
+		if err := m.shutdown(); err != nil && derr == nil {
+			derr = err
+		}
+		return derr
+	}
+	return d.workerLoop()
+}
+
+// buildCluster distributes the dataset and builds the index structures.
+func buildCluster(c *cluster.Comm, ds *vec.Dataset, cfg Config) (*Distributed, error) {
+	// Broadcast dimension so workers can size things.
+	var hdr []byte
+	if c.Rank() == 0 {
+		if ds == nil || ds.Len() < cfg.Partitions {
+			return nil, fmt.Errorf("core: master needs a dataset with at least %d points", cfg.Partitions)
+		}
+		hdr = make([]byte, 8)
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(ds.Dim))
+	}
+	hdr, err := c.Bcast(0, hdr)
+	if err != nil {
+		return nil, err
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[0:]))
+	d := &Distributed{comm: c, cfg: cfg, dim: dim}
+	if err := d.cfg.fill(dim); err != nil {
+		return nil, err
+	}
+
+	// Master scatters shards to the workers (equi-partitioning).
+	if c.Rank() == 0 {
+		chunks := make([][]byte, c.Size())
+		n := ds.Len()
+		p := cfg.Partitions
+		for w := 0; w < p; w++ {
+			lo, hi := n*w/p, n*(w+1)/p
+			var buf bytes.Buffer
+			if err := ds.Slice(lo, hi).WriteBinary(&buf); err != nil {
+				return nil, err
+			}
+			chunks[w+1] = buf.Bytes()
+		}
+		chunks[0] = nil
+		if _, err := c.Scatterv(0, chunks); err != nil {
+			return nil, err
+		}
+	} else {
+		raw, err := c.Scatterv(0, nil)
+		if err != nil {
+			return nil, err
+		}
+		shard, err := vec.ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		// Workers build on their own sub-communicator.
+		workers, err := c.Split(1, c.Rank())
+		if err != nil {
+			return nil, err
+		}
+		b, err := BuildDistributed(workers, shard, workerCfg(d.cfg))
+		if err != nil {
+			return nil, err
+		}
+		if d.cfg.CheckpointDir != "" {
+			if err := b.SaveCheckpoint(d.cfg.CheckpointDir); err != nil {
+				return nil, err
+			}
+		}
+		d.builtB = b
+		// Ship the routing tree and the construction stats to the master.
+		if workers.Rank() == 0 {
+			var buf bytes.Buffer
+			if err := b.Tree.Encode(&buf); err != nil {
+				return nil, err
+			}
+			if err := c.Send(0, tagTree, buf.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.Send(0, tagDone, encodeConsStats(b.Stats)); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	// master side: split too (color 0, alone), then receive tree+stats
+	if _, err := c.Split(0, 0); err != nil {
+		return nil, err
+	}
+	raw, _, err := c.Recv(1, tagTree)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := vptree.ReadPartitionTree(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	d.tree = tree
+	for w := 1; w < c.Size(); w++ {
+		p, _, err := c.Recv(w, tagDone)
+		if err != nil {
+			return nil, err
+		}
+		st, err := decodeConsStats(p)
+		if err != nil {
+			return nil, err
+		}
+		d.cons = maxConsStats(d.cons, st)
+	}
+	return d, nil
+}
+
+func workerCfg(cfg Config) Config {
+	wc := cfg
+	wc.Partitions = cfg.Partitions
+	return wc
+}
+
+func encodeConsStats(s ConstructStats) []byte {
+	buf := make([]byte, 48)
+	putUint64(buf[0:], uint64(s.VPTree))
+	putUint64(buf[8:], uint64(s.HNSW))
+	putUint64(buf[16:], uint64(s.Replicate))
+	putUint64(buf[24:], uint64(s.DistComps))
+	putUint64(buf[32:], uint64(s.HNSWWork.DistComps))
+	putUint64(buf[40:], uint64(s.HNSWWork.Hops))
+	return buf
+}
+
+func decodeConsStats(b []byte) (ConstructStats, error) {
+	if len(b) != 48 {
+		return ConstructStats{}, fmt.Errorf("core: malformed stats message")
+	}
+	return ConstructStats{
+		VPTree:    time.Duration(getUint64(b[0:])),
+		HNSW:      time.Duration(getUint64(b[8:])),
+		Replicate: time.Duration(getUint64(b[16:])),
+		DistComps: int64(getUint64(b[24:])),
+		HNSWWork:  hnsw.Stats{DistComps: int64(getUint64(b[32:])), Hops: int64(getUint64(b[40:]))},
+	}, nil
+}
+
+func maxConsStats(a, b ConstructStats) ConstructStats {
+	out := a
+	if b.VPTree > out.VPTree {
+		out.VPTree = b.VPTree
+	}
+	if b.HNSW > out.HNSW {
+		out.HNSW = b.HNSW
+	}
+	if b.Replicate > out.Replicate {
+		out.Replicate = b.Replicate
+	}
+	out.DistComps += b.DistComps
+	out.HNSWWork = out.HNSWWork.Add(b.HNSWWork)
+	return out
+}
+
+// batch header exchanged before every search batch (master -> all).
+type batchHeader struct {
+	NQueries uint32
+	K        uint16
+	OneSided bool
+	Shutdown bool
+}
+
+func encodeHeader(h batchHeader) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:], h.NQueries)
+	binary.LittleEndian.PutUint16(buf[4:], h.K)
+	if h.OneSided {
+		buf[6] = 1
+	}
+	if h.Shutdown {
+		buf[7] = 1
+	}
+	return buf
+}
+
+func decodeHeader(b []byte) batchHeader {
+	return batchHeader{
+		NQueries: binary.LittleEndian.Uint32(b[0:]),
+		K:        binary.LittleEndian.Uint16(b[4:]),
+		OneSided: b[6] == 1,
+		Shutdown: b[7] == 1,
+	}
+}
+
+// Master is the rank-0 handle passed to the RunCluster driver.
+type Master struct {
+	d *Distributed
+}
+
+// Tree exposes the routing tree (for inspection and tests).
+func (m *Master) Tree() *vptree.PartitionTree { return m.d.tree }
+
+// ConstructionStats returns the aggregated build-phase timings (Table II
+// reports the max across ranks per phase).
+func (m *Master) ConstructionStats() ConstructStats { return m.d.cons }
+
+// BatchResult is the outcome of one batched search.
+type BatchResult struct {
+	Results [][]topk.Result // per query, ascending distance
+	Elapsed time.Duration
+	// PerWorkerQueries is the number of (query, partition) tasks each
+	// worker processed — the Figure 4(b) distribution.
+	PerWorkerQueries []int64
+	// PerWorkerDistComps and PerWorkerHops give each worker's search
+	// work; the cost model prices them into modelled per-core busy time.
+	PerWorkerDistComps []int64
+	PerWorkerHops      []int64
+	// Dispatched is the total number of routed (query, partition) pairs.
+	Dispatched int64
+	// RouteNodes is the number of VP-tree nodes the master evaluated
+	// while routing (its serial compute load in the cost model).
+	RouteNodes int64
+	Work       WorkStats
+	Breakdown  metrics.Breakdown
+}
+
+// Search answers a batch of queries with the configured routing mode.
+func (m *Master) Search(queries *vec.Dataset) (*BatchResult, error) {
+	if queries.Dim != m.d.dim {
+		return nil, fmt.Errorf("core: query dim %d, index dim %d", queries.Dim, m.d.dim)
+	}
+	switch m.d.cfg.Routing {
+	case RouteAdaptive:
+		return m.searchAdaptive(queries)
+	default:
+		return m.searchBatch(queries, nil)
+	}
+}
+
+// searchAdaptive runs two rounds: home partitions first, then the
+// partitions intersecting the ball of the current k-th distance.
+func (m *Master) searchAdaptive(queries *vec.Dataset) (*BatchResult, error) {
+	t0 := time.Now()
+	first, err := m.searchBatch(queries, func(q []float32) []vptree.Route {
+		return []vptree.Route{{Partition: m.d.tree.Home(q), LowerBound: 0}}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Round two: widen each query to the ball of its current k-th
+	// distance, skipping the already-searched home partition.
+	second, err := m.searchBatchIndexed(queries, func(qi int, q []float32) []vptree.Route {
+		res := first.Results[qi]
+		if len(res) == 0 {
+			return m.d.tree.RouteAll(q)[1:] // no local results: widen fully
+		}
+		tau := res[len(res)-1].Dist
+		home := m.d.tree.Home(q)
+		routes := m.d.tree.RouteBall(q, tau)
+		out := routes[:0]
+		for _, r := range routes {
+			if r.Partition != home {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := make([][]topk.Result, queries.Len())
+	for i := range merged {
+		merged[i] = topk.Merge(m.d.cfg.K, first.Results[i], second.Results[i])
+	}
+	out := &BatchResult{
+		Results:            merged,
+		Elapsed:            time.Since(t0),
+		PerWorkerQueries:   make([]int64, len(first.PerWorkerQueries)),
+		PerWorkerDistComps: make([]int64, len(first.PerWorkerQueries)),
+		PerWorkerHops:      make([]int64, len(first.PerWorkerQueries)),
+		Dispatched:         first.Dispatched + second.Dispatched,
+		Work:               first.Work.Add(second.Work),
+		Breakdown:          first.Breakdown.Add(second.Breakdown),
+	}
+	for i := range out.PerWorkerQueries {
+		out.PerWorkerQueries[i] = first.PerWorkerQueries[i] + second.PerWorkerQueries[i]
+		out.PerWorkerDistComps[i] = first.PerWorkerDistComps[i] + second.PerWorkerDistComps[i]
+		out.PerWorkerHops[i] = first.PerWorkerHops[i] + second.PerWorkerHops[i]
+	}
+	return out, nil
+}
+
+func (m *Master) searchBatch(queries *vec.Dataset, route func(q []float32) []vptree.Route) (*BatchResult, error) {
+	if route == nil {
+		np := m.d.cfg.NProbe
+		var visits int64
+		res, err := m.searchBatchIndexed(queries, func(_ int, q []float32) []vptree.Route {
+			rs, v := m.d.tree.RouteTopStats(q, np)
+			visits += int64(v)
+			return rs
+		})
+		if res != nil {
+			res.RouteNodes = visits
+		}
+		return res, err
+	}
+	return m.searchBatchIndexed(queries, func(_ int, q []float32) []vptree.Route { return route(q) })
+}
+
+// searchBatchIndexed is Algorithm 3 (and 5 when Replication > 1): route
+// every query, dispatch to workers (round-robin within the workgroup),
+// send End-of-Queries, then collect results two-sided or via the
+// one-sided window.
+func (m *Master) searchBatchIndexed(queries *vec.Dataset, route func(qi int, q []float32) []vptree.Route) (*BatchResult, error) {
+	d := m.d
+	c := d.comm
+	nq := queries.Len()
+	k := d.cfg.K
+	t0 := time.Now()
+
+	hdr := batchHeader{NQueries: uint32(nq), K: uint16(k), OneSided: d.cfg.OneSided}
+	d.cfg.Trace.Emitf(0, "batch", "start: %d queries, k=%d", nq, k)
+	var commT time.Duration
+	metrics.Phase(&commT, func() {
+		_, _ = c.Bcast(0, encodeHeader(hdr))
+	})
+
+	var win *cluster.Window
+	if d.cfg.OneSided {
+		var err error
+		win, err = cluster.NewWindow(c, 0, nq, mergeResultSlot(k))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Workgroup round-robin state (Algorithm 5): next[i] indexes into
+	// W_i = {p_i, ..., p_(i+r-1 mod P)}. Cores map onto worker ranks in
+	// groups of CoresPerNode (Figure 1's compute nodes).
+	r := d.cfg.Replication
+	p := d.cfg.Partitions
+	cpn := d.cfg.CoresPerNode
+	workers := c.Size() - 1
+	next := make([]int, p)
+
+	dispatched := int64(0)
+	var routeT, sendT time.Duration
+	var sendErr error
+	for qi := 0; qi < nq; qi++ {
+		q := queries.At(qi)
+		var routes []vptree.Route
+		metrics.Phase(&routeT, func() { routes = route(qi, q) })
+		msg := queryMsg{QueryID: uint32(qi), K: uint16(k), Vec: q}
+		metrics.Phase(&sendT, func() {
+			for _, rt := range routes {
+				target := rt.Partition
+				if r > 1 {
+					target = (rt.Partition + next[rt.Partition]) % p
+					next[rt.Partition] = (next[rt.Partition] + 1) % r
+				}
+				msg.Partition = int32(rt.Partition)
+				// the node (worker rank) hosting the target core
+				rank := target/cpn + 1
+				if err := c.Send(rank, tagQuery, encodeQuery(msg)); err != nil {
+					sendErr = err
+					return
+				}
+				d.cfg.Trace.Emitf(0, "dispatch", "q%d -> partition %d on rank %d", qi, rt.Partition, target/cpn+1)
+				dispatched++
+			}
+		})
+		if sendErr != nil {
+			return nil, sendErr
+		}
+	}
+	for w := 1; w < c.Size(); w++ {
+		if err := c.Send(w, tagEOQ, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect.
+	res := &BatchResult{
+		Results:            make([][]topk.Result, nq),
+		PerWorkerQueries:   make([]int64, workers),
+		PerWorkerDistComps: make([]int64, workers),
+		PerWorkerHops:      make([]int64, workers),
+		Dispatched:         dispatched,
+	}
+	collectors := make([]*topk.Collector, nq)
+	for i := range collectors {
+		collectors[i] = topk.New(k)
+	}
+	// Collection loop. Workers always report Done — even after internal
+	// errors — with the count of tasks they actually processed, so the
+	// master terminates on (all Dones received) && (all reported results
+	// received) rather than on the dispatched count; a failing worker
+	// degrades results instead of wedging the batch.
+	var recvT time.Duration
+	var totalAcc int64
+	var recvErr error
+	metrics.Phase(&recvT, func() {
+		dones := 0
+		var resultsSeen, resultsExpected int64
+		resultsExpected = -1 // unknown until all Dones arrive
+		for {
+			if dones == c.Size()-1 && (d.cfg.OneSided || resultsSeen == resultsExpected) {
+				return
+			}
+			pay, st, err := c.RecvTags(cluster.Any, tagResult, tagDone)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			switch st.Tag {
+			case tagDone:
+				dn, err := decodeDone(pay)
+				if err != nil {
+					continue
+				}
+				res.PerWorkerQueries[st.Source-1] = dn.Processed
+				res.PerWorkerDistComps[st.Source-1] = dn.DistComps
+				res.PerWorkerHops[st.Source-1] = dn.Hops
+				totalAcc += dn.Accumulates
+				res.Work.DistComps += dn.DistComps
+				res.Work.Hops += dn.Hops
+				dones++
+				if dones == c.Size()-1 {
+					resultsExpected = 0
+					for _, n := range res.PerWorkerQueries {
+						resultsExpected += n
+					}
+					if d.cfg.OneSided {
+						resultsExpected = 0
+					}
+				}
+			case tagResult:
+				resultsSeen++
+				rm, err := decodeResult(pay)
+				if err != nil {
+					continue
+				}
+				for _, x := range rm.Results {
+					collectors[rm.QueryID].PushResult(x)
+				}
+			}
+		}
+	})
+	if recvErr != nil {
+		return nil, recvErr
+	}
+	if d.cfg.OneSided {
+		metrics.Phase(&recvT, func() {
+			win.WaitApplied(totalAcc)
+			for qi := 0; qi < nq; qi++ {
+				slot := win.Read(qi)
+				if slot == nil {
+					continue
+				}
+				rm, err := decodeResult(slot)
+				if err != nil {
+					continue
+				}
+				for _, x := range rm.Results {
+					collectors[qi].PushResult(x)
+				}
+			}
+		})
+		if err := win.Free(); err != nil {
+			return nil, err
+		}
+	}
+	for i, col := range collectors {
+		res.Results[i] = col.Results()
+	}
+	res.Elapsed = time.Since(t0)
+	d.cfg.Trace.Emitf(0, "batch", "done in %v (%d tasks)", res.Elapsed, dispatched)
+	res.Breakdown = metrics.Breakdown{
+		Route:   routeT,
+		Comm:    commT + sendT + recvT,
+		Compute: 0,
+		Total:   res.Elapsed,
+	}
+	return res, nil
+}
+
+// shutdown tells the workers to exit their loops.
+func (m *Master) shutdown() error {
+	_, err := m.d.comm.Bcast(0, encodeHeader(batchHeader{Shutdown: true}))
+	return err
+}
+
+// workerLoop is Algorithm 4: serve batches until shutdown.
+func (d *Distributed) workerLoop() error {
+	c := d.comm
+	for {
+		raw, err := c.Bcast(0, nil)
+		if err != nil {
+			return err
+		}
+		hdr := decodeHeader(raw)
+		if hdr.Shutdown {
+			return nil
+		}
+		if err := d.serveBatch(hdr); err != nil {
+			return err
+		}
+	}
+}
+
+// serveBatch spawns ThreadsPerWorker searcher goroutines (the OpenMP
+// threads of the paper) that poll for query messages, perform local HNSW
+// searches and deliver results one-sided or two-sided, terminating on
+// the End-of-Queries command.
+func (d *Distributed) serveBatch(hdr batchHeader) error {
+	c := d.comm
+	var win *cluster.Window
+	if hdr.OneSided {
+		var err error
+		win, err = cluster.NewWindow(c, 0, int(hdr.NQueries), mergeResultSlot(int(hdr.K)))
+		if err != nil {
+			return err
+		}
+	}
+	var processed, accumulates atomic.Int64
+	var dc, hops atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for t := 0; t < d.cfg.ThreadsPerWorker; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Wait for either a query or the End-of-Queries command.
+				// Per-pair FIFO guarantees every query from the master
+				// is already ahead of EOQ in the mailbox, so receiving
+				// EOQ means this thread has no work left; it re-posts
+				// EOQ for its sibling threads (poison-pill cascade) and
+				// exits — the message-passing form of Algorithm 4's
+				// shared Done flag.
+				pay, st, err := c.RecvTags(cluster.Any, tagQuery, tagEOQ)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if st.Tag == tagEOQ {
+					if err := c.Send(c.Rank(), tagEOQ, nil); err != nil {
+						fail(err)
+					}
+					return
+				}
+				qm, err := decodeQuery(pay)
+				if err != nil {
+					fail(err)
+					return
+				}
+				g := d.builtB.Replicas[int(qm.Partition)]
+				if g == nil {
+					fail(fmt.Errorf("core: worker %d asked for partition %d it does not host", c.Rank(), qm.Partition))
+					return
+				}
+				rs, hst, err := g.Search(qm.Vec, int(qm.K))
+				if err != nil {
+					fail(err)
+					return
+				}
+				d.cfg.Trace.Emitf(c.Rank(), "task", "q%d partition %d (%d dists)", qm.QueryID, qm.Partition, hst.DistComps)
+				processed.Add(1)
+				dc.Add(hst.DistComps)
+				hops.Add(hst.Hops)
+				out := encodeResult(resultMsg{
+					QueryID:   qm.QueryID,
+					Partition: qm.Partition,
+					DistComps: hst.DistComps,
+					Results:   rs,
+				})
+				if hdr.OneSided {
+					if err := win.Accumulate(int(qm.QueryID), out); err != nil {
+						fail(err)
+						return
+					}
+					accumulates.Add(1)
+				} else {
+					if err := c.Send(0, tagResult, out); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The cascade leaves exactly one re-posted EOQ behind; drain it so
+	// the next batch starts clean. (If every thread failed before
+	// consuming EOQ, this drains the master's original instead.)
+	_, _, _, _ = c.TryRecv(cluster.Any, tagEOQ)
+	// Report Done even after an internal error: the master sizes its
+	// collection on the processed counts, so a failing worker degrades
+	// results instead of deadlocking the batch.
+	d.cfg.Trace.Emitf(c.Rank(), "done", "%d tasks processed", processed.Load())
+	if err := c.Send(0, tagDone, encodeDone(workerDone{
+		Processed:   processed.Load(),
+		Accumulates: accumulates.Load(),
+		DistComps:   dc.Load(),
+		Hops:        hops.Load(),
+	})); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if hdr.OneSided {
+		if err := win.Free(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+// Auto-tuning. The paper exposes two quality knobs — the number of
+// partitions searched per query (|F(q)|, our NProbe) and HNSW's beam
+// width (efSearch; Figure 6 sweeps the related M) — and reports the
+// recall each setting buys. Tune searches that two-dimensional space on
+// a validation split until a recall target is met, preferring the
+// cheaper knob first, which is how an operator would actually pick the
+// paper's settings for a new corpus.
+
+// TuneResult reports the chosen operating point.
+type TuneResult struct {
+	NProbe   int
+	EfSearch int
+	Recall   float64
+	// BatchTime is the validation-batch wall time at the chosen point.
+	BatchTime time.Duration
+	// Evaluated lists every point tried, in evaluation order.
+	Evaluated []TunePoint
+}
+
+// TunePoint is one evaluated configuration.
+type TunePoint struct {
+	NProbe   int
+	EfSearch int
+	Recall   float64
+	Batch    time.Duration
+}
+
+// Tune raises NProbe and efSearch until the engine reaches target
+// recall@k on the validation queries (ground truth rows in truth), or
+// the knobs are exhausted. The engine is left configured at the chosen
+// point. Typical use: a few hundred held-out queries with brute-force
+// truth.
+func (e *Engine) Tune(queries *vec.Dataset, truth [][]int32, k int, target float64) (*TuneResult, error) {
+	if queries.Len() == 0 || len(truth) != queries.Len() {
+		return nil, fmt.Errorf("core: need truth rows matching %d validation queries", queries.Len())
+	}
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("core: recall target %v out of (0,1]", target)
+	}
+	res := &TuneResult{}
+	eval := func(np, ef int) (TunePoint, error) {
+		e.SetNProbe(np)
+		e.SetEfSearch(ef)
+		t0 := time.Now()
+		out, err := e.SearchBatch(queries, k, 0)
+		if err != nil {
+			return TunePoint{}, err
+		}
+		pt := TunePoint{
+			NProbe: np, EfSearch: ef,
+			Recall: metrics.MeanRecall(out, truth),
+			Batch:  time.Since(t0),
+		}
+		res.Evaluated = append(res.Evaluated, pt)
+		return pt, nil
+	}
+
+	// ef ladder per nprobe: the beam is the cheaper knob (no extra
+	// messages in the distributed setting), so exhaust it before adding
+	// partitions.
+	efs := []int{32, 64, 128, 256, 512}
+	maxProbe := e.Partitions()
+	best := TunePoint{Recall: -1}
+	for np := 1; np <= maxProbe; np *= 2 {
+		for _, ef := range efs {
+			pt, err := eval(np, ef)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Recall > best.Recall {
+				best = pt
+			}
+			if pt.Recall >= target {
+				res.NProbe, res.EfSearch = pt.NProbe, pt.EfSearch
+				res.Recall, res.BatchTime = pt.Recall, pt.Batch
+				e.SetNProbe(pt.NProbe)
+				e.SetEfSearch(pt.EfSearch)
+				return res, nil
+			}
+		}
+	}
+	// target unreachable: settle on the best point seen
+	res.NProbe, res.EfSearch = best.NProbe, best.EfSearch
+	res.Recall, res.BatchTime = best.Recall, best.Batch
+	e.SetNProbe(best.NProbe)
+	e.SetEfSearch(best.EfSearch)
+	return res, fmt.Errorf("core: recall target %.3f unreachable; best %.3f at nprobe=%d ef=%d",
+		target, best.Recall, best.NProbe, best.EfSearch)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func TestTuneReachesTarget(t *testing.T) {
+	ds := clustered(t, 3000, 16, 6, 70)
+	cfg := DefaultConfig(8)
+	cfg.NProbe = 1
+	e, err := NewEngine(ds.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.PerturbedQueries(ds, 60, 0.05, 71)
+	truth := truthIDs(ds, qs, 10)
+
+	res, err := e.Tune(qs, truth, 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall < 0.95 {
+		t.Errorf("tuned recall %.3f < target", res.Recall)
+	}
+	if len(res.Evaluated) == 0 {
+		t.Error("no evaluation trace")
+	}
+	// the engine must actually be at the tuned point
+	if e.cfg.NProbe != res.NProbe {
+		t.Errorf("engine nprobe %d != tuned %d", e.cfg.NProbe, res.NProbe)
+	}
+	out, err := e.SearchBatch(qs, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := metrics.MeanRecall(out, truth); r < res.Recall-0.05 {
+		t.Errorf("post-tune recall %.3f far from reported %.3f", r, res.Recall)
+	}
+}
+
+func TestTuneUnreachableTarget(t *testing.T) {
+	ds := clustered(t, 600, 8, 3, 72)
+	e, err := NewEngine(ds.Clone(), DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.PerturbedQueries(ds, 20, 0.05, 73)
+	// impossible truth: IDs that do not exist
+	truth := make([][]int32, qs.Len())
+	for i := range truth {
+		truth[i] = []int32{1 << 30}
+	}
+	res, err := e.Tune(qs, truth, 10, 0.99)
+	if err == nil {
+		t.Error("want unreachable-target error")
+	}
+	if res == nil || len(res.Evaluated) == 0 {
+		t.Error("should still report the evaluation trace")
+	}
+}
+
+func TestTuneArgErrors(t *testing.T) {
+	ds := clustered(t, 300, 8, 2, 74)
+	e, _ := NewEngine(ds.Clone(), DefaultConfig(2))
+	qs := dataset.PerturbedQueries(ds, 5, 0.05, 75)
+	if _, err := e.Tune(qs, nil, 10, 0.9); err == nil {
+		t.Error("want truth-mismatch error")
+	}
+	truth := truthIDs(ds, qs, 10)
+	if _, err := e.Tune(qs, truth, 10, 1.5); err == nil {
+		t.Error("want target-range error")
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	ds := clustered(t, 1500, 12, 4, 76)
+	qs := dataset.PerturbedQueries(ds, 30, 0.05, 77)
+	truth := truthIDs(ds, qs, 10)
+	p := 4
+	dir := t.TempDir()
+
+	// build + checkpoint
+	w := cluster.NewWorld(p)
+	err := w.Run(func(c *cluster.Comm) error {
+		shard, err := ScatterDataset(c, 0, ds, 1)
+		if err != nil {
+			return err
+		}
+		cfg := DefaultConfig(p)
+		cfg.Replication = 2
+		b, err := BuildDistributed(c, shard, cfg)
+		if err != nil {
+			return err
+		}
+		return b.SaveCheckpoint(dir)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// serve from checkpoint in a fresh world (master + p workers)
+	cfg := DefaultConfig(p)
+	cfg.NProbe = 3
+	cfg.Replication = 2
+	w2 := cluster.NewWorld(p + 1)
+	var res *BatchResult
+	err = w2.Run(func(c *cluster.Comm) error {
+		return RunClusterFromCheckpoint(c, dir, cfg, func(m *Master) error {
+			r, err := m.Search(qs)
+			res = r
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := metrics.MeanRecall(res.Results, truth); r < 0.8 {
+		t.Errorf("checkpoint-served recall %.3f", r)
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCheckpoint(dir, 0); err == nil {
+		t.Error("want missing-file error")
+	}
+	if _, err := LoadCheckpointTree(dir); err == nil {
+		t.Error("want missing-tree error")
+	}
+	// wrong partition count
+	ds := clustered(t, 600, 8, 2, 78)
+	w := cluster.NewWorld(2)
+	err := w.Run(func(c *cluster.Comm) error {
+		shard, err := ScatterDataset(c, 0, ds, 1)
+		if err != nil {
+			return err
+		}
+		b, err := BuildDistributed(c, shard, DefaultConfig(2))
+		if err != nil {
+			return err
+		}
+		return b.SaveCheckpoint(dir)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := cluster.NewWorld(4) // 3 workers vs 2 checkpointed partitions
+	err = w2.Run(func(c *cluster.Comm) error {
+		err := RunClusterFromCheckpoint(c, dir, DefaultConfig(3), func(m *Master) error { return nil })
+		if c.Rank() == 0 && err == nil {
+			t.Error("want partition-count mismatch at master")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package costmodel converts measured work counts (distance
+// computations, graph hops, messages, bytes) into modelled execution
+// times for processor counts far beyond this machine.
+//
+// Why a model: the paper's headline runs use up to 8192 Cray XC40 cores.
+// This reproduction executes the full distributed protocol with that
+// many ranks as goroutines — the work distribution, routing decisions,
+// load (im)balance and message counts are all real — but wall-clock time
+// on an oversubscribed laptop says nothing about an 8192-core machine.
+// The model therefore prices each rank's measured work with calibrated
+// constants:
+//
+//   - compute: ns per distance computation (micro-benchmarked at startup
+//     for the actual dimension) and ns per graph hop;
+//   - communication: per-message latency plus bytes/bandwidth, with
+//     defaults in the range of the Cray Aries interconnect the paper
+//     used (~1.3 us latency, ~10 GB/s per-core effective bandwidth);
+//   - the master's serial dispatch loop, which is the scalability
+//     ceiling Algorithm 3 imposes.
+//
+// Modelled time = max(master serial time, slowest worker) + pipeline
+// fill. Strong-scaling *shape* (who wins, where curvature appears) is
+// driven by the measured work split, not by the constants.
+package costmodel
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// Params are the calibrated cost constants.
+type Params struct {
+	// DistNsPerDim is the cost of one distance computation divided by
+	// the dimension (ns). Calibrate measures it.
+	DistNsPerDim float64
+	// DistNsBase is the per-call overhead of one distance computation.
+	DistNsBase float64
+	// HopNs is the overhead of one HNSW graph expansion besides its
+	// distance computations (priority queue, visited set).
+	HopNs float64
+	// MsgLatencyNs is the one-way message latency.
+	MsgLatencyNs float64
+	// MsgCPUNs is the per-message CPU occupancy at sender or receiver
+	// (marshalling, matching); the master pays it per dispatched query.
+	MsgCPUNs float64
+	// BytesPerNs is the effective per-link bandwidth (bytes/ns; 10 GB/s
+	// = 10 bytes/ns).
+	BytesPerNs float64
+	// RouteNsPerDim prices the master's routing distance computations;
+	// 0 means DistNsPerDim. The VP tree is a few megabytes and stays
+	// cache-resident at the master, so routing stays cache-hot even
+	// when worker-side scans of a billion-point corpus are priced
+	// memory-bound.
+	RouteNsPerDim float64
+}
+
+// DefaultInterconnect returns Aries-like network constants.
+func DefaultInterconnect() Params {
+	return Params{
+		HopNs:        55,
+		MsgLatencyNs: 1300,
+		MsgCPUNs:     450,
+		BytesPerNs:   10,
+	}
+}
+
+// Calibrate micro-benchmarks the distance kernel for the given dimension
+// and fills in the compute constants (network constants from
+// DefaultInterconnect).
+func Calibrate(dim int) Params {
+	p := DefaultInterconnect()
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float32, dim)
+	b := make([]float32, dim)
+	for i := range a {
+		a[i] = rng.Float32()
+		b[i] = rng.Float32()
+	}
+	const iters = 20000
+	var sink float32
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		sink += vec.SquaredL2Distance(a, b)
+	}
+	elapsed := time.Since(t0)
+	_ = sink
+	perCall := float64(elapsed.Nanoseconds()) / iters
+	p.DistNsBase = 4
+	p.DistNsPerDim = (perCall - p.DistNsBase) / float64(dim)
+	if p.DistNsPerDim <= 0 {
+		p.DistNsPerDim = 0.25
+	}
+	return p
+}
+
+// DistNs prices n distance computations in dimension dim.
+func (p Params) DistNs(dim int, n int64) float64 {
+	return float64(n) * (p.DistNsBase + p.DistNsPerDim*float64(dim))
+}
+
+// Run describes one measured batch execution at reduced physical scale
+// whose work counts are to be priced.
+type Run struct {
+	P   int // worker count (processing cores)
+	Dim int
+	K   int
+	// NQueries and Dispatched size the master's serial loop.
+	NQueries   int
+	Dispatched int64
+	// Per-worker measured work.
+	PerWorkerDistComps []int64
+	PerWorkerHops      []int64
+	PerWorkerTasks     []int64
+	// RouteDistCompsPerQuery is the master-side VP-tree routing work
+	// (≈ P-1 internal nodes evaluated per query).
+	RouteDistCompsPerQuery int64
+	// ThreadsPerCore models intra-node OpenMP-style parallelism applied
+	// to each worker's busy time (the paper uses 1 rank per core, so 1).
+	ThreadsPerCore int
+}
+
+// Estimate is the modelled timing of a Run.
+type Estimate struct {
+	Master     time.Duration // serial routing + dispatch at the master
+	Route      time.Duration // the routing share of Master
+	Dispatch   time.Duration // the per-message send share of Master
+	MaxWorker  time.Duration // slowest worker's busy time
+	MeanWorker time.Duration
+	Comm       time.Duration // wire/latency component of the span
+	Total      time.Duration // modelled makespan
+}
+
+// Estimate prices a run.
+func (p Params) Estimate(r Run) Estimate {
+	if r.ThreadsPerCore <= 0 {
+		r.ThreadsPerCore = 1
+	}
+	queryBytes := int64(10 + 4*r.Dim)
+	resultBytes := int64(20 + 12*r.K)
+
+	// Master: route every query (VP-tree descent) and dispatch every
+	// routed task; collection is one-sided, so the master does not pay
+	// per-result receive CPU (that is the point of Section IV-C1).
+	routePerDim := p.RouteNsPerDim
+	if routePerDim == 0 {
+		routePerDim = p.DistNsPerDim
+	}
+	routeNs := float64(int64(r.NQueries)*r.RouteDistCompsPerQuery) *
+		(p.DistNsBase + routePerDim*float64(r.Dim))
+	dispatchNs := float64(r.Dispatched) * p.MsgCPUNs
+	masterNs := routeNs + dispatchNs
+
+	// Workers: busy time = search compute + result marshalling, divided
+	// across the threads of the core's node partner (paper runs 1 thread
+	// per core; the knob exists for the hybrid ablation).
+	var maxW, sumW float64
+	for i := range r.PerWorkerDistComps {
+		w := p.DistNs(r.Dim, r.PerWorkerDistComps[i])
+		if i < len(r.PerWorkerHops) {
+			w += float64(r.PerWorkerHops[i]) * p.HopNs
+		}
+		var tasks int64
+		if i < len(r.PerWorkerTasks) {
+			tasks = r.PerWorkerTasks[i]
+		}
+		w += float64(tasks) * p.MsgCPUNs // recv query + accumulate result
+		w /= float64(r.ThreadsPerCore)
+		sumW += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	meanW := 0.0
+	if len(r.PerWorkerDistComps) > 0 {
+		meanW = sumW / float64(len(r.PerWorkerDistComps))
+	}
+
+	// Communication: wire time of all queries out and results back.
+	wireBytes := r.Dispatched * (queryBytes + resultBytes)
+	commNs := float64(r.Dispatched)*p.MsgLatencyNs/float64(maxInt(r.P, 1)) + // overlapped across links
+		float64(wireBytes)/p.BytesPerNs/float64(maxInt(r.P, 1)) +
+		2*p.MsgLatencyNs // pipeline fill + drain
+
+	// Makespan: the master's serial loop and the slowest worker overlap
+	// (non-blocking sends), so the span is their max plus the
+	// communication that cannot hide.
+	total := maxFloat(masterNs, maxW) + commNs
+	return Estimate{
+		Master:     time.Duration(masterNs),
+		Route:      time.Duration(routeNs),
+		Dispatch:   time.Duration(dispatchNs),
+		MaxWorker:  time.Duration(maxW),
+		MeanWorker: time.Duration(meanW),
+		Comm:       time.Duration(commNs),
+		Total:      time.Duration(total),
+	}
+}
+
+// ConstructionRun describes a measured distributed build to price.
+type ConstructionRun struct {
+	P   int
+	Dim int
+	// PointsPerRank after the final shuffle (≈ N/P).
+	PointsPerRank int64
+	// HNSWDistCompsPerRank measured during the local build.
+	HNSWDistCompsPerRank int64
+	HNSWHopsPerRank      int64
+	// Levels of the distributed VP tree (= ceil(log2 P)).
+	Levels int
+	// ShuffleBytesPerRank per level (≈ points * 4*dim + ids).
+	ShuffleBytesPerRank int64
+	ThreadsPerCore      int
+}
+
+// ConstructionEstimate prices a distributed build: per level, the
+// vantage-point selection scan + median scan + AlltoAllv shuffle; then
+// the local HNSW build.
+type ConstructionEstimate struct {
+	VPTree time.Duration
+	HNSW   time.Duration
+	Total  time.Duration
+}
+
+// EstimateConstruction prices a build run.
+func (p Params) EstimateConstruction(r ConstructionRun) ConstructionEstimate {
+	if r.ThreadsPerCore <= 0 {
+		r.ThreadsPerCore = 1
+	}
+	perLevel := p.DistNs(r.Dim, r.PointsPerRank) + // distance-to-vp scan
+		p.DistNs(r.Dim, 100*100) + // candidate evaluation (Algorithm 1)
+		float64(r.ShuffleBytesPerRank)/p.BytesPerNs +
+		2*p.MsgLatencyNs*float64(log2ceil(r.P)) // collectives
+	vpNs := perLevel * float64(r.Levels)
+	hnswNs := (p.DistNs(r.Dim, r.HNSWDistCompsPerRank) +
+		float64(r.HNSWHopsPerRank)*p.HopNs) / float64(r.ThreadsPerCore)
+	return ConstructionEstimate{
+		VPTree: time.Duration(vpNs),
+		HNSW:   time.Duration(hnswNs),
+		Total:  time.Duration(vpNs + hnswNs),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func log2ceil(x int) int {
+	n := 0
+	for p := 1; p < x; p *= 2 {
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}

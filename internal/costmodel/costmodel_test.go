@@ -1,0 +1,166 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibratePositive(t *testing.T) {
+	p := Calibrate(128)
+	if p.DistNsPerDim <= 0 {
+		t.Errorf("DistNsPerDim = %v", p.DistNsPerDim)
+	}
+	if p.MsgLatencyNs <= 0 || p.BytesPerNs <= 0 {
+		t.Error("network constants missing")
+	}
+}
+
+func TestDistNsScalesWithDim(t *testing.T) {
+	p := Params{DistNsPerDim: 1, DistNsBase: 10}
+	if p.DistNs(100, 1) != 110 {
+		t.Errorf("got %v", p.DistNs(100, 1))
+	}
+	if p.DistNs(100, 10) != 1100 {
+		t.Errorf("got %v", p.DistNs(100, 10))
+	}
+}
+
+func testParams() Params {
+	p := DefaultInterconnect()
+	p.DistNsPerDim = 0.25
+	p.DistNsBase = 4
+	return p
+}
+
+func baseRun(pCount int, perWorker int64) Run {
+	dcs := make([]int64, pCount)
+	hops := make([]int64, pCount)
+	tasks := make([]int64, pCount)
+	for i := range dcs {
+		dcs[i] = perWorker
+		hops[i] = perWorker / 10
+		tasks[i] = 100
+	}
+	return Run{
+		P: pCount, Dim: 128, K: 10,
+		NQueries: 10000, Dispatched: int64(pCount) * 100,
+		PerWorkerDistComps: dcs, PerWorkerHops: hops, PerWorkerTasks: tasks,
+		RouteDistCompsPerQuery: int64(pCount - 1),
+	}
+}
+
+func TestEstimateMonotoneInWork(t *testing.T) {
+	p := testParams()
+	small := p.Estimate(baseRun(8, 1000))
+	big := p.Estimate(baseRun(8, 100000))
+	if big.Total <= small.Total {
+		t.Errorf("more work should take longer: %v vs %v", big.Total, small.Total)
+	}
+	if big.MaxWorker <= small.MaxWorker {
+		t.Error("worker time should grow")
+	}
+}
+
+func TestEstimateStragglerDominates(t *testing.T) {
+	p := testParams()
+	// worker-dominated regime: per-worker work well above the master's
+	// serial routing cost
+	r := baseRun(8, 1_000_000)
+	r.PerWorkerDistComps[3] = 50_000_000 // straggler
+	e := p.Estimate(r)
+	bal := p.Estimate(baseRun(8, 1_000_000))
+	if e.Total <= bal.Total {
+		t.Error("straggler should slow the makespan")
+	}
+	if e.MaxWorker <= e.MeanWorker {
+		t.Error("max should exceed mean with a straggler")
+	}
+}
+
+func TestEstimateStrongScalingShape(t *testing.T) {
+	// Fixed total work split across more workers must shrink the span
+	// until the master's serial dispatch dominates.
+	p := testParams()
+	total := int64(64_000_000)
+	prev := time.Duration(1<<62 - 1)
+	improved := 0
+	for _, pc := range []int{8, 16, 32, 64, 128} {
+		r := baseRun(pc, total/int64(pc))
+		r.Dispatched = 20000
+		e := p.Estimate(r)
+		if e.Total < prev {
+			improved++
+		}
+		prev = e.Total
+	}
+	if improved < 3 {
+		t.Errorf("scaling should improve span for most steps, improved=%d", improved)
+	}
+}
+
+func TestEstimateMasterCeiling(t *testing.T) {
+	// With negligible worker work, the master's dispatch loop bounds the
+	// span and grows with the dispatched count.
+	p := testParams()
+	a := baseRun(1024, 10)
+	a.Dispatched = 20000
+	b := baseRun(1024, 10)
+	b.Dispatched = 200000
+	ea, eb := p.Estimate(a), p.Estimate(b)
+	if eb.Master <= ea.Master {
+		t.Error("master time should grow with dispatch count")
+	}
+}
+
+func TestEstimateThreadsPerCore(t *testing.T) {
+	p := testParams()
+	r := baseRun(4, 100000)
+	solo := p.Estimate(r)
+	r.ThreadsPerCore = 4
+	multi := p.Estimate(r)
+	if multi.MaxWorker >= solo.MaxWorker {
+		t.Error("threads should cut worker busy time")
+	}
+}
+
+func TestEstimateEmptyWorkers(t *testing.T) {
+	p := testParams()
+	e := p.Estimate(Run{P: 1, Dim: 8, K: 10, NQueries: 1, Dispatched: 1})
+	if e.MaxWorker != 0 || e.Total <= 0 {
+		t.Errorf("%+v", e)
+	}
+}
+
+func TestEstimateConstructionScales(t *testing.T) {
+	p := testParams()
+	small := p.EstimateConstruction(ConstructionRun{
+		P: 256, Dim: 128, PointsPerRank: 4_000_000,
+		HNSWDistCompsPerRank: 4_000_000 * 300, Levels: 8,
+		ShuffleBytesPerRank: 4_000_000 * 128 * 4,
+	})
+	big := p.EstimateConstruction(ConstructionRun{
+		P: 8192, Dim: 128, PointsPerRank: 125_000,
+		HNSWDistCompsPerRank: 125_000 * 300, Levels: 13,
+		ShuffleBytesPerRank: 125_000 * 128 * 4,
+	})
+	if big.HNSW >= small.HNSW {
+		t.Errorf("HNSW phase should shrink with more cores: %v vs %v", big.HNSW, small.HNSW)
+	}
+	if big.Total >= small.Total {
+		t.Errorf("total should shrink: %v vs %v", big.Total, small.Total)
+	}
+	// but VP phase shrinks sublinearly (more levels), the Table II effect
+	ratioHNSW := float64(small.HNSW) / float64(big.HNSW)
+	ratioVP := float64(small.VPTree) / float64(big.VPTree)
+	if ratioVP >= ratioHNSW {
+		t.Errorf("VP phase should scale worse than HNSW: %v vs %v", ratioVP, ratioHNSW)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {8, 3}, {9, 4}} {
+		if got := log2ceil(tc.in); got != tc.want {
+			t.Errorf("log2ceil(%d) = %d want %d", tc.in, got, tc.want)
+		}
+	}
+}

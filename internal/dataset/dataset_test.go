@@ -1,0 +1,306 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestGenerateClustersShape(t *testing.T) {
+	g, err := GenerateClusters(ClusterConfig{N: 1000, Dim: 16, Clusters: 10, Outliers: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data.Len() != 1000 || g.Data.Dim != 16 {
+		t.Fatalf("shape %d x %d", g.Data.Len(), g.Data.Dim)
+	}
+	if g.Centroids.Len() != 10 {
+		t.Fatalf("centroids %d", g.Centroids.Len())
+	}
+	outliers := 0
+	for _, l := range g.Labels {
+		if l == -1 {
+			outliers++
+		} else if l < 0 || l >= 10 {
+			t.Fatalf("bad label %d", l)
+		}
+	}
+	if outliers != 50 {
+		t.Errorf("outliers = %d", outliers)
+	}
+}
+
+func TestGenerateClustersClusteredness(t *testing.T) {
+	// points must be far closer to their own centroid than to others
+	g, _ := GenerateClusters(ClusterConfig{N: 500, Dim: 8, Clusters: 5, Seed: 2})
+	misses := 0
+	for i := 0; i < g.Data.Len(); i++ {
+		c := g.Labels[i]
+		if c == -1 {
+			continue
+		}
+		own := vec.L2Distance(g.Data.At(i), g.Centroids.At(c))
+		for o := 0; o < 5; o++ {
+			if o == c {
+				continue
+			}
+			if vec.L2Distance(g.Data.At(i), g.Centroids.At(o)) < own {
+				misses++
+				break
+			}
+		}
+	}
+	if misses > g.Data.Len()/20 {
+		t.Errorf("%d/%d points closer to a foreign centroid", misses, g.Data.Len())
+	}
+}
+
+func TestGenerateClustersErrors(t *testing.T) {
+	if _, err := GenerateClusters(ClusterConfig{N: 0, Dim: 2, Clusters: 1}); err == nil {
+		t.Error("want error for N=0")
+	}
+	if _, err := GenerateClusters(ClusterConfig{N: 10, Dim: 2, Clusters: 1, Outliers: 20}); err == nil {
+		t.Error("want error for outliers > N")
+	}
+}
+
+func TestGenerateClustersReproducible(t *testing.T) {
+	a, _ := GenerateClusters(ClusterConfig{N: 100, Dim: 4, Clusters: 3, Seed: 7})
+	b, _ := GenerateClusters(ClusterConfig{N: 100, Dim: 4, Clusters: 3, Seed: 7})
+	for i := range a.Data.Data {
+		if a.Data.Data[i] != b.Data.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, _ := GenerateClusters(ClusterConfig{N: 100, Dim: 4, Clusters: 3, Seed: 8})
+	same := true
+	for i := range a.Data.Data {
+		if a.Data.Data[i] != c.Data.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestQueriesCompactness(t *testing.T) {
+	g, _ := GenerateClusters(ClusterConfig{N: 500, Dim: 8, Clusters: 5, Seed: 3})
+	qs, err := g.Queries(QueryConfig{N: 100, Cluster: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Len() != 100 {
+		t.Fatalf("len %d", qs.Len())
+	}
+	cent := g.Centroids.At(2)
+	for i := 0; i < qs.Len(); i++ {
+		// compactness 0.01 on domain 100 => per-dim offset <= 1
+		for j, x := range qs.At(i) {
+			if d := math.Abs(float64(x - cent[j])); d > 1.0001 {
+				t.Fatalf("query %d dim %d offset %v too large", i, j, d)
+			}
+		}
+	}
+	if _, err := g.Queries(QueryConfig{N: 0}); err == nil {
+		t.Error("want error for N=0")
+	}
+	if _, err := g.Queries(QueryConfig{N: 1, Cluster: 99}); err == nil {
+		t.Error("want error for bad cluster")
+	}
+}
+
+func TestUniformAndPerturbedQueries(t *testing.T) {
+	g, _ := GenerateClusters(ClusterConfig{N: 200, Dim: 4, Clusters: 2, Seed: 5})
+	u := g.UniformQueries(50, 1)
+	if u.Len() != 50 || u.Dim != 4 {
+		t.Fatalf("uniform: %d x %d", u.Len(), u.Dim)
+	}
+	p := PerturbedQueries(g.Data, 30, 0.1, 2)
+	if p.Len() != 30 || p.Dim != 4 {
+		t.Fatalf("perturbed: %d x %d", p.Len(), p.Dim)
+	}
+}
+
+func TestSYNConfigs(t *testing.T) {
+	c1 := SYN1MConfig(0.001, 1)
+	if c1.N != 1000 || c1.Dim != 512 || c1.Clusters != 10 || c1.Outliers != 5 {
+		t.Errorf("SYN1M: %+v", c1)
+	}
+	c10 := SYN10MConfig(0.001, 1)
+	if c10.N != 10000 || c10.Dim != 256 || c10.Outliers != 50 {
+		t.Errorf("SYN10M: %+v", c10)
+	}
+}
+
+func TestSIFTLikeShape(t *testing.T) {
+	ds := SIFTLike(DescriptorConfig{N: 500, Seed: 1})
+	if ds.Len() != 500 || ds.Dim != 128 {
+		t.Fatalf("shape %d x %d", ds.Len(), ds.Dim)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		for _, x := range ds.At(i) {
+			if x < 0 || x > 218 {
+				t.Fatalf("SIFT component %v out of [0,218]", x)
+			}
+			if x != float32(math.Trunc(float64(x))) {
+				t.Fatalf("SIFT component %v not integral", x)
+			}
+		}
+	}
+}
+
+func TestDEEPLikeUnitNorm(t *testing.T) {
+	ds := DEEPLike(DescriptorConfig{N: 300, Seed: 2})
+	if ds.Len() != 300 || ds.Dim != 96 {
+		t.Fatalf("shape %d x %d", ds.Len(), ds.Dim)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if n := vec.Norm(ds.At(i)); math.Abs(float64(n)-1) > 1e-4 {
+			t.Fatalf("row %d norm %v", i, n)
+		}
+	}
+}
+
+func TestGISTLikeBoundedAndSmooth(t *testing.T) {
+	ds := GISTLike(DescriptorConfig{N: 100, Seed: 3})
+	if ds.Dim != 960 {
+		t.Fatalf("dim %d", ds.Dim)
+	}
+	var adjacent, random float64
+	cnt := 0
+	for i := 0; i < ds.Len(); i++ {
+		row := ds.At(i)
+		for j := 0; j < ds.Dim; j++ {
+			if row[j] < 0 || row[j] > 1 {
+				t.Fatalf("component %v out of [0,1]", row[j])
+			}
+		}
+		for j := 0; j+1 < ds.Dim; j += 7 {
+			adjacent += math.Abs(float64(row[j] - row[j+1]))
+			random += math.Abs(float64(row[j] - row[(j+480)%ds.Dim]))
+			cnt++
+		}
+	}
+	if adjacent/float64(cnt) >= random/float64(cnt) {
+		t.Errorf("no smoothness: adjacent %v vs random %v", adjacent/float64(cnt), random/float64(cnt))
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"sift", "deep", "gist", "syn1m", "syn10m"} {
+		ds, err := Named(name, 300, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Len() != 300 {
+			t.Errorf("%s: len %d", name, ds.Len())
+		}
+	}
+	if _, err := Named("bogus", 10, 1); err == nil {
+		t.Error("want error for unknown name")
+	}
+}
+
+func TestFvecsRoundtrip(t *testing.T) {
+	ds := SIFTLike(DescriptorConfig{N: 50, Seed: 4})
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || got.Dim != ds.Dim {
+		t.Fatalf("shape %d x %d", got.Len(), got.Dim)
+	}
+	for i := range ds.Data {
+		if got.Data[i] != ds.Data[i] {
+			t.Fatal("data mismatch")
+		}
+	}
+}
+
+func TestFvecsLimit(t *testing.T) {
+	ds := DEEPLike(DescriptorConfig{N: 20, Seed: 5})
+	var buf bytes.Buffer
+	WriteFvecs(&buf, ds)
+	got, err := ReadFvecs(&buf, 7)
+	if err != nil || got.Len() != 7 {
+		t.Fatalf("limit read: %v len %d", err, got.Len())
+	}
+}
+
+func TestBvecs(t *testing.T) {
+	// hand-roll a 2-vector bvecs stream: dim 3
+	raw := []byte{
+		3, 0, 0, 0, 10, 20, 30,
+		3, 0, 0, 0, 1, 2, 255,
+	}
+	ds, err := ReadBvecs(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dim != 3 {
+		t.Fatalf("shape %d x %d", ds.Len(), ds.Dim)
+	}
+	if ds.At(1)[2] != 255 || ds.At(0)[0] != 10 {
+		t.Fatalf("values: %v %v", ds.At(0), ds.At(1))
+	}
+}
+
+func TestVecsErrors(t *testing.T) {
+	if _, err := ReadFvecs(bytes.NewReader(nil), 0); err == nil {
+		t.Error("want error for empty stream")
+	}
+	bad := []byte{255, 255, 255, 255}
+	if _, err := ReadFvecs(bytes.NewReader(bad), 0); err == nil {
+		t.Error("want error for negative dim")
+	}
+	// truncated row
+	tr := []byte{2, 0, 0, 0, 1, 1, 1}
+	if _, err := ReadFvecs(bytes.NewReader(tr), 0); err == nil {
+		t.Error("want error for truncated row")
+	}
+	// dim change mid-stream
+	var buf bytes.Buffer
+	WriteFvecs(&buf, vec.FromRows([][]float32{{1, 2}}))
+	buf.Write([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Error("want error for dim change")
+	}
+}
+
+func TestIvecsRoundtrip(t *testing.T) {
+	rows := [][]int32{{1, 2, 3}, {9, 8, 7, 6}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][2] != 3 || got[1][3] != 6 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFvecsFileRoundtrip(t *testing.T) {
+	ds := DEEPLike(DescriptorConfig{N: 10, Seed: 6})
+	path := t.TempDir() + "/x.fvecs"
+	if err := SaveFvecsFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFvecsFile(path, 0)
+	if err != nil || got.Len() != 10 {
+		t.Fatalf("%v len %d", err, got.Len())
+	}
+	if _, err := LoadFvecsFile(t.TempDir()+"/missing", 0); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Descriptor-shaped synthetic generators. The paper evaluates on
+// ANN_SIFT1B (1B x 128 SIFT descriptors), DEEP1B (1B x 96 CNN
+// descriptors) and ANN_GIST1M (1M x 960 GIST descriptors). Those corpora
+// are not redistributable here, so these generators reproduce the
+// statistical properties that matter for the algorithms under test:
+//
+//   - SIFT: non-negative, heavy-tailed, integer-quantised 128-d gradient
+//     histograms with strong cluster structure (local image patches
+//     repeat across images);
+//   - DEEP: L2-normalised 96-d CNN embeddings — points on the unit
+//     sphere with directional clusters;
+//   - GIST: 960-d globally smooth energy histograms in [0,1] with heavy
+//     inter-dimension correlation, which is what makes GIST the classic
+//     "hard for KD-trees" workload.
+//
+// Cluster structure + dimensionality drive both VP routing selectivity
+// and HNSW recall, which is what the experiments measure; see DESIGN.md
+// for the substitution argument.
+
+// DescriptorConfig sizes a descriptor-like dataset.
+type DescriptorConfig struct {
+	N    int
+	Seed int64
+	// Clusters is the number of latent patch/semantic clusters
+	// (default max(16, N/2000)).
+	Clusters int
+}
+
+func (c *DescriptorConfig) fill() {
+	if c.Clusters == 0 {
+		c.Clusters = c.N / 2000
+		if c.Clusters < 16 {
+			c.Clusters = 16
+		}
+	}
+}
+
+// SIFTLike generates N 128-dimensional SIFT-shaped descriptors.
+func SIFTLike(cfg DescriptorConfig) *vec.Dataset {
+	cfg.fill()
+	const dim = 128
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := gammaCenters(rng, cfg.Clusters, dim, 40)
+	ds := vec.NewDataset(dim, cfg.N)
+	v := make([]float32, dim)
+	for i := 0; i < cfg.N; i++ {
+		c := centers[rng.Intn(len(centers))]
+		for j := range v {
+			x := float64(c[j]) * math.Exp(rng.NormFloat64()*0.45)
+			if x > 218 { // SIFT descriptors clip at ~218 after normalisation
+				x = 218
+			}
+			v[j] = float32(math.Round(x))
+		}
+		ds.Append(v, int64(i))
+	}
+	return ds
+}
+
+// DEEPLike generates N 96-dimensional unit-norm CNN-shaped embeddings.
+// CNN descriptor spaces are strongly clustered (semantically similar
+// images embed tightly), so the per-cluster spread must stay well below
+// the inter-center separation on the sphere (~sqrt(2) for random
+// directions) — otherwise the data degenerates to uniform-on-sphere and
+// loses the locality every ANN index (including the paper's) exploits.
+func DEEPLike(cfg DescriptorConfig) *vec.Dataset {
+	if cfg.Clusters == 0 {
+		cfg.Clusters = cfg.N / 500
+		if cfg.Clusters < 64 {
+			cfg.Clusters = 64
+		}
+	}
+	cfg.fill()
+	const dim = 96
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// directional cluster centers on the sphere
+	centers := make([][]float32, cfg.Clusters)
+	for c := range centers {
+		ctr := make([]float32, dim)
+		for j := range ctr {
+			ctr[j] = float32(rng.NormFloat64())
+		}
+		vec.Normalize(ctr)
+		centers[c] = ctr
+	}
+	ds := vec.NewDataset(dim, cfg.N)
+	v := make([]float32, dim)
+	for i := 0; i < cfg.N; i++ {
+		c := centers[rng.Intn(len(centers))]
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64()*0.07)
+		}
+		vec.Normalize(v)
+		ds.Append(v, int64(i))
+	}
+	return ds
+}
+
+// GISTLike generates N 960-dimensional GIST-shaped descriptors: smooth
+// along the dimension axis (neighbouring orientation/scale cells
+// correlate) and bounded in [0,1].
+func GISTLike(cfg DescriptorConfig) *vec.Dataset {
+	cfg.fill()
+	const dim = 960
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([][]float32, cfg.Clusters)
+	for c := range centers {
+		ctr := make([]float32, dim)
+		// random walk smoothed: heavy correlation between adjacent dims
+		x := rng.Float64() * 0.5
+		for j := range ctr {
+			x += rng.NormFloat64() * 0.03
+			if x < 0 {
+				x = -x
+			}
+			if x > 1 {
+				x = 2 - x
+			}
+			ctr[j] = float32(x)
+		}
+		centers[c] = ctr
+	}
+	ds := vec.NewDataset(dim, cfg.N)
+	v := make([]float32, dim)
+	for i := 0; i < cfg.N; i++ {
+		c := centers[rng.Intn(len(centers))]
+		for j := range v {
+			x := float64(c[j]) + rng.NormFloat64()*0.02
+			if x < 0 {
+				x = 0
+			}
+			if x > 1 {
+				x = 1
+			}
+			v[j] = float32(x)
+		}
+		ds.Append(v, int64(i))
+	}
+	return ds
+}
+
+// gammaCenters draws non-negative heavy-tailed cluster centers
+// (exponential mixture approximating SIFT's gradient-energy histogram).
+func gammaCenters(rng *rand.Rand, k, dim int, mean float64) [][]float32 {
+	out := make([][]float32, k)
+	for c := range out {
+		ctr := make([]float32, dim)
+		for j := range ctr {
+			// exponential with a few dominant bins, like real SIFT
+			x := rng.ExpFloat64() * mean
+			if rng.Float64() < 0.1 {
+				x *= 2.5
+			}
+			ctr[j] = float32(x)
+		}
+		out[c] = ctr
+	}
+	return out
+}
+
+// Named builds one of the paper's datasets by name ("sift", "deep",
+// "gist", "syn1m", "syn10m") at the given point count. For the synthetic
+// cluster datasets the count overrides the configured N.
+func Named(name string, n int, seed int64) (*vec.Dataset, error) {
+	switch name {
+	case "sift":
+		return SIFTLike(DescriptorConfig{N: n, Seed: seed}), nil
+	case "deep":
+		return DEEPLike(DescriptorConfig{N: n, Seed: seed}), nil
+	case "gist":
+		return GISTLike(DescriptorConfig{N: n, Seed: seed}), nil
+	case "syn1m":
+		cfg := SYN1MConfig(1, seed)
+		cfg.N = n
+		cfg.Outliers = n / 200
+		g, err := GenerateClusters(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return g.Data, nil
+	case "syn10m":
+		cfg := SYN10MConfig(1, seed)
+		cfg.N = n
+		cfg.Outliers = n / 200
+		g, err := GenerateClusters(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return g.Data, nil
+	}
+	return nil, errUnknown(name)
+}
+
+type errUnknown string
+
+func (e errUnknown) Error() string { return "dataset: unknown dataset " + string(e) }

@@ -1,0 +1,203 @@
+// Package dataset provides the workloads of the paper's evaluation
+// (Table I): synthetic multidimensional cluster data in the style of
+// MDCGen (used for SYN_1M and SYN_10M), generators that mimic the
+// statistical shape of the SIFT/DEEP/GIST descriptor datasets (standing
+// in for ANN_SIFT1B, DEEP1B and ANN_GIST1M, which are multi-hundred-GB
+// downloads), query-set generation, and readers/writers for the TEXMEX
+// fvecs/bvecs/ivecs formats so the real datasets can be dropped in.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Distribution selects the intra-cluster point distribution, following
+// MDCGen's Gaussian and uniform modes (the paper uses both).
+type Distribution int
+
+const (
+	// Gaussian scatters points normally around the centroid.
+	Gaussian Distribution = iota
+	// Uniform scatters points uniformly in a box around the centroid.
+	Uniform
+)
+
+// ClusterConfig describes an MDCGen-style synthetic dataset: k clusters
+// with configurable spread plus background outliers. The paper's SYN_1M
+// (1M x 512) and SYN_10M (10M x 256) use 10 clusters with 5000 and 50000
+// outliers respectively and defaults elsewhere.
+type ClusterConfig struct {
+	N            int          // total points including outliers
+	Dim          int          // dimensionality
+	Clusters     int          // number of clusters
+	Outliers     int          // uniform background points
+	Distribution Distribution // intra-cluster distribution
+	// Spread is the cluster standard deviation (Gaussian) or half-width
+	// (Uniform) relative to the unit domain; 0 means 0.03.
+	Spread float64
+	// Domain is the coordinate range [0, Domain] for centroids; 0 means 100.
+	Domain float64
+	Seed   int64
+}
+
+// SYN1MConfig mirrors the paper's SYN_1M dataset, scaled by factor
+// (factor 1.0 = the full 1M x 512; experiments on one machine typically
+// use factor <= 0.2).
+func SYN1MConfig(factor float64, seed int64) ClusterConfig {
+	return ClusterConfig{
+		N: scaled(1_000_000, factor), Dim: 512, Clusters: 10,
+		Outliers: scaled(5000, factor), Distribution: Gaussian, Seed: seed,
+	}
+}
+
+// SYN10MConfig mirrors the paper's SYN_10M dataset, scaled by factor.
+func SYN10MConfig(factor float64, seed int64) ClusterConfig {
+	return ClusterConfig{
+		N: scaled(10_000_000, factor), Dim: 256, Clusters: 10,
+		Outliers: scaled(50_000, factor), Distribution: Uniform, Seed: seed,
+	}
+}
+
+func scaled(n int, factor float64) int {
+	s := int(float64(n) * factor)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Clustered holds a generated cluster dataset with its ground structure.
+type Clustered struct {
+	Data      *vec.Dataset
+	Centroids *vec.Dataset // Clusters rows
+	Labels    []int        // cluster of each row; -1 for outliers
+	cfg       ClusterConfig
+}
+
+// GenerateClusters produces an MDCGen-style dataset.
+func GenerateClusters(cfg ClusterConfig) (*Clustered, error) {
+	if cfg.N <= 0 || cfg.Dim <= 0 || cfg.Clusters <= 0 {
+		return nil, fmt.Errorf("dataset: bad config %+v", cfg)
+	}
+	if cfg.Outliers < 0 || cfg.Outliers > cfg.N {
+		return nil, fmt.Errorf("dataset: outliers %d out of range for n=%d", cfg.Outliers, cfg.N)
+	}
+	if cfg.Spread == 0 {
+		cfg.Spread = 0.03
+	}
+	if cfg.Domain == 0 {
+		cfg.Domain = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := vec.NewDataset(cfg.Dim, cfg.Clusters)
+	cv := make([]float32, cfg.Dim)
+	for c := 0; c < cfg.Clusters; c++ {
+		for j := range cv {
+			cv[j] = float32(rng.Float64() * cfg.Domain)
+		}
+		centroids.Append(cv, int64(c))
+	}
+
+	ds := vec.NewDataset(cfg.Dim, cfg.N)
+	labels := make([]int, 0, cfg.N)
+	sigma := cfg.Spread * cfg.Domain
+	v := make([]float32, cfg.Dim)
+	clustered := cfg.N - cfg.Outliers
+	for i := 0; i < clustered; i++ {
+		c := i % cfg.Clusters
+		cent := centroids.At(c)
+		for j := range v {
+			switch cfg.Distribution {
+			case Gaussian:
+				v[j] = cent[j] + float32(rng.NormFloat64()*sigma)
+			default:
+				v[j] = cent[j] + float32((rng.Float64()*2-1)*sigma)
+			}
+		}
+		ds.Append(v, int64(ds.Len()))
+		labels = append(labels, c)
+	}
+	for i := 0; i < cfg.Outliers; i++ {
+		for j := range v {
+			v[j] = float32(rng.Float64() * cfg.Domain)
+		}
+		ds.Append(v, int64(ds.Len()))
+		labels = append(labels, -1)
+	}
+	return &Clustered{Data: ds, Centroids: centroids, Labels: labels, cfg: cfg}, nil
+}
+
+// QueryConfig controls synthetic query generation. The paper draws query
+// sets "using uniform distribution in a single cluster with a
+// compactness factor of 0.01".
+type QueryConfig struct {
+	N           int     // number of queries
+	Cluster     int     // cluster to draw from; -1 picks one at random
+	Compactness float64 // query spread relative to the domain; 0 means 0.01
+	Seed        int64
+}
+
+// Queries generates a query set localized to one cluster of g.
+func (g *Clustered) Queries(cfg QueryConfig) (*vec.Dataset, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: need positive query count")
+	}
+	if cfg.Compactness == 0 {
+		cfg.Compactness = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	c := cfg.Cluster
+	if c < 0 {
+		c = rng.Intn(g.Centroids.Len())
+	}
+	if c >= g.Centroids.Len() {
+		return nil, fmt.Errorf("dataset: cluster %d out of range", c)
+	}
+	cent := g.Centroids.At(c)
+	half := cfg.Compactness * g.cfg.Domain
+	qs := vec.NewDataset(g.Data.Dim, cfg.N)
+	v := make([]float32, g.Data.Dim)
+	for i := 0; i < cfg.N; i++ {
+		for j := range v {
+			v[j] = cent[j] + float32((rng.Float64()*2-1)*half)
+		}
+		qs.Append(v, int64(i))
+	}
+	return qs, nil
+}
+
+// UniformQueries draws queries uniformly over the whole domain — an
+// un-skewed query load used as the balanced control in the load
+// balancing experiments.
+func (g *Clustered) UniformQueries(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed + 2000))
+	qs := vec.NewDataset(g.Data.Dim, n)
+	v := make([]float32, g.Data.Dim)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = float32(rng.Float64() * g.cfg.Domain)
+		}
+		qs.Append(v, int64(i))
+	}
+	return qs
+}
+
+// PerturbedQueries draws queries by perturbing random dataset points,
+// the standard protocol when a dataset ships without a query file.
+func PerturbedQueries(ds *vec.Dataset, n int, scale float64, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed + 3000))
+	qs := vec.NewDataset(ds.Dim, n)
+	v := make([]float32, ds.Dim)
+	for i := 0; i < n; i++ {
+		base := ds.At(rng.Intn(ds.Len()))
+		for j := range v {
+			v[j] = base[j] + float32(rng.NormFloat64()*scale)
+		}
+		qs.Append(v, int64(i))
+	}
+	return qs
+}

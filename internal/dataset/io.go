@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/vec"
+)
+
+// TEXMEX corpus file formats (http://corpus-texmex.irisa.fr/), used by
+// ANN_SIFT1B, ANN_GIST1M and DEEP1B:
+//
+//	fvecs: per vector, int32 dim then dim float32 components
+//	bvecs: per vector, int32 dim then dim uint8 components
+//	ivecs: per vector, int32 dim then dim int32 components (ground truth)
+//
+// Readers accept a limit (<=0 means all) so billion-scale files can be
+// prefix-loaded.
+
+// ReadFvecs parses an fvecs stream.
+func ReadFvecs(r io.Reader, limit int) (*vec.Dataset, error) {
+	return readVecs(r, limit, func(br io.Reader, dim int, out []float32) error {
+		buf := make([]byte, 4*dim)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		for j := 0; j < dim; j++ {
+			out[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		return nil
+	})
+}
+
+// ReadBvecs parses a bvecs stream (byte components widened to float32).
+func ReadBvecs(r io.Reader, limit int) (*vec.Dataset, error) {
+	return readVecs(r, limit, func(br io.Reader, dim int, out []float32) error {
+		buf := make([]byte, dim)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		for j := 0; j < dim; j++ {
+			out[j] = float32(buf[j])
+		}
+		return nil
+	})
+}
+
+func readVecs(r io.Reader, limit int, readRow func(io.Reader, int, []float32) error) (*vec.Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var ds *vec.Dataset
+	var row []float32
+	hdr := make([]byte, 4)
+	for n := 0; limit <= 0 || n < limit; n++ {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		dim := int(int32(binary.LittleEndian.Uint32(hdr)))
+		if dim <= 0 || dim > 1<<20 {
+			return nil, fmt.Errorf("dataset: implausible vector dim %d at row %d", dim, n)
+		}
+		if ds == nil {
+			ds = vec.NewDataset(dim, 1024)
+			row = make([]float32, dim)
+		} else if dim != ds.Dim {
+			return nil, fmt.Errorf("dataset: dim changed from %d to %d at row %d", ds.Dim, dim, n)
+		}
+		if err := readRow(br, dim, row); err != nil {
+			return nil, fmt.Errorf("dataset: truncated row %d: %w", n, err)
+		}
+		ds.Append(row, int64(n))
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("dataset: empty vecs stream")
+	}
+	return ds, nil
+}
+
+// WriteFvecs writes ds in fvecs format.
+func WriteFvecs(w io.Writer, ds *vec.Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]byte, 4+4*ds.Dim)
+	for i := 0; i < ds.Len(); i++ {
+		binary.LittleEndian.PutUint32(buf, uint32(ds.Dim))
+		row := ds.At(i)
+		for j, x := range row {
+			binary.LittleEndian.PutUint32(buf[4+4*j:], math.Float32bits(x))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs parses an ivecs stream of k-NN ground truth: one row of
+// neighbor IDs per query.
+func ReadIvecs(r io.Reader, limit int) ([][]int32, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var out [][]int32
+	hdr := make([]byte, 4)
+	for n := 0; limit <= 0 || n < limit; n++ {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		k := int(int32(binary.LittleEndian.Uint32(hdr)))
+		if k <= 0 || k > 1<<20 {
+			return nil, fmt.Errorf("dataset: implausible row length %d", k)
+		}
+		buf := make([]byte, 4*k)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: truncated ivecs row %d: %w", n, err)
+		}
+		row := make([]int32, k)
+		for j := range row {
+			row[j] = int32(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteIvecs writes ground-truth rows in ivecs format.
+func WriteIvecs(w io.Writer, rows [][]int32) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, row := range rows {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(row)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(row))
+		for j, x := range row {
+			binary.LittleEndian.PutUint32(buf[4*j:], uint32(x))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFvecsFile reads an fvecs file from disk.
+func LoadFvecsFile(path string, limit int) (*vec.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFvecs(f, limit)
+}
+
+// SaveFvecsFile writes ds to an fvecs file.
+func SaveFvecsFile(path string, ds *vec.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFvecs(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

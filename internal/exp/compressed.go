@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hnsw"
+	"repro/internal/ivfpq"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// RunCompressed reproduces the claim the paper attaches to Figure 6:
+// compressed single-node indexes (IVF + product quantization, the family
+// of references [13] and [14]) answer quickly and fit billion-scale data
+// in one node, but their recall *plateaus* as the search budget grows —
+// quantization error, not search effort, becomes the binding constraint
+// — while the paper's uncompressed engine reaches near-perfect recall at
+// M=64.
+func RunCompressed(o Options) error {
+	o.fill()
+	header(o.Out, "Compressed baseline: IVF-PQ recall ceiling vs uncompressed engine")
+	w, err := descriptorWorkload("sift", o, true)
+	if err != nil {
+		return err
+	}
+
+	// IVF-PQ at increasing nprobe: the recall curve must flatten.
+	pq, err := ivfpq.Build(w.data, ivfpq.Config{M: 16, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "IVF-PQ (16-byte codes, %.1f MB vs %.1f MB raw):\n",
+		float64(pq.MemoryBytes())/(1<<20), float64(w.data.Bytes())/(1<<20))
+	probes := []int{1, 4, 16, 64, 256}
+	if o.Quick {
+		probes = []int{1, 8, 64}
+	}
+	var last float64
+	for _, np := range probes {
+		t0 := time.Now()
+		res := make([][]topk.Result, w.queries.Len())
+		for qi := 0; qi < w.queries.Len(); qi++ {
+			rs, _, err := pq.SearchNProbe(w.queries.At(qi), o.K, np)
+			if err != nil {
+				return err
+			}
+			res[qi] = rs
+		}
+		elapsed := time.Since(t0)
+		r := metrics.MeanRecall(res, w.truth)
+		fmt.Fprintf(o.Out, "  nprobe=%4d  batch=%-9s recall@%d=%.3f  (Δ=%+.3f)\n",
+			np, fmtDur(elapsed), o.K, r, r-last)
+		last = r
+	}
+
+	// The paper's engine at growing budget: recall keeps climbing toward 1.
+	fmt.Fprintln(o.Out, "uncompressed VP+HNSW engine:")
+	for _, M := range []int{16, 64} {
+		cfg := core.DefaultConfig(16)
+		cfg.K = o.K
+		cfg.NProbe = 4
+		cfg.Seed = o.Seed
+		cfg.HNSW = hnsw.DefaultConfig(vec.L2)
+		cfg.HNSW.M = M
+		e, err := core.NewEngine(w.data.Clone(), cfg)
+		if err != nil {
+			return err
+		}
+		e.SetEfSearch(4 * M)
+		t0 := time.Now()
+		res, err := e.SearchBatch(w.queries, o.K, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "  M=%2d ef=%3d  batch=%-9s recall@%d=%.3f\n",
+			M, 4*M, fmtDur(time.Since(t0)), o.K, metrics.MeanRecall(res, w.truth))
+	}
+	fmt.Fprintln(o.Out, "paper: compressed indexes' recall plateaus; ours reaches near-perfect recall")
+	return nil
+}

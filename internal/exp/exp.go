@@ -1,0 +1,194 @@
+// Package exp is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (Section V). Each experiment
+//
+//  1. generates the (scaled) workload of the corresponding paper
+//     experiment,
+//  2. executes the full distributed protocol in-process — routing,
+//     dispatch, local HNSW searches, one-sided accumulation — collecting
+//     real work counts per rank, and
+//  3. where the paper's processor counts exceed this machine, prices the
+//     measured work with the calibrated cost model (internal/costmodel)
+//     and reports modelled times alongside the raw measurements.
+//
+// EXPERIMENTS.md records paper-reported vs regenerated values; the
+// annbench binary and the root bench_test.go both drive this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+// Options configure an experiment run. Zero values select defaults
+// suitable for a laptop-scale run (minutes, not hours).
+type Options struct {
+	// Points is the dataset size stand-in for the paper's billion-scale
+	// corpora (default 100_000; the paper's ratios survive scaling, see
+	// DESIGN.md).
+	Points int
+	// Queries is the query-batch size (default 2000; paper uses 10^4 for
+	// the billion-scale sets, 10^3 for GIST).
+	Queries int
+	// K is neighbors per query (paper: 10).
+	K int
+	// Seed drives all generators.
+	Seed int64
+	// Out receives the formatted tables (default io.Discard-like noop
+	// guarded by caller; annbench passes os.Stdout).
+	Out io.Writer
+	// Quick shrinks everything further for smoke tests and testing.B.
+	Quick bool
+}
+
+func (o *Options) fill() {
+	if o.Points <= 0 {
+		o.Points = 100_000
+	}
+	if o.Queries <= 0 {
+		o.Queries = 2000
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Quick {
+		if o.Points > 20_000 {
+			o.Points = 20_000
+		}
+		if o.Queries > 300 {
+			o.Queries = 300
+		}
+	}
+	if o.Out == nil {
+		o.Out = nopWriter{}
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Experiment is a registered table/figure regenerator.
+type Experiment struct {
+	Name  string
+	Paper string // which table/figure of the paper it regenerates
+	Run   func(Options) error
+}
+
+// All returns the registry of experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3a", "Figure 3(a): strong scaling, SYN_1M and SYN_10M", RunFig3a},
+		{"fig3b", "Figure 3(b): strong scaling, ANN_SIFT1B and DEEP1B", RunFig3b},
+		{"table2", "Table II: construction times for ANN_SIFT1B", RunTable2},
+		{"fig4a", "Figure 4(a): query time vs replication factor", RunFig4a},
+		{"fig4b", "Figure 4(b): query distribution vs replication factor", RunFig4b},
+		{"table3", "Table III: total search times vs distributed KD tree", RunTable3},
+		{"fig5", "Figure 5: search time breakdown", RunFig5},
+		{"fig6", "Figure 6: recall vs query time for HNSW M", RunFig6},
+		{"owners", "Section IV: master-worker vs multiple-owner", RunOwners},
+		{"ablate-rma", "Ablation: one-sided vs two-sided results", RunAblateRMA},
+		{"ablate-routing", "Ablation: VP routing vs flat random pivots", RunAblateRouting},
+		{"ablate-local", "Extensibility: HNSW vs exact local indexes", RunAblateLocal},
+		{"nsw", "Background III-A: NSW vs HNSW search cost", RunNSW},
+		{"compressed", "Figure 6 discussion: IVF-PQ recall ceiling", RunCompressed},
+		{"baselines", "Section II: LSH vs PQ vs graph on one workload", RunBaselines},
+		{"grip", "Section II: GRIP-style two-layer multi-store index", RunGrip},
+	}
+}
+
+// Find locates an experiment by name.
+func Find(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", name, names())
+}
+
+func names() string {
+	var ns []string
+	for _, e := range All() {
+		ns = append(ns, e.Name)
+	}
+	sort.Strings(ns)
+	s := ""
+	for i, n := range ns {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// workload bundles a dataset with its query set and ground truth.
+type workload struct {
+	name    string
+	data    *vec.Dataset
+	queries *vec.Dataset
+	truth   [][]int32
+}
+
+// descriptorWorkload builds a scaled stand-in for one of the paper's
+// descriptor datasets with perturbed-point queries.
+func descriptorWorkload(name string, o Options, withTruth bool) (*workload, error) {
+	ds, err := dataset.Named(name, o.Points, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	qs := dataset.PerturbedQueries(ds, o.Queries, perturbScale(name), o.Seed+1)
+	if name == "deep" {
+		// DEEP1B vectors and queries are L2-normalised CNN embeddings;
+		// perturbation pushes points off the sphere, which mis-routes
+		// them systematically. Re-normalise, as the real query set is.
+		for i := 0; i < qs.Len(); i++ {
+			vec.Normalize(qs.At(i))
+		}
+	}
+	w := &workload{name: name, data: ds, queries: qs}
+	if withTruth {
+		w.truth = groundTruth(ds, qs, o.K)
+	}
+	return w, nil
+}
+
+func perturbScale(name string) float64 {
+	switch name {
+	case "sift":
+		return 4 // integer-quantised descriptors: perturb a few counts
+	case "deep":
+		return 0.05
+	case "gist":
+		return 0.01
+	default:
+		return 0.5
+	}
+}
+
+// fmtDur renders a duration with 3 significant figures.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

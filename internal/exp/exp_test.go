@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick options shared by the smoke tests; every experiment must run end
+// to end and produce non-empty output at reduced scale.
+func quickOpts(buf *bytes.Buffer) Options {
+	return Options{Points: 6000, Queries: 100, K: 10, Seed: 1, Out: buf, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3a", "fig3b", "table2", "fig4a", "fig4b", "table3", "fig5", "fig6", "owners", "ablate-rma", "ablate-routing", "ablate-local", "nsw", "compressed", "baselines", "grip"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries", len(all))
+	}
+	for i, n := range want {
+		if all[i].Name != n {
+			t.Errorf("entry %d = %s want %s", i, all[i].Name, n)
+		}
+		if all[i].Paper == "" || all[i].Run == nil {
+			t.Errorf("entry %s incomplete", n)
+		}
+	}
+	if _, err := Find("fig6"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}
+	o.fill()
+	if o.Points != 100_000 || o.Queries != 2000 || o.K != 10 || o.Seed != 1 || o.Out == nil {
+		t.Errorf("%+v", o)
+	}
+	q := Options{Points: 999_999, Queries: 99_999, Quick: true}
+	q.fill()
+	if q.Points != 20_000 || q.Queries != 300 {
+		t.Errorf("quick clamp: %+v", q)
+	}
+}
+
+func runSmoke(t *testing.T, name string, wantSubstr string) {
+	t.Helper()
+	var buf bytes.Buffer
+	e, err := Find(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(quickOpts(&buf)); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, wantSubstr) {
+		t.Fatalf("%s output missing %q:\n%s", name, wantSubstr, out)
+	}
+}
+
+func TestFig3aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "fig3a", "speedup")
+}
+
+func TestFig3bSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "fig3b", "speedup")
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "table2", "modelled")
+}
+
+func TestFig4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "fig4a", "improvement")
+	runSmoke(t, "fig4b", "imbalance")
+}
+
+func TestTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "table3", "speedup")
+}
+
+func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "fig5", "comm")
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "fig6", "recall")
+}
+
+func TestOwnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "owners", "master-worker")
+}
+
+func TestAblateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "ablate-rma", "one-sided")
+	runSmoke(t, "ablate-routing", "imbalance")
+}
+
+func TestAblateLocalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "ablate-local", "recall")
+}
+
+func TestNSWSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "nsw", "hops")
+}
+
+func TestCompressedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "compressed", "recall")
+}
+
+func TestBaselinesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "baselines", "vp+hnsw")
+}
+
+func TestGripSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	runSmoke(t, "grip", "GRIP")
+}
+
+func TestFmtDur(t *testing.T) {
+	for _, tc := range []struct {
+		ns   time.Duration
+		want string
+	}{
+		{90 * time.Second, "1.5min"},
+		{1500 * time.Millisecond, "1.50s"},
+		{1500 * time.Microsecond, "1.50ms"},
+		{900 * time.Nanosecond, "0µs"},
+	} {
+		if got := fmtDur(tc.ns); got != tc.want {
+			t.Errorf("fmtDur(%v) = %q want %q", tc.ns, got, tc.want)
+		}
+	}
+}

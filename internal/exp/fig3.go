@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/hnsw"
+)
+
+// Strong scaling (Figure 3). Each sweep point executes the full search
+// protocol at core count P — real routing decisions, real per-worker
+// task assignment (the load balance that determines the curve), real
+// message counts — and prices the run with the cost model.
+//
+// Scale bridging: the paper searches partitions of N_paper/P points
+// (N_paper = 10^9 for Fig 3b); this machine holds ~10^5. A task's local
+// HNSW search cost grows logarithmically in partition size (Malkov &
+// Yashunin; Section III-A), so the model prices each *measured* task at
+// ef * (log2(N_paper/P) + 1) distance computations — the paper-scale
+// partition — while the task-to-worker distribution, routing work and
+// message counts stay exactly as measured. EXPERIMENTS.md documents this
+// extrapolation.
+//
+// The shape to reproduce: near-linear speedup on the billion-scale sets
+// (~25x at 8192/256 cores), sublinear on the small synthetic sets (~13x
+// and ~18x at 1024/32 cores) where the serial master and task
+// granularity bite sooner.
+
+// scalingResult is one point of a strong-scaling curve.
+type scalingResult struct {
+	P       int
+	Seconds float64
+	Speedup float64
+}
+
+// paperTaskCost prices one local search on a paper-scale partition.
+// High recall at billion scale needs a wide beam (ef ~ 512, as hnswlib
+// users run for recall ~0.9 at 10^8-10^9 points); a beam expansion
+// touches ~M neighbors per hop, plus the upper-layer descent.
+func paperTaskCost(paperN int64, p int) (distComps, hops int64) {
+	partition := float64(paperN) / float64(p)
+	if partition < 2 {
+		partition = 2
+	}
+	depth := math.Log2(partition) + 1
+	// A beam of ef pops evaluates ~M neighbors each (layer 0 degree is
+	// 2M, roughly half already visited), plus the upper-layer descent.
+	const efPaper, mPaper = 512, 16
+	return int64(efPaper*mPaper + mPaper*depth), int64(efPaper)
+}
+
+// paperParams adapts the calibrated constants to billion-scale
+// partitions: vectors no longer fit in cache, so one 128-d distance
+// computation is memory-bound (~2 cache lines missed) rather than the
+// cache-hot kernel the calibration measures. EXPERIMENTS.md documents
+// this adjustment.
+func paperParams(dim int) costmodel.Params {
+	params := costmodel.Calibrate(dim)
+	params.RouteNsPerDim = params.DistNsPerDim // routing stays cache-hot
+	if params.DistNsPerDim < 1.5 {
+		params.DistNsPerDim = 1.5 // billion-scale scans are memory-bound
+	}
+	return params
+}
+
+// runScaling sweeps worker counts for one workload. paperN > 0 prices
+// tasks at paper-scale partitions; paperN == 0 uses raw measured work.
+// adaptive selects ball routing (the paper's exact F(q) definition) over
+// fixed-width top-m routing; high-dimensional tight query clusters need
+// it to spread across partitions at all.
+func runScaling(w *workload, cores []int, o Options, nprobe int, paperN int64, adaptive bool) ([]scalingResult, error) {
+	params := costmodel.Calibrate(w.data.Dim)
+	if paperN > 0 {
+		params = paperParams(w.data.Dim)
+	}
+	var out []scalingResult
+	var base float64
+	for _, p := range cores {
+		cfg := core.DefaultConfig(p)
+		cfg.K = o.K
+		cfg.NProbe = nprobe
+		if adaptive {
+			cfg.Routing = core.RouteAdaptive
+		}
+		cfg.Seed = o.Seed
+		if paperN > 0 {
+			// Task costs are priced synthetically at paper scale, so the
+			// stand-in indexes only need to exist, not to be high-recall:
+			// a light build keeps the 512-d sweeps fast.
+			cfg.HNSW = hnsw.DefaultConfig(cfg.Metric)
+			cfg.HNSW.M = 8
+			cfg.HNSW.EfConstruction = 48
+		}
+		pre, _, err := prebuild(w.data.Clone(), p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runPrebuilt(pre, w.queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if paperN > 0 {
+			dc, hp := paperTaskCost(paperN, p)
+			for i, tasks := range res.PerWorkerQueries {
+				res.PerWorkerDistComps[i] = tasks * dc
+				res.PerWorkerHops[i] = tasks * hp
+			}
+		}
+		est := model(params, res, p, w.data.Dim, o.K, w.queries.Len())
+		secs := est.Total.Seconds()
+		if base == 0 {
+			base = secs
+		}
+		out = append(out, scalingResult{P: p, Seconds: secs, Speedup: base / secs})
+	}
+	return out, nil
+}
+
+func printScaling(o Options, name string, rs []scalingResult) {
+	fmt.Fprintf(o.Out, "%s (speedup normalised to P=%d):\n", name, rs[0].P)
+	for _, r := range rs {
+		fmt.Fprintf(o.Out, "  P=%5d  modelled query time=%9.4fs  speedup=%6.2fx\n", r.P, r.Seconds, r.Speedup)
+	}
+}
+
+// RunFig3a regenerates Figure 3(a): SYN_1M and SYN_10M, cores 32..1024.
+func RunFig3a(o Options) error {
+	o.fill()
+	header(o.Out, "Figure 3(a): strong scaling on SYN_1M / SYN_10M")
+	cores := []int{32, 64, 128, 256, 512, 1024}
+	if o.Quick {
+		cores = []int{32, 64, 128}
+	}
+	type syn struct {
+		name   string
+		cfg    dataset.ClusterConfig
+		paperN int64
+	}
+	syns := []syn{
+		{"SYN_1M (512-d)", dataset.SYN1MConfig(float64(o.Points)/1_000_000, o.Seed), 1_000_000},
+		{"SYN_10M (256-d)", dataset.SYN10MConfig(float64(o.Points)*2/10_000_000, o.Seed+7), 10_000_000},
+	}
+	for _, s := range syns {
+		g, err := dataset.GenerateClusters(s.cfg)
+		if err != nil {
+			return err
+		}
+		// Query interpretation: the paper says queries are "generated
+		// using uniform distribution in a single cluster with a
+		// compactness factor of 0.01". Taken literally (a tight ball
+		// inside one cluster), every query shares one home partition at
+		// every P and no strong scaling could exist — for the paper's
+		// 13-18x the query load must spread across partitions. We use
+		// data-distributed queries (perturbed dataset points), the same
+		// protocol as Figure 3(b); see EXPERIMENTS.md.
+		qs := dataset.PerturbedQueries(g.Data, o.Queries, 0.5, o.Seed+2)
+		w := &workload{name: s.name, data: g.Data, queries: qs}
+		rs, err := runScaling(w, cores, o, 4, s.paperN, false)
+		if err != nil {
+			return err
+		}
+		printScaling(o, s.name, rs)
+	}
+	fmt.Fprintln(o.Out, "paper: speedup ~13x (SYN_1M) and ~18x (SYN_10M) at 1024 cores vs 32")
+	return nil
+}
+
+// RunFig3b regenerates Figure 3(b): SIFT-like and DEEP-like stand-ins
+// priced at 1B points, cores 256..8192, speedups normalised to 256.
+func RunFig3b(o Options) error {
+	o.fill()
+	header(o.Out, "Figure 3(b): strong scaling on ANN_SIFT1B / DEEP1B stand-ins")
+	cores := []int{256, 512, 1024, 2048, 4096, 8192}
+	if o.Quick {
+		cores = []int{256, 512, 1024}
+	}
+	for _, name := range []string{"sift", "deep"} {
+		w, err := descriptorWorkload(name, o, false)
+		if err != nil {
+			return err
+		}
+		rs, err := runScaling(w, cores, o, 8, 1_000_000_000, false)
+		if err != nil {
+			return err
+		}
+		printScaling(o, name, rs)
+	}
+	fmt.Fprintln(o.Out, "paper: speedup ~25x for both datasets at 8192 cores vs 256 (near-linear)")
+	return nil
+}

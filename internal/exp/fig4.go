@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+// Figure 4: replication-based load balancing on a skewed query batch.
+// The paper runs SIFT1B on 8192 cores with replication factors 1..5 and
+// reports (a) total query time dropping by up to 11% and (b) the
+// per-process query-count distribution tightening around the optimum.
+//
+// Queries localised to one cluster (the paper's query protocol for the
+// synthetic sets, and the realistic hard case for routing skew) hammer
+// one region of the VP tree; the workgroup round-robin of Algorithm 5
+// spreads those hits over r cores.
+
+const fig4Workers = 64 // stand-in core count feasible in-process
+
+// fig4PaperN sizes the modelled partitions to match the paper's
+// 8192-core SIFT1B run (~122k points per partition).
+const fig4PaperN = int64(122_000) * fig4Workers
+
+func fig4Workload(o Options) (*workload, error) {
+	// The paper's Figure 4 runs the real ANN_SIFT1B query set: naturally
+	// skewed (queries follow the data's cluster structure) but not
+	// degenerate. Mirror that with the SIFT stand-in and a query mix of
+	// mostly natural (perturbed-point) queries plus a hot-cluster
+	// minority, which reproduces the moderate imbalance of Fig 4(b).
+	ds, err := dataset.Named("sift", o.Points, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	natural := dataset.PerturbedQueries(ds, o.Queries*3/4, 4, o.Seed+5)
+	hotBase := dataset.PerturbedQueries(ds, 1, 0, o.Seed+6).At(0)
+	qs := vec.NewDataset(ds.Dim, o.Queries)
+	qs.AppendAll(natural)
+	v := make([]float32, ds.Dim)
+	rng := rand.New(rand.NewSource(o.Seed + 7))
+	for qs.Len() < o.Queries {
+		for j := range v {
+			v[j] = hotBase[j] + float32(rng.NormFloat64()*2)
+		}
+		qs.Append(v, int64(qs.Len()))
+	}
+	return &workload{name: "sift+hotspot", data: ds, queries: qs}, nil
+}
+
+func runFig4(o Options) (map[int]*core.BatchResult, []int, error) {
+	w, err := fig4Workload(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	factors := []int{1, 2, 3, 4, 5}
+	if o.Quick {
+		factors = []int{1, 3, 5}
+	}
+	out := make(map[int]*core.BatchResult)
+	for _, r := range factors {
+		cfg := core.DefaultConfig(fig4Workers)
+		cfg.K = o.K
+		cfg.NProbe = 3
+		cfg.Replication = r
+		cfg.Seed = o.Seed
+		cfg.HNSW.M = 8
+		cfg.HNSW.EfConstruction = 48 // light build; tasks are model-priced
+		pre, _, err := prebuild(w.data.Clone(), fig4Workers, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := runPrebuilt(pre, w.queries, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[r] = res
+	}
+	return out, factors, nil
+}
+
+// RunFig4a regenerates Figure 4(a): total querying time per replication
+// factor.
+func RunFig4a(o Options) error {
+	o.fill()
+	header(o.Out, "Figure 4(a): total query time vs replication factor (skewed batch)")
+	results, factors, err := runFig4(o)
+	if err != nil {
+		return err
+	}
+	params := paperParams(64)
+	var base float64
+	for _, r := range factors {
+		res := results[r]
+		dc, hp := paperTaskCost(fig4PaperN, fig4Workers)
+		for i, tasks := range res.PerWorkerQueries {
+			res.PerWorkerDistComps[i] = tasks * dc
+			res.PerWorkerHops[i] = tasks * hp
+		}
+		est := model(params, res, fig4Workers, 64, o.K, o.Queries)
+		secs := est.Total.Seconds()
+		if r == factors[0] {
+			base = secs
+		}
+		fmt.Fprintf(o.Out, "  r=%d  modelled query time=%9.4fs  improvement vs r=1: %5.1f%%\n",
+			r, secs, 100*(base-secs)/base)
+	}
+	fmt.Fprintln(o.Out, "paper: up to 11% improvement at r=5 on 8192 cores")
+	return nil
+}
+
+// RunFig4b regenerates Figure 4(b): the distribution of per-process
+// query counts for each replication factor, with the optimal-balance
+// line.
+func RunFig4b(o Options) error {
+	o.fill()
+	header(o.Out, "Figure 4(b): per-process query distribution vs replication factor")
+	results, factors, err := runFig4(o)
+	if err != nil {
+		return err
+	}
+	for _, r := range factors {
+		res := results[r]
+		h := metrics.NewHistogram(res.PerWorkerQueries)
+		mn, q1, med, q3, mx := h.Quartiles()
+		_, _, imb := h.Spread()
+		fmt.Fprintf(o.Out, "  r=%d  queries/process: min=%5.0f q1=%5.0f med=%5.0f q3=%5.0f max=%5.0f  imbalance(max/mean)=%.2f\n",
+			r, mn, q1, med, q3, mx, imb)
+	}
+	optimal := float64(results[factors[0]].Dispatched) / float64(fig4Workers)
+	fmt.Fprintf(o.Out, "  optimal balance (red dotted line): %.1f queries/process\n", optimal)
+	fmt.Fprintln(o.Out, "paper: the range compacts toward the optimum as r grows")
+	return nil
+}

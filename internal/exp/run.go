@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"repro/internal/bruteforce"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/hnsw"
+	"repro/internal/index"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// groundTruth computes exact neighbor lists.
+func groundTruth(ds, qs *vec.Dataset, k int) [][]int32 {
+	return bruteforce.GroundTruth(ds, qs, k, vec.L2)
+}
+
+// prebuild partitions ds and builds the per-partition HNSW indexes once;
+// scaling sweeps reuse them across worker counts that divide evenly.
+func prebuild(ds *vec.Dataset, p int, cfg core.Config) (*core.Prebuilt, hnsw.Stats, error) {
+	res, err := vptree.BuildPartitions(ds, p, vptree.PartitionConfig{Metric: cfg.Metric, Seed: cfg.Seed})
+	if err != nil {
+		return nil, hnsw.Stats{}, err
+	}
+	pre := &core.Prebuilt{Tree: res.Tree, Indexes: make([]index.Local, p)}
+	errs := make([]error, p)
+	stats := make([]hnsw.Stats, p)
+	parallelFor(p, func(i int) {
+		hcfg := cfg.HNSW
+		if hcfg.M == 0 {
+			hcfg = hnsw.DefaultConfig(cfg.Metric)
+		}
+		hcfg.Seed = cfg.Seed + int64(i)
+		g, st, err := hnsw.Build(res.Partitions[i], hcfg, 1)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pre.Indexes[i] = index.WrapHNSW(g)
+		stats[i] = st
+	})
+	var total hnsw.Stats
+	for i := range stats {
+		if errs[i] != nil {
+			return nil, total, errs[i]
+		}
+		total = total.Add(stats[i])
+	}
+	return pre, total, nil
+}
+
+// runPrebuilt executes one batched search against a prebuilt index set
+// with P = len(pre.Indexes) workers and returns the batch result.
+func runPrebuilt(pre *core.Prebuilt, queries *vec.Dataset, cfg core.Config) (*core.BatchResult, error) {
+	p := len(pre.Indexes)
+	w := cluster.NewWorld(p + 1)
+	var out *core.BatchResult
+	err := w.Run(func(c *cluster.Comm) error {
+		return core.RunClusterPrebuilt(c, pre, cfg, func(m *core.Master) error {
+			res, err := m.Search(queries)
+			out = res
+			return err
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Work.Messages = w.Stats().Messages()
+	out.Work.Bytes = w.Stats().Bytes()
+	return out, nil
+}
+
+// model prices a batch result for the given core count. The master's
+// routing load is the measured best-first node-visit count (O(m log P)
+// per query), not a full-tree walk.
+func model(params costmodel.Params, res *core.BatchResult, p, dim, k, nq int) costmodel.Estimate {
+	routePerQuery := res.RouteNodes / int64(maxI(nq, 1))
+	if routePerQuery == 0 {
+		routePerQuery = int64(2 * log2ceilInt(p)) // custom routing paths: estimate
+	}
+	return params.Estimate(costmodel.Run{
+		P: p, Dim: dim, K: k,
+		NQueries:               nq,
+		Dispatched:             res.Dispatched,
+		PerWorkerDistComps:     res.PerWorkerDistComps,
+		PerWorkerHops:          res.PerWorkerHops,
+		PerWorkerTasks:         res.PerWorkerQueries,
+		RouteDistCompsPerQuery: routePerQuery,
+	})
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func parallelFor(n int, f func(i int)) {
+	const maxPar = 8
+	sem := make(chan struct{}, maxPar)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; done <- struct{}{} }()
+			f(i)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+// RunTable2 regenerates Table II: distributed construction times for the
+// ANN_SIFT1B stand-in across core counts, split into the total and the
+// HNSW portion.
+//
+// Two parts:
+//
+//   - measured: the real distributed construction protocol (Algorithms
+//     1–2: distributed vantage selection, distributed median, AlltoAllv
+//     shuffle, communicator splits, local HNSW build) runs at core
+//     counts feasible in-process, reporting wall times;
+//   - modelled: the measured per-point HNSW work and the shuffle
+//     volumes are priced at the paper's 1B points / 256..8192 cores.
+//
+// Shape to reproduce: the total shrinks slowly with P while the HNSW
+// phase (the "primary core of the construction") shrinks near-linearly —
+// at 8192 cores the VP phase dominates (paper: 14.7 total vs 4.3 HNSW
+// minutes).
+func RunTable2(o Options) error {
+	o.fill()
+	header(o.Out, "Table II: construction times (SIFT-like)")
+
+	w, err := descriptorWorkload("sift", o, false)
+	if err != nil {
+		return err
+	}
+	ds := w.data
+
+	// --- measured at feasible scale ---
+	fmt.Fprintf(o.Out, "measured (in-process ranks, %d points, 128-d):\n", ds.Len())
+	cores := []int{4, 8, 16, 32}
+	if o.Quick {
+		cores = []int{4, 8}
+	}
+	var perPointDC float64
+	for _, p := range cores {
+		world := cluster.NewWorld(p)
+		var agg core.ConstructStats
+		collect := make(chan core.ConstructStats, p)
+		t0 := time.Now()
+		err := world.Run(func(c *cluster.Comm) error {
+			shard, err := core.ScatterDataset(c, 0, ds, o.Seed)
+			if err != nil {
+				return err
+			}
+			cfg := core.DefaultConfig(p)
+			cfg.Seed = o.Seed
+			b, err := core.BuildDistributed(c, shard, cfg)
+			if err != nil {
+				return err
+			}
+			collect <- b.Stats
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		total := time.Since(t0)
+		close(collect)
+		var hnswDC int64
+		for st := range collect {
+			if st.HNSW > agg.HNSW {
+				agg.HNSW = st.HNSW
+			}
+			if st.VPTree > agg.VPTree {
+				agg.VPTree = st.VPTree
+			}
+			hnswDC += st.HNSWWork.DistComps
+		}
+		perPointDC = float64(hnswDC) / float64(ds.Len())
+		fmt.Fprintf(o.Out, "  P=%3d  total=%-9s hnsw(max rank)=%-9s vptree(max rank)=%s\n",
+			p, fmtDur(total), fmtDur(agg.HNSW), fmtDur(agg.VPTree))
+	}
+
+	// --- modelled at paper scale: 1B points, 128-d ---
+	fmt.Fprintf(o.Out, "modelled (1B points, 128-d, measured %.0f HNSW dist-comps/point):\n", perPointDC)
+	params := costmodel.Calibrate(128)
+	const billion = 1_000_000_000
+	fmt.Fprintf(o.Out, "  %-7s %-14s %-14s %-14s   (paper: total / hnsw minutes)\n", "cores", "total", "hnsw", "vptree")
+	paper := map[int][2]float64{
+		256: {21.5, 17.6}, 512: {20.1, 14.8}, 1024: {18.3, 12.4},
+		2048: {16.5, 9.8}, 4096: {15.2, 7.8}, 8192: {14.7, 4.3},
+	}
+	for _, p := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		pts := int64(billion / p)
+		est := params.EstimateConstruction(costmodel.ConstructionRun{
+			P: p, Dim: 128,
+			PointsPerRank:        pts,
+			HNSWDistCompsPerRank: int64(float64(pts) * perPointDC),
+			HNSWHopsPerRank:      int64(float64(pts) * perPointDC / 16),
+			Levels:               log2ceilInt(p),
+			ShuffleBytesPerRank:  pts * (128*4 + 8),
+		})
+		pp := paper[p]
+		fmt.Fprintf(o.Out, "  %-7d %-14s %-14s %-14s   (%.1f / %.1f)\n",
+			p, fmtDur(est.Total), fmtDur(est.HNSW), fmtDur(est.VPTree), pp[0], pp[1])
+	}
+	fmt.Fprintln(o.Out, "shape check: the HNSW phase shrinks near-linearly, as in the paper; the\nmodelled VP phase underestimates the paper's (their non-HNSW share is\nI/O- and fabric-bound at 1B points), so our modelled total keeps\nshrinking where the paper's saturates — see EXPERIMENTS.md")
+	return nil
+}
+
+func log2ceilInt(x int) int {
+	n := 0
+	for p := 1; p < x; p *= 2 {
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}

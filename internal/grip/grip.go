@@ -1,0 +1,239 @@
+// Package grip implements a GRIP-style multi-store k-NN index (Zhang &
+// He, CIKM 2019 — reference [15] of the paper): a two-layer design whose
+// first layer is a memory-resident graph index over compressed
+// (product-quantised) vectors that fetches r > k candidates, and whose
+// second layer validates those candidates against the full-precision
+// vectors kept in a larger, slower store (disk in GRIP; a file-backed or
+// in-memory Store here).
+//
+// The paper positions its distributed engine against this single-node
+// capacity-optimised design: GRIP reaches high recall with very low
+// memory, but is bounded by one machine's resources. The grip experiment
+// quantifies the recall-vs-r trade-off the two-layer validation buys
+// over the bare compressed index.
+package grip
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/hnsw"
+	"repro/internal/ivfpq"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Store supplies full-precision vectors by row for second-layer
+// validation. Implementations: MemStore (tests, small data) and
+// FileStore (the "disk" of the multi-store design).
+type Store interface {
+	// Vector reads row i into dst (len dim) and returns dst.
+	Vector(i int64, dst []float32) ([]float32, error)
+	// Len returns the number of stored vectors.
+	Len() int
+	io.Closer
+}
+
+// MemStore keeps the full-precision vectors in memory.
+type MemStore struct{ ds *vec.Dataset }
+
+// NewMemStore wraps a dataset.
+func NewMemStore(ds *vec.Dataset) *MemStore { return &MemStore{ds: ds} }
+
+// Vector implements Store.
+func (m *MemStore) Vector(i int64, dst []float32) ([]float32, error) {
+	if i < 0 || int(i) >= m.ds.Len() {
+		return nil, fmt.Errorf("grip: row %d out of range", i)
+	}
+	copy(dst, m.ds.At(int(i)))
+	return dst, nil
+}
+
+// Len implements Store.
+func (m *MemStore) Len() int { return m.ds.Len() }
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// FileStore reads full-precision vectors from a flat binary file of
+// float32 rows — real second-layer IO, like GRIP's SSD store.
+type FileStore struct {
+	f   *os.File
+	dim int
+	n   int
+}
+
+// WriteStoreFile writes ds as a flat row-major float32 file usable by
+// OpenFileStore.
+func WriteStoreFile(path string, ds *vec.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	row := make([]byte, 4*ds.Dim)
+	for i := 0; i < ds.Len(); i++ {
+		for j, x := range ds.At(i) {
+			binary.LittleEndian.PutUint32(row[4*j:], math.Float32bits(x))
+		}
+		if _, err := bw.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenFileStore opens a file written by WriteStoreFile.
+func OpenFileStore(path string, dim int) (*FileStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rowBytes := int64(4 * dim)
+	if st.Size()%rowBytes != 0 {
+		f.Close()
+		return nil, fmt.Errorf("grip: file size %d not a multiple of row size %d", st.Size(), rowBytes)
+	}
+	return &FileStore{f: f, dim: dim, n: int(st.Size() / rowBytes)}, nil
+}
+
+// Vector implements Store with one positioned read.
+func (s *FileStore) Vector(i int64, dst []float32) ([]float32, error) {
+	if i < 0 || int(i) >= s.n {
+		return nil, fmt.Errorf("grip: row %d out of range", i)
+	}
+	buf := make([]byte, 4*s.dim)
+	if _, err := s.f.ReadAt(buf, i*int64(4*s.dim)); err != nil {
+		return nil, err
+	}
+	for j := 0; j < s.dim; j++ {
+		dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+	}
+	return dst, nil
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int { return s.n }
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// Config sizes the two layers.
+type Config struct {
+	// PQ configures the compression of the in-memory layer.
+	PQ ivfpq.Config
+	// HNSW configures the graph over the reconstructed vectors.
+	HNSW hnsw.Config
+	// R is the default first-layer candidate count (r > k; default 4*k
+	// at search time if zero).
+	R    int
+	Seed int64
+}
+
+// Index is a built GRIP-style index. The graph layer holds only
+// PQ-reconstructed vectors; full precision lives in the Store.
+type Index struct {
+	cfg   Config
+	dim   int
+	graph *hnsw.Graph // over reconstructed vectors; IDs are store rows
+	store Store
+	// CompressedBytes approximates the memory footprint of layer one.
+	CompressedBytes int64
+}
+
+// Stats reports one search's work.
+type Stats struct {
+	GraphDistComps int64 // approximate-layer distance computations
+	Validations    int64 // full-precision re-ranks (store reads)
+}
+
+// Build trains PQ on ds, reconstructs every vector from its code, builds
+// the HNSW layer over the reconstructions, and attaches store for
+// validation. IDs in ds must equal store rows (0..n-1 order preserved).
+func Build(ds *vec.Dataset, store Store, cfg Config) (*Index, error) {
+	if ds.Len() != store.Len() {
+		return nil, fmt.Errorf("grip: dataset has %d rows, store %d", ds.Len(), store.Len())
+	}
+	if cfg.PQ.Seed == 0 {
+		cfg.PQ.Seed = cfg.Seed
+	}
+	// Train PQ (coarse layer unused here: one list keeps the
+	// reconstruction machinery simple and faithful to "PQ-compressed
+	// vectors + graph" of GRIP's first layer).
+	cfg.PQ.NList = 1
+	pq, err := ivfpq.Build(ds, cfg.PQ)
+	if err != nil {
+		return nil, err
+	}
+	recon, err := pq.ReconstructAll()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HNSW.M == 0 {
+		cfg.HNSW = hnsw.DefaultConfig(vec.L2)
+	}
+	cfg.HNSW.Seed = cfg.Seed
+	g, _, err := hnsw.Build(recon, cfg.HNSW, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		cfg:             cfg,
+		dim:             ds.Dim,
+		graph:           g,
+		store:           store,
+		CompressedBytes: pq.MemoryBytes(),
+	}, nil
+}
+
+// Search fetches r first-layer candidates and validates them against the
+// full-precision store, returning the exact-reranked top k.
+func (x *Index) Search(q []float32, k, r int) ([]topk.Result, Stats, error) {
+	if len(q) != x.dim {
+		return nil, Stats{}, fmt.Errorf("grip: query dim %d, index dim %d", len(q), x.dim)
+	}
+	if r <= 0 {
+		r = x.cfg.R
+	}
+	if r <= 0 {
+		r = 4 * k
+	}
+	if r < k {
+		r = k
+	}
+	var st Stats
+	cands, gst, err := x.graph.SearchEf(q, r, 2*r)
+	if err != nil {
+		return nil, st, err
+	}
+	st.GraphDistComps = gst.DistComps
+
+	col := topk.New(k)
+	buf := make([]float32, x.dim)
+	for _, c := range cands {
+		full, err := x.store.Vector(c.ID, buf)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Validations++
+		col.Push(c.ID, vec.L2Distance(q, full))
+	}
+	return col.Results(), st, nil
+}
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return x.graph.Len() }

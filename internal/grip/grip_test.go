@@ -1,0 +1,199 @@
+package grip
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+func workload(t testing.TB, n int) (*vec.Dataset, *vec.Dataset, [][]int32) {
+	t.Helper()
+	g, err := dataset.GenerateClusters(dataset.ClusterConfig{
+		N: n, Dim: 32, Clusters: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.PerturbedQueries(g.Data, 40, 0.1, 2)
+	truth := bruteforce.GroundTruth(g.Data, qs, 10, vec.L2)
+	return g.Data, qs, truth
+}
+
+func recallAt(t *testing.T, x *Index, qs *vec.Dataset, truth [][]int32, r int) float64 {
+	t.Helper()
+	res := make([][]topk.Result, qs.Len())
+	for i := 0; i < qs.Len(); i++ {
+		rs, _, err := x.Search(qs.At(i), 10, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[i] = rs
+	}
+	return metrics.MeanRecall(res, truth)
+}
+
+func TestMemStoreRoundtrip(t *testing.T) {
+	ds, _, _ := workload(t, 100)
+	s := NewMemStore(ds)
+	if s.Len() != 100 {
+		t.Fatalf("Len %d", s.Len())
+	}
+	buf := make([]float32, ds.Dim)
+	got, err := s.Vector(7, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		if got[j] != ds.At(7)[j] {
+			t.Fatal("vector mismatch")
+		}
+	}
+	if _, err := s.Vector(-1, buf); err == nil {
+		t.Error("want range error")
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	ds, _, _ := workload(t, 200)
+	path := t.TempDir() + "/store.bin"
+	if err := WriteStoreFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(path, ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 200 {
+		t.Fatalf("Len %d", s.Len())
+	}
+	buf := make([]float32, ds.Dim)
+	for _, i := range []int64{0, 42, 199} {
+		got, err := s.Vector(i, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != ds.At(int(i))[j] {
+				t.Fatalf("row %d mismatch", i)
+			}
+		}
+	}
+	if _, err := s.Vector(200, buf); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := OpenFileStore(path, ds.Dim+1); err == nil {
+		t.Error("want size-mismatch error")
+	}
+	if _, err := OpenFileStore(t.TempDir()+"/missing", 4); err == nil {
+		t.Error("want open error")
+	}
+}
+
+func TestValidationLiftsRecall(t *testing.T) {
+	ds, qs, truth := workload(t, 5000)
+	x, err := Build(ds.Clone(), NewMemStore(ds), Config{
+		PQ:   ivfpq.Config{M: 8},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != ds.Len() {
+		t.Fatalf("Len %d", x.Len())
+	}
+	if x.CompressedBytes <= 0 || x.CompressedBytes > ds.Bytes()/2 {
+		t.Errorf("compression: %d vs raw %d", x.CompressedBytes, ds.Bytes())
+	}
+	rSmall := recallAt(t, x, qs, truth, 10)
+	rBig := recallAt(t, x, qs, truth, 100)
+	if rBig < rSmall {
+		t.Errorf("more candidates should not hurt: r=10 %.3f, r=100 %.3f", rSmall, rBig)
+	}
+	if rBig < 0.8 {
+		t.Errorf("validated recall %.3f too low", rBig)
+	}
+}
+
+func TestSearchWithFileStore(t *testing.T) {
+	ds, qs, truth := workload(t, 2000)
+	path := t.TempDir() + "/fs.bin"
+	if err := WriteStoreFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileStore(path, ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	x, err := Build(ds.Clone(), fs, Config{PQ: ivfpq.Config{M: 8}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := recallAt(t, x, qs, truth, 80); r < 0.7 {
+		t.Errorf("file-store recall %.3f", r)
+	}
+	// stats populated
+	_, st, err := x.Search(qs.At(0), 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GraphDistComps == 0 || st.Validations == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ds, _, _ := workload(t, 100)
+	small, _, _ := workload(t, 50)
+	if _, err := Build(ds, NewMemStore(small), Config{PQ: ivfpq.Config{M: 8}}); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	x, err := Build(ds.Clone(), NewMemStore(ds), Config{PQ: ivfpq.Config{M: 8}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := x.Search(make([]float32, 3), 5, 10); err == nil {
+		t.Error("want dim error")
+	}
+	// default r paths
+	if _, _, err := x.Search(ds.At(0), 5, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultRFallbacks(t *testing.T) {
+	ds, _, _ := workload(t, 300)
+	// configured default R
+	x, err := Build(ds.Clone(), NewMemStore(ds), Config{PQ: ivfpq.Config{M: 8}, R: 25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, st, err := x.Search(ds.At(0), 5, 0) // r=0 -> cfg.R
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("%v %v", rs, err)
+	}
+	if st.Validations == 0 || st.Validations > 25 {
+		t.Errorf("validations %d, want <= 25", st.Validations)
+	}
+	// r < k clamps up to k
+	rs, _, err = x.Search(ds.At(0), 10, 3)
+	if err != nil || len(rs) != 10 {
+		t.Fatalf("clamp: %d results, %v", len(rs), err)
+	}
+}
+
+func TestWriteStoreFileErrors(t *testing.T) {
+	ds, _, _ := workload(t, 10)
+	if err := WriteStoreFile("/nonexistent-dir/x.bin", ds); err == nil {
+		t.Error("want create error")
+	}
+}

@@ -1,0 +1,691 @@
+// Package hnsw implements Hierarchical Navigable Small World graphs
+// (Malkov & Yashunin, TPAMI 2018), the sequential approximate k-NN index
+// the paper uses to search inside each data partition.
+//
+// The implementation follows the reference algorithms of the paper:
+//
+//   - exponentially distributed level assignment (skip-list style
+//     promotion, Section III-A of the CLUSTER paper);
+//   - greedy descent through the upper layers (Algorithm 2, ef=1);
+//   - beam search with dynamic candidate list of width ef on the target
+//     layers (Algorithm 2);
+//   - neighbor selection by the diversity heuristic with the
+//     keepPrunedConnections extension (Algorithm 4);
+//   - bidirectional linking with per-layer degree bounds M / Mmax / Mmax0.
+//
+// Index construction is safe for concurrent Add calls, mirroring the
+// multi-threaded OpenMP build in the paper. Concurrency is handled with a
+// snapshot discipline: every operation captures the node and vector slice
+// headers under a short RWMutex section and then works lock-free against
+// that snapshot, ignoring nodes that were appended afterwards (they will
+// be wired up by their own inserts). Per-node mutexes guard neighbor
+// lists.
+package hnsw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Config holds the HNSW construction and search parameters.
+type Config struct {
+	// M is the number of links created for a new node per layer; the
+	// paper sweeps M over {8,16,32,64} in Figure 6. Default 16.
+	M int
+	// Mmax0 bounds the degree on layer 0 (default 2*M); Mmax bounds the
+	// degree on the upper layers (default M).
+	Mmax0 int
+	Mmax  int
+	// EfConstruction is the beam width used while building (default 200).
+	EfConstruction int
+	// EfSearch is the default beam width for queries (default 64); Search
+	// always uses max(EfSearch, k).
+	EfSearch int
+	// Metric selects the distance. L2 is evaluated as squared L2
+	// internally (ordering-equivalent) with distances fixed up on return.
+	Metric vec.Metric
+	// Seed seeds level assignment; builds with equal seeds and a serial
+	// insertion order are reproducible.
+	Seed int64
+	// LevelMult is the level-assignment multiplier; 0 means 1/ln(M).
+	LevelMult float64
+	// KeepPruned enables the keepPrunedConnections extension of the
+	// neighbor-selection heuristic (on by default via DefaultConfig).
+	KeepPruned bool
+	// Heuristic selects diversity-based neighbor selection (Algorithm 4)
+	// instead of the simple closest-M rule. The ablation benchmark
+	// toggles this.
+	Heuristic bool
+	// Flat disables the layer hierarchy, turning the index into a plain
+	// Navigable Small World graph (Malkov et al. 2014) — the
+	// predecessor design whose O(log^2 n) search the hierarchy improves
+	// to O(log n) (Section III-A of the CLUSTER paper). The nsw
+	// comparison benchmark toggles this.
+	Flat bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments (M=16 default, heuristic selection on).
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{
+		M:              16,
+		EfConstruction: 200,
+		EfSearch:       64,
+		Metric:         metric,
+		Seed:           1,
+		KeepPruned:     true,
+		Heuristic:      true,
+	}
+}
+
+func (c *Config) fill() error {
+	if c.M <= 1 {
+		return fmt.Errorf("hnsw: M must be >1, got %d", c.M)
+	}
+	if c.Mmax == 0 {
+		c.Mmax = c.M
+	}
+	if c.Mmax0 == 0 {
+		c.Mmax0 = 2 * c.M
+	}
+	if c.EfConstruction < c.M {
+		c.EfConstruction = 2 * c.M
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	if c.LevelMult == 0 {
+		c.LevelMult = 1 / math.Log(float64(c.M))
+	}
+	return nil
+}
+
+// node is one graph vertex. links[l] holds the neighbor node indices at
+// layer l; len(links) == level+1.
+type node struct {
+	mu    sync.Mutex
+	links [][]uint32
+}
+
+// Graph is an HNSW index over an internally owned vec.Dataset. Node i of
+// the graph is row i of the dataset; results are reported with the rows'
+// global IDs.
+type Graph struct {
+	cfg   Config
+	dist  vec.DistFunc
+	sqrtL bool // report sqrt of internal distance (L2 via SquaredL2)
+
+	// epMu guards data, nodes, entry, maxLevel and empty. Operations copy
+	// the slice headers under the lock and then run lock-free against the
+	// copies.
+	epMu     sync.RWMutex
+	data     *vec.Dataset
+	nodes    []*node
+	entry    uint32
+	maxLevel int
+	empty    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// snap is an immutable view of the graph as of some moment: the first
+// len(nodes) vertices and their vectors. Slice contents only ever grow,
+// so rows < len(nodes) are stable.
+type snap struct {
+	dim   int
+	data  []float32
+	ids   []int64
+	nodes []*node
+	entry uint32
+	maxL  int
+}
+
+func (s *snap) vec(i uint32) []float32 {
+	return s.data[int(i)*s.dim : (int(i)+1)*s.dim]
+}
+
+// Stats reports the work performed by one search or accumulated over a
+// build; the distributed cost model consumes these.
+type Stats struct {
+	DistComps int64 // number of distance evaluations
+	Hops      int64 // number of graph expansions (nodes popped)
+}
+
+// Add combines two stats values.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{s.DistComps + o.DistComps, s.Hops + o.Hops}
+}
+
+// New creates an empty index of the given dimension.
+func New(dim int, cfg Config) (*Graph, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("hnsw: non-positive dimension %d", dim)
+	}
+	g := &Graph{
+		cfg:   cfg,
+		data:  vec.NewDataset(dim, 0),
+		empty: true,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	switch cfg.Metric {
+	case vec.L2:
+		g.dist = vec.SquaredL2Distance
+		g.sqrtL = true
+	default:
+		g.dist = cfg.Metric.Func()
+	}
+	return g, nil
+}
+
+// Build constructs an index over ds using nThreads concurrent inserters
+// (nThreads<=1 builds serially and reproducibly). ds is copied.
+func Build(ds *vec.Dataset, cfg Config, nThreads int) (*Graph, Stats, error) {
+	g, err := New(ds.Dim, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := g.AddAll(ds, nThreads)
+	return g, st, err
+}
+
+// Len returns the number of indexed vectors.
+func (g *Graph) Len() int {
+	g.epMu.RLock()
+	defer g.epMu.RUnlock()
+	return g.data.Len()
+}
+
+// Dim returns the vector dimension.
+func (g *Graph) Dim() int { return g.data.Dim }
+
+// Config returns the (filled-in) configuration.
+func (g *Graph) Config() Config { return g.cfg }
+
+// SetEfSearch changes the default query beam width.
+func (g *Graph) SetEfSearch(ef int) {
+	if ef > 0 {
+		g.cfg.EfSearch = ef
+	}
+}
+
+// Data exposes the underlying dataset. Callers must not mutate it and
+// must not call Data concurrently with Add.
+func (g *Graph) Data() *vec.Dataset { return g.data }
+
+func (g *Graph) randomLevel() int {
+	if g.cfg.Flat {
+		return 0 // plain NSW: every node lives on the single layer
+	}
+	g.rngMu.Lock()
+	u := g.rng.Float64()
+	g.rngMu.Unlock()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Floor(-math.Log(u) * g.cfg.LevelMult))
+}
+
+func (g *Graph) snapshotLocked() snap {
+	return snap{
+		dim:   g.data.Dim,
+		data:  g.data.Data,
+		ids:   g.data.IDs,
+		nodes: g.nodes,
+		entry: g.entry,
+		maxL:  g.maxLevel,
+	}
+}
+
+// Add inserts one vector with the given global ID and returns the work
+// performed. It is safe for concurrent use.
+func (g *Graph) Add(v []float32, id int64) (Stats, error) {
+	if len(v) != g.data.Dim {
+		return Stats{}, fmt.Errorf("hnsw: vector dim %d, index dim %d", len(v), g.data.Dim)
+	}
+	level := g.randomLevel()
+
+	// Claim a node slot and capture a snapshot that includes it.
+	g.epMu.Lock()
+	idx := uint32(g.data.Len())
+	g.data.Append(v, id)
+	n := &node{links: make([][]uint32, level+1)}
+	g.nodes = append(g.nodes, n)
+	if g.empty {
+		g.entry = idx
+		g.maxLevel = level
+		g.empty = false
+		g.epMu.Unlock()
+		return Stats{}, nil
+	}
+	s := g.snapshotLocked()
+	g.epMu.Unlock()
+
+	var st Stats
+	ctx := ctxPool.Get().(*searchCtx)
+	defer ctxPool.Put(ctx)
+	q := s.vec(idx)
+
+	// Greedy descent with ef=1 through layers above the node's level.
+	cur := s.entry
+	curDist := g.dist(q, s.vec(cur))
+	st.DistComps++
+	for l := s.maxL; l > level; l-- {
+		cur, curDist = g.greedyStep(&s, q, cur, curDist, l, &st)
+	}
+
+	// Beam search and linking on layers min(level,maxL)..0.
+	for l := min(level, s.maxL); l >= 0; l-- {
+		cands := g.searchLayer(&s, q, cur, g.cfg.EfConstruction, l, ctx, &st)
+		// Drop self if discovered through a concurrent back-link.
+		for i, c := range cands {
+			if c.id == idx {
+				cands = append(cands[:i], cands[i+1:]...)
+				break
+			}
+		}
+		selected := g.selectNeighbors(&s, q, cands, g.cfg.M, &st)
+		n.mu.Lock()
+		n.links[l] = append(n.links[l][:0], selected...)
+		n.mu.Unlock()
+		for _, nb := range selected {
+			g.linkBack(&s, nb, idx, l, &st)
+		}
+		if len(cands) > 0 {
+			cur = cands[0].id
+		}
+	}
+
+	if level > s.maxL {
+		g.epMu.Lock()
+		if level > g.maxLevel {
+			g.maxLevel = level
+			g.entry = idx
+		}
+		g.epMu.Unlock()
+	}
+	return st, nil
+}
+
+// greedyStep walks greedily at layer l until no neighbor improves.
+func (g *Graph) greedyStep(s *snap, q []float32, cur uint32, curDist float32, l int, st *Stats) (uint32, float32) {
+	for changed := true; changed; {
+		changed = false
+		st.Hops++
+		for _, nb := range g.neighbors(s, cur, l) {
+			d := g.dist(q, s.vec(nb))
+			st.DistComps++
+			if d < curDist {
+				curDist, cur = d, nb
+				changed = true
+			}
+		}
+	}
+	return cur, curDist
+}
+
+// AddAll inserts every row of ds using nThreads workers.
+func (g *Graph) AddAll(ds *vec.Dataset, nThreads int) (Stats, error) {
+	if ds.Dim != g.data.Dim {
+		return Stats{}, fmt.Errorf("hnsw: dataset dim %d, index dim %d", ds.Dim, g.data.Dim)
+	}
+	if nThreads <= 1 {
+		var total Stats
+		for i := 0; i < ds.Len(); i++ {
+			st, err := g.Add(ds.At(i), ds.ID(i))
+			if err != nil {
+				return total, err
+			}
+			total = total.Add(st)
+		}
+		return total, nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total Stats
+		first error
+	)
+	work := make(chan int, nThreads*4)
+	for w := 0; w < nThreads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Stats
+			for i := range work {
+				st, err := g.Add(ds.At(i), ds.ID(i))
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					continue
+				}
+				local = local.Add(st)
+			}
+			mu.Lock()
+			total = total.Add(local)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < ds.Len(); i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return total, first
+}
+
+// neighbors returns a copy of the links of node u at layer l, restricted
+// to nodes that exist in the snapshot.
+func (g *Graph) neighbors(s *snap, u uint32, l int) []uint32 {
+	n := s.nodes[u]
+	n.mu.Lock()
+	var out []uint32
+	if l < len(n.links) {
+		for _, x := range n.links[l] {
+			if int(x) < len(s.nodes) {
+				out = append(out, x)
+			}
+		}
+	}
+	n.mu.Unlock()
+	return out
+}
+
+// linkBack adds "to" into the neighbor list of u at layer l, shrinking
+// with the selection rule if the degree bound is exceeded.
+func (g *Graph) linkBack(s *snap, u, to uint32, l int, st *Stats) {
+	bound := g.cfg.Mmax
+	if l == 0 {
+		bound = g.cfg.Mmax0
+	}
+	n := s.nodes[u]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l >= len(n.links) {
+		return
+	}
+	for _, x := range n.links[l] {
+		if x == to {
+			return
+		}
+	}
+	if len(n.links[l]) < bound {
+		n.links[l] = append(n.links[l], to)
+		return
+	}
+	// Over-full: re-select among current neighbors + the new one. Links
+	// may reference nodes newer than our snapshot; their vectors are
+	// nevertheless stable (appends never move committed rows), but we
+	// must read them through the owner's current data. Restrict to the
+	// snapshot for safety; newer links are kept unconditionally.
+	base := s.vec(u)
+	cands := make([]cand, 0, len(n.links[l])+1)
+	var newer []uint32
+	for _, x := range n.links[l] {
+		if int(x) >= len(s.nodes) {
+			newer = append(newer, x)
+			continue
+		}
+		cands = append(cands, cand{x, g.dist(base, s.vec(x))})
+		st.DistComps++
+	}
+	cands = append(cands, cand{to, g.dist(base, s.vec(to))})
+	st.DistComps++
+	sortCands(cands)
+	keep := bound - len(newer)
+	if keep < 1 {
+		keep = 1
+	}
+	sel := g.selectNeighborsBase(s, base, cands, keep, st)
+	n.links[l] = append(sel, newer...)
+}
+
+type cand struct {
+	id   uint32
+	dist float32
+}
+
+func sortCands(cs []cand) {
+	// insertion sort: candidate lists are short (<= ef or Mmax+1)
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && (cs[j].dist > c.dist || (cs[j].dist == c.dist && cs[j].id > c.id)) {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}
+
+// selectNeighbors picks up to m nodes from the sorted candidate list,
+// judged against query point q.
+func (g *Graph) selectNeighbors(s *snap, q []float32, cands []cand, m int, st *Stats) []uint32 {
+	return g.selectNeighborsBase(s, q, cands, m, st)
+}
+
+func (g *Graph) selectNeighborsBase(s *snap, base []float32, cands []cand, m int, st *Stats) []uint32 {
+	if !g.cfg.Heuristic {
+		out := make([]uint32, 0, m)
+		for _, c := range cands {
+			if len(out) == m {
+				break
+			}
+			out = append(out, c.id)
+		}
+		return out
+	}
+	return g.selectHeuristic(s, cands, m, st)
+}
+
+// selectHeuristic is Algorithm 4 of Malkov & Yashunin: keep a candidate
+// only if it is closer to the query than to every already-kept neighbor,
+// which spreads links across directions; optionally backfill with the
+// pruned candidates.
+func (g *Graph) selectHeuristic(s *snap, cands []cand, m int, st *Stats) []uint32 {
+	kept := make([]cand, 0, m)
+	var pruned []cand
+	for _, c := range cands {
+		if len(kept) == m {
+			break
+		}
+		ok := true
+		cv := s.vec(c.id)
+		for _, k := range kept {
+			st.DistComps++
+			if g.dist(cv, s.vec(k.id)) < c.dist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, c)
+		} else if g.cfg.KeepPruned {
+			pruned = append(pruned, c)
+		}
+	}
+	for _, c := range pruned {
+		if len(kept) == m {
+			break
+		}
+		kept = append(kept, c)
+	}
+	out := make([]uint32, len(kept))
+	for i, c := range kept {
+		out[i] = c.id
+	}
+	return out
+}
+
+// searchCtx holds the per-search visited-set, reused across searches via
+// a pool; the epoch trick avoids clearing the array between searches.
+type searchCtx struct {
+	visited []uint32
+	epoch   uint32
+}
+
+func (c *searchCtx) reset(n int) {
+	if len(c.visited) < n {
+		c.visited = append(c.visited, make([]uint32, n-len(c.visited))...)
+	}
+	c.epoch++
+	if c.epoch == 0 { // wrapped: clear
+		for i := range c.visited {
+			c.visited[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+func (c *searchCtx) visit(u uint32) bool {
+	if c.visited[u] == c.epoch {
+		return false
+	}
+	c.visited[u] = c.epoch
+	return true
+}
+
+var ctxPool = sync.Pool{New: func() any { return &searchCtx{} }}
+
+// searchLayer is Algorithm 2: beam search of width ef on one layer,
+// returning up to ef candidates sorted by ascending distance.
+func (g *Graph) searchLayer(s *snap, q []float32, entry uint32, ef, l int, ctx *searchCtx, st *Stats) []cand {
+	ctx.reset(len(s.nodes))
+	var frontier topk.MinQueue
+	results := topk.New(ef)
+
+	d := g.dist(q, s.vec(entry))
+	st.DistComps++
+	ctx.visit(entry)
+	frontier.PushMin(int64(entry), d)
+	results.Push(int64(entry), d)
+
+	for frontier.Len() > 0 {
+		c := frontier.PopMin()
+		if c.Dist > results.Bound() {
+			break
+		}
+		st.Hops++
+		for _, nb := range g.neighbors(s, uint32(c.ID), l) {
+			if !ctx.visit(nb) {
+				continue
+			}
+			dn := g.dist(q, s.vec(nb))
+			st.DistComps++
+			if !results.Full() || dn < results.Bound() {
+				frontier.PushMin(int64(nb), dn)
+				results.Push(int64(nb), dn)
+			}
+		}
+	}
+	rs := results.Results()
+	out := make([]cand, len(rs))
+	for i, r := range rs {
+		out[i] = cand{uint32(r.ID), r.Dist}
+	}
+	return out
+}
+
+// ErrEmpty is returned when searching an index with no vectors.
+var ErrEmpty = errors.New("hnsw: empty index")
+
+// Search returns the approximate k nearest neighbors of q using the
+// configured EfSearch beam width.
+func (g *Graph) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	return g.SearchEf(q, k, g.cfg.EfSearch)
+}
+
+// SearchEf returns the approximate k nearest neighbors using beam width
+// max(ef, k). Results carry global IDs and distances in the configured
+// metric (true L2, not squared).
+func (g *Graph) SearchEf(q []float32, k, ef int) ([]topk.Result, Stats, error) {
+	g.epMu.RLock()
+	if g.empty {
+		g.epMu.RUnlock()
+		return nil, Stats{}, ErrEmpty
+	}
+	s := g.snapshotLocked()
+	g.epMu.RUnlock()
+
+	if len(q) != s.dim {
+		return nil, Stats{}, fmt.Errorf("hnsw: query dim %d, index dim %d", len(q), s.dim)
+	}
+	if ef < k {
+		ef = k
+	}
+	var st Stats
+	cur := s.entry
+	curDist := g.dist(q, s.vec(cur))
+	st.DistComps++
+	for l := s.maxL; l >= 1; l-- {
+		cur, curDist = g.greedyStep(&s, q, cur, curDist, l, &st)
+	}
+
+	ctx := ctxPool.Get().(*searchCtx)
+	cands := g.searchLayer(&s, q, cur, ef, 0, ctx, &st)
+	ctxPool.Put(ctx)
+
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]topk.Result, len(cands))
+	for i, c := range cands {
+		d := c.dist
+		if g.sqrtL {
+			d = float32(math.Sqrt(float64(d)))
+		}
+		out[i] = topk.Result{ID: s.ids[c.id], Dist: d}
+	}
+	return out, st, nil
+}
+
+// MaxLevel returns the current top layer of the hierarchy.
+func (g *Graph) MaxLevel() int {
+	g.epMu.RLock()
+	defer g.epMu.RUnlock()
+	return g.maxLevel
+}
+
+// GraphStats summarises the structure of the index.
+type GraphStats struct {
+	Nodes     int
+	MaxLevel  int
+	Edges     int64   // directed edges over all layers
+	AvgDegree float64 // layer-0 average out-degree
+}
+
+// Structure computes structural statistics; O(nodes + edges).
+func (g *Graph) Structure() GraphStats {
+	g.epMu.RLock()
+	nodes := g.nodes
+	maxL := g.maxLevel
+	g.epMu.RUnlock()
+	gs := GraphStats{Nodes: len(nodes), MaxLevel: maxL}
+	var deg0 int64
+	for _, n := range nodes {
+		n.mu.Lock()
+		for l, ls := range n.links {
+			gs.Edges += int64(len(ls))
+			if l == 0 {
+				deg0 += int64(len(ls))
+			}
+		}
+		n.mu.Unlock()
+	}
+	if gs.Nodes > 0 {
+		gs.AvgDegree = float64(deg0) / float64(gs.Nodes)
+	}
+	return gs
+}

@@ -1,0 +1,184 @@
+package hnsw
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/vec"
+)
+
+// Binary serialization of an HNSW index. The format is little-endian:
+//
+//	magic "HNSW" | version u32 | config block | dataset (vec format) |
+//	for each node: level u32, then per layer: degree u32 + ids
+//
+// Indexes saved by annbuild and loaded by annquery/annworker use this.
+
+const (
+	magic   = "HNSW"
+	version = 1
+)
+
+// WriteTo serialises the index. The index must not be mutated during the
+// call.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	u32 := func(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
+	u64 := func(v uint64) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if err := u32(version); err != nil {
+		return cw.n, err
+	}
+	cfg := g.cfg
+	for _, v := range []uint32{
+		uint32(cfg.M), uint32(cfg.Mmax0), uint32(cfg.Mmax),
+		uint32(cfg.EfConstruction), uint32(cfg.EfSearch), uint32(cfg.Metric),
+	} {
+		if err := u32(v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := u64(uint64(cfg.Seed)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, cfg.LevelMult); err != nil {
+		return cw.n, err
+	}
+	flags := uint32(0)
+	if cfg.KeepPruned {
+		flags |= 1
+	}
+	if cfg.Heuristic {
+		flags |= 2
+	}
+	if err := u32(flags); err != nil {
+		return cw.n, err
+	}
+	if err := u32(g.entry); err != nil {
+		return cw.n, err
+	}
+	if err := u32(uint32(g.maxLevel)); err != nil {
+		return cw.n, err
+	}
+	if err := g.data.WriteBinary(cw); err != nil {
+		return cw.n, err
+	}
+	for _, n := range g.nodes {
+		if err := u32(uint32(len(n.links))); err != nil {
+			return cw.n, err
+		}
+		for _, ls := range n.links {
+			if err := u32(uint32(len(ls))); err != nil {
+				return cw.n, err
+			}
+			for _, id := range ls {
+				if err := u32(id); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadFrom deserialises an index written by WriteTo.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("hnsw: bad magic %q", hdr)
+	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("hnsw: unsupported version %d", ver)
+	}
+	var raw [6]uint32
+	for i := range raw {
+		if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
+			return nil, err
+		}
+	}
+	var seed uint64
+	if err := binary.Read(br, binary.LittleEndian, &seed); err != nil {
+		return nil, err
+	}
+	var mult float64
+	if err := binary.Read(br, binary.LittleEndian, &mult); err != nil {
+		return nil, err
+	}
+	var flags, entry, maxLevel uint32
+	for _, p := range []*uint32{&flags, &entry, &maxLevel} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{
+		M: int(raw[0]), Mmax0: int(raw[1]), Mmax: int(raw[2]),
+		EfConstruction: int(raw[3]), EfSearch: int(raw[4]),
+		Metric: vec.Metric(raw[5]), Seed: int64(seed), LevelMult: mult,
+		KeepPruned: flags&1 != 0, Heuristic: flags&2 != 0,
+	}
+	ds, err := vec.ReadBinary(br)
+	if err != nil {
+		return nil, err
+	}
+	g, err := New(ds.Dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.data = ds
+	g.entry = entry
+	g.maxLevel = int(maxLevel)
+	g.empty = ds.Len() == 0
+	g.nodes = make([]*node, ds.Len())
+	for i := range g.nodes {
+		var nl uint32
+		if err := binary.Read(br, binary.LittleEndian, &nl); err != nil {
+			return nil, err
+		}
+		n := &node{links: make([][]uint32, nl)}
+		for l := range n.links {
+			var deg uint32
+			if err := binary.Read(br, binary.LittleEndian, &deg); err != nil {
+				return nil, err
+			}
+			if int(deg) > ds.Len() {
+				return nil, fmt.Errorf("hnsw: corrupt degree %d", deg)
+			}
+			ls := make([]uint32, deg)
+			for j := range ls {
+				if err := binary.Read(br, binary.LittleEndian, &ls[j]); err != nil {
+					return nil, err
+				}
+				if int(ls[j]) >= ds.Len() {
+					return nil, fmt.Errorf("hnsw: corrupt link %d", ls[j])
+				}
+			}
+			n.links[l] = ls
+		}
+		g.nodes[i] = n
+	}
+	return g, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,218 @@
+// Package index defines the pluggable local-index abstraction the paper
+// calls out as its extensibility point: "Our approach is extensible in
+// that any algorithm can be used for local indexing and searching
+// instead of HNSW" (Section VI).
+//
+// A Local index answers k-NN queries inside one partition. Four
+// implementations ship:
+//
+//	hnsw  - the paper's choice (approximate, fast, dimension-robust)
+//	vp    - exact vantage point tree (metric-agnostic)
+//	kd    - exact KD tree (the PANDA building block; L2 only)
+//	flat  - exact linear scan (always correct; the small-partition
+//	        fallback PANDA calls "SIMD optimised buckets")
+//
+// The single-process engine accepts any of them via Config.LocalIndex;
+// the ablate-local experiment compares them under identical routing.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hnsw"
+	"repro/internal/kdtree"
+	"repro/internal/topk"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// Stats is the work performed by one local search.
+type Stats struct {
+	DistComps int64
+	Hops      int64 // graph expansions or tree nodes visited
+}
+
+// Local is a per-partition k-NN index.
+type Local interface {
+	// Search returns up to k nearest neighbors of q with global IDs.
+	Search(q []float32, k int) ([]topk.Result, Stats, error)
+	// Len returns the number of indexed vectors.
+	Len() int
+	// Kind returns the registry name of the implementation.
+	Kind() string
+}
+
+// Builder constructs a Local over a partition. threads hints at
+// build-time parallelism (only HNSW uses it).
+type Builder func(ds *vec.Dataset, metric vec.Metric, threads int) (Local, error)
+
+// BuilderFor returns the builder registered under name. Supported:
+// "hnsw" (optionally configured via NewHNSWBuilder), "vp", "kd", "flat".
+func BuilderFor(name string) (Builder, error) {
+	switch name {
+	case "", "hnsw":
+		return NewHNSWBuilder(hnsw.Config{}), nil
+	case "vp":
+		return buildVP, nil
+	case "kd":
+		return buildKD, nil
+	case "flat":
+		return buildFlat, nil
+	}
+	return nil, fmt.Errorf("index: unknown local index %q", name)
+}
+
+// Names lists the registered local index kinds.
+func Names() []string {
+	ns := []string{"flat", "hnsw", "kd", "vp"}
+	sort.Strings(ns)
+	return ns
+}
+
+// --- HNSW adapter ---
+
+type hnswLocal struct{ g *hnsw.Graph }
+
+// NewHNSWBuilder returns a Builder using the given HNSW configuration
+// (zero value = hnsw.DefaultConfig for the metric).
+func NewHNSWBuilder(cfg hnsw.Config) Builder {
+	return func(ds *vec.Dataset, metric vec.Metric, threads int) (Local, error) {
+		c := cfg
+		if c.M == 0 {
+			c = hnsw.DefaultConfig(metric)
+		}
+		c.Metric = metric
+		g, _, err := hnsw.Build(ds, c, threads)
+		if err != nil {
+			return nil, err
+		}
+		return &hnswLocal{g: g}, nil
+	}
+}
+
+func (l *hnswLocal) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	rs, st, err := l.g.Search(q, k)
+	if err == hnsw.ErrEmpty {
+		return nil, Stats{}, nil
+	}
+	return rs, Stats{DistComps: st.DistComps, Hops: st.Hops}, err
+}
+
+func (l *hnswLocal) Len() int     { return l.g.Len() }
+func (l *hnswLocal) Kind() string { return "hnsw" }
+
+// Graph exposes the wrapped HNSW graph (for serialization paths that
+// remain HNSW-specific).
+func (l *hnswLocal) Graph() *hnsw.Graph { return l.g }
+
+// WrapHNSW adapts an existing HNSW graph (e.g. one deserialised from
+// disk) into a Local.
+func WrapHNSW(g *hnsw.Graph) Local { return &hnswLocal{g: g} }
+
+// HNSWGraph unwraps a Local into its HNSW graph if it is one.
+func HNSWGraph(l Local) (*hnsw.Graph, bool) {
+	h, ok := l.(*hnswLocal)
+	if !ok {
+		return nil, false
+	}
+	return h.g, true
+}
+
+// --- exact VP adapter ---
+
+type vpLocal struct {
+	t *vptree.Tree
+	n int
+}
+
+func buildVP(ds *vec.Dataset, metric vec.Metric, _ int) (Local, error) {
+	if ds.Len() == 0 {
+		return &vpLocal{nil, 0}, nil
+	}
+	return &vpLocal{vptree.NewTree(ds, vptree.TreeConfig{Metric: metric}), ds.Len()}, nil
+}
+
+func (l *vpLocal) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	if l.t == nil {
+		return nil, Stats{}, nil
+	}
+	rs, st := l.t.Search(q, k)
+	return rs, Stats{DistComps: st.DistComps, Hops: st.NodesSeen}, nil
+}
+
+func (l *vpLocal) Len() int     { return l.n }
+func (l *vpLocal) Kind() string { return "vp" }
+
+// --- exact KD adapter ---
+
+type kdLocal struct {
+	t *kdtree.Tree
+	n int
+}
+
+func buildKD(ds *vec.Dataset, metric vec.Metric, _ int) (Local, error) {
+	if metric != vec.L2 && metric != vec.SquaredL2 {
+		return nil, fmt.Errorf("index: kd local index supports L2 only, got %v", metric)
+	}
+	if ds.Len() == 0 {
+		return &kdLocal{nil, 0}, nil
+	}
+	return &kdLocal{kdtree.NewTree(ds, kdtree.TreeConfig{}), ds.Len()}, nil
+}
+
+func (l *kdLocal) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	if l.t == nil {
+		return nil, Stats{}, nil
+	}
+	rs, st := l.t.Search(q, k)
+	return rs, Stats{DistComps: st.DistComps, Hops: st.NodesSeen}, nil
+}
+
+func (l *kdLocal) Len() int     { return l.n }
+func (l *kdLocal) Kind() string { return "kd" }
+
+// --- flat scan adapter ---
+
+type flatLocal struct {
+	ds     *vec.Dataset
+	metric vec.Metric
+	dist   vec.DistFunc
+	sqrtL  bool
+}
+
+func buildFlat(ds *vec.Dataset, metric vec.Metric, _ int) (Local, error) {
+	l := &flatLocal{ds: ds, metric: metric}
+	if metric == vec.L2 {
+		l.dist = vec.SquaredL2Distance
+		l.sqrtL = true
+	} else {
+		l.dist = metric.Func()
+	}
+	return l, nil
+}
+
+func (l *flatLocal) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	c := topk.New(k)
+	for i := 0; i < l.ds.Len(); i++ {
+		c.Push(l.ds.ID(i), l.dist(q, l.ds.At(i)))
+	}
+	rs := c.Results()
+	if l.sqrtL {
+		for i := range rs {
+			rs[i].Dist = sqrt32(rs[i].Dist)
+		}
+	}
+	return rs, Stats{DistComps: int64(l.ds.Len())}, nil
+}
+
+func (l *flatLocal) Len() int     { return l.ds.Len() }
+func (l *flatLocal) Kind() string { return "flat" }
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}

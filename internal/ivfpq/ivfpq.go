@@ -1,0 +1,268 @@
+package ivfpq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Config sizes the IVFADC index.
+type Config struct {
+	// NList is the number of coarse inverted lists (default sqrt(n)-ish,
+	// min 16).
+	NList int
+	// M is the number of PQ subquantizers; must divide the dimension
+	// (default: largest divisor of dim that is <= dim/4 and <= 64).
+	M int
+	// Ks is the per-subspace codebook size (default 256, one byte).
+	Ks int
+	// TrainIters bounds the k-means iterations (default 12).
+	TrainIters int
+	// NProbe is the default number of lists scanned per query (default 8).
+	NProbe int
+	Seed   int64
+}
+
+func (c *Config) fill(n, dim int) error {
+	if c.NList <= 0 {
+		c.NList = 16
+		for c.NList*c.NList < n && c.NList < 1024 {
+			c.NList *= 2
+		}
+	}
+	if c.M == 0 {
+		for _, m := range []int{64, 48, 32, 24, 16, 12, 8, 6, 4, 3, 2, 1} {
+			if m <= dim && dim%m == 0 {
+				c.M = m
+				break
+			}
+		}
+	}
+	if dim%c.M != 0 {
+		return fmt.Errorf("ivfpq: M=%d does not divide dim=%d", c.M, dim)
+	}
+	if c.Ks <= 0 {
+		c.Ks = 256
+	}
+	if c.Ks > 256 {
+		return fmt.Errorf("ivfpq: Ks=%d exceeds one byte", c.Ks)
+	}
+	if c.TrainIters <= 0 {
+		c.TrainIters = 12
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = 8
+	}
+	return nil
+}
+
+// Index is a trained IVFADC index.
+type Index struct {
+	cfg  Config
+	dim  int
+	dsub int // dim / M
+
+	coarse    *vec.Dataset   // NList x dim
+	codebooks []*vec.Dataset // M books, each Ks x dsub (residual space)
+
+	lists [][]entry // per coarse list
+}
+
+type entry struct {
+	id   int64
+	code []byte // M bytes
+}
+
+// Stats reports the work of one search.
+type Stats struct {
+	Lists     int   // inverted lists scanned
+	Codes     int64 // PQ codes scored
+	DistComps int64 // full-precision distance computations (training-free here)
+}
+
+// Build trains the quantizers on ds and encodes every row.
+func Build(ds *vec.Dataset, cfg Config) (*Index, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("ivfpq: empty dataset")
+	}
+	if err := cfg.fill(ds.Len(), ds.Dim); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	idx := &Index{cfg: cfg, dim: ds.Dim, dsub: ds.Dim / cfg.M}
+
+	// coarse quantizer
+	idx.coarse = kmeans(ds, cfg.NList, cfg.TrainIters, rng)
+	cfg.NList = idx.coarse.Len()
+	idx.cfg.NList = cfg.NList
+
+	// residuals for PQ training
+	assign := make([]int, ds.Len())
+	residuals := vec.NewDataset(ds.Dim, ds.Len())
+	r := make([]float32, ds.Dim)
+	for i := 0; i < ds.Len(); i++ {
+		assign[i] = nearest(idx.coarse, ds.At(i))
+		cent := idx.coarse.At(assign[i])
+		v := ds.At(i)
+		for j := range r {
+			r[j] = v[j] - cent[j]
+		}
+		residuals.Append(r, ds.ID(i))
+	}
+
+	// per-subspace codebooks
+	idx.codebooks = make([]*vec.Dataset, cfg.M)
+	for m := 0; m < cfg.M; m++ {
+		sub := vec.NewDataset(idx.dsub, residuals.Len())
+		for i := 0; i < residuals.Len(); i++ {
+			row := residuals.At(i)
+			sub.Append(row[m*idx.dsub:(m+1)*idx.dsub], int64(i))
+		}
+		ks := cfg.Ks
+		if ks > sub.Len() {
+			ks = sub.Len()
+		}
+		idx.codebooks[m] = kmeans(sub, ks, cfg.TrainIters, rng)
+	}
+
+	// encode
+	idx.lists = make([][]entry, cfg.NList)
+	for i := 0; i < residuals.Len(); i++ {
+		row := residuals.At(i)
+		code := make([]byte, cfg.M)
+		for m := 0; m < cfg.M; m++ {
+			code[m] = byte(nearest(idx.codebooks[m], row[m*idx.dsub:(m+1)*idx.dsub]))
+		}
+		li := assign[i]
+		idx.lists[li] = append(idx.lists[li], entry{id: ds.ID(i), code: code})
+	}
+	return idx, nil
+}
+
+// Len returns the number of encoded vectors.
+func (x *Index) Len() int {
+	n := 0
+	for _, l := range x.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// MemoryBytes estimates the index payload: codes + centroids.
+func (x *Index) MemoryBytes() int64 {
+	var b int64
+	for _, l := range x.lists {
+		b += int64(len(l)) * int64(8+x.cfg.M)
+	}
+	b += x.coarse.Bytes()
+	for _, cb := range x.codebooks {
+		b += cb.Bytes()
+	}
+	return b
+}
+
+// Search returns the approximate k nearest neighbors of q scanning the
+// default NProbe lists.
+func (x *Index) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	return x.SearchNProbe(q, k, x.cfg.NProbe)
+}
+
+// SearchNProbe scans the nprobe closest inverted lists with ADC.
+func (x *Index) SearchNProbe(q []float32, k, nprobe int) ([]topk.Result, Stats, error) {
+	if len(q) != x.dim {
+		return nil, Stats{}, fmt.Errorf("ivfpq: query dim %d, index dim %d", len(q), x.dim)
+	}
+	if nprobe <= 0 {
+		nprobe = x.cfg.NProbe
+	}
+	if nprobe > x.cfg.NList {
+		nprobe = x.cfg.NList
+	}
+	var st Stats
+
+	// rank coarse centroids
+	type cd struct {
+		c int
+		d float32
+	}
+	cds := make([]cd, x.coarse.Len())
+	for c := 0; c < x.coarse.Len(); c++ {
+		cds[c] = cd{c, vec.SquaredL2Distance(q, x.coarse.At(c))}
+	}
+	st.DistComps += int64(x.coarse.Len())
+	sort.Slice(cds, func(i, j int) bool { return cds[i].d < cds[j].d })
+
+	col := topk.New(k)
+	table := make([]float32, x.cfg.M*x.cfg.Ks)
+	res := make([]float32, x.dim)
+	for pi := 0; pi < nprobe; pi++ {
+		li := cds[pi].c
+		if len(x.lists[li]) == 0 {
+			continue
+		}
+		st.Lists++
+		// residual of q against this centroid, then the ADC table
+		cent := x.coarse.At(li)
+		for j := range res {
+			res[j] = q[j] - cent[j]
+		}
+		for m := 0; m < x.cfg.M; m++ {
+			sub := res[m*x.dsub : (m+1)*x.dsub]
+			book := x.codebooks[m]
+			for kk := 0; kk < book.Len(); kk++ {
+				table[m*x.cfg.Ks+kk] = vec.SquaredL2Distance(sub, book.At(kk))
+			}
+			st.DistComps += int64(book.Len())
+		}
+		for _, e := range x.lists[li] {
+			var d float32
+			for m, c := range e.code {
+				d += table[m*x.cfg.Ks+int(c)]
+			}
+			col.Push(e.id, d)
+			st.Codes++
+		}
+	}
+	rs := col.Results()
+	for i := range rs {
+		rs[i].Dist = sqrt32(rs[i].Dist)
+	}
+	return rs, st, nil
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// ReconstructAll decodes every stored code back into its approximate
+// vector (coarse centroid + subspace codewords). GRIP-style two-layer
+// indexes build their in-memory graph over these reconstructions.
+func (x *Index) ReconstructAll() (*vec.Dataset, error) {
+	out := vec.NewDataset(x.dim, x.Len())
+	v := make([]float32, x.dim)
+	for li, list := range x.lists {
+		cent := x.coarse.At(li)
+		for _, e := range list {
+			copy(v, cent)
+			for m, c := range e.code {
+				book := x.codebooks[m]
+				if int(c) >= book.Len() {
+					return nil, fmt.Errorf("ivfpq: corrupt code %d in subspace %d", c, m)
+				}
+				cw := book.At(int(c))
+				for j, w := range cw {
+					v[m*x.dsub+j] += w
+				}
+			}
+			out.Append(v, e.id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package ivfpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+func workload(t testing.TB, n int) (*vec.Dataset, *vec.Dataset, [][]int32) {
+	t.Helper()
+	g, err := dataset.GenerateClusters(dataset.ClusterConfig{
+		N: n, Dim: 32, Clusters: 10, Outliers: n / 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.PerturbedQueries(g.Data, 50, 0.1, 2)
+	truth := bruteforce.GroundTruth(g.Data, qs, 10, vec.L2)
+	return g.Data, qs, truth
+}
+
+func TestBuildShape(t *testing.T) {
+	ds, _, _ := workload(t, 3000)
+	x, err := Build(ds, Config{NList: 32, M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != ds.Len() {
+		t.Fatalf("encoded %d of %d", x.Len(), ds.Len())
+	}
+	if x.MemoryBytes() <= 0 {
+		t.Error("no memory estimate")
+	}
+	// compression: codes must be much smaller than the raw vectors
+	raw := ds.Bytes()
+	if x.MemoryBytes() > raw/2 {
+		t.Errorf("index %d bytes not compressed vs raw %d", x.MemoryBytes(), raw)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	ds, _, _ := workload(t, 500)
+	if _, err := Build(ds, Config{M: 7}); err == nil {
+		t.Error("want error: M does not divide dim")
+	}
+	if _, err := Build(ds, Config{Ks: 999}); err == nil {
+		t.Error("want error: Ks too large")
+	}
+	if _, err := Build(vec.NewDataset(4, 0), Config{}); err == nil {
+		t.Error("want error: empty dataset")
+	}
+}
+
+func TestRecallImprovesWithNProbe(t *testing.T) {
+	ds, qs, truth := workload(t, 5000)
+	x, err := Build(ds, Config{NList: 64, M: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := func(nprobe int) float64 {
+		var acc float64
+		for i := 0; i < qs.Len(); i++ {
+			got, _, err := x.SearchNProbe(qs.At(i), 10, nprobe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += metrics.Recall(got, truth[i])
+		}
+		return acc / float64(qs.Len())
+	}
+	r1 := recall(1)
+	r8 := recall(8)
+	r64 := recall(64)
+	if r8 < r1 {
+		t.Errorf("recall should improve with nprobe: %v -> %v", r1, r8)
+	}
+	if r64 < 0.5 {
+		t.Errorf("full-probe recall %v too low", r64)
+	}
+	// the paper's point: quantization caps recall below near-perfect
+	if r64 > 0.995 {
+		t.Logf("note: recall ceiling unexpectedly high (%v) on this easy workload", r64)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ds, _, _ := workload(t, 400)
+	x, _ := Build(ds, Config{NList: 16, M: 8, Seed: 3})
+	if _, _, err := x.Search(make([]float32, 3), 5); err == nil {
+		t.Error("want dim error")
+	}
+	// nprobe clamping
+	if _, _, err := x.SearchNProbe(ds.At(0), 5, 10_000); err != nil {
+		t.Errorf("clamped nprobe should work: %v", err)
+	}
+	if _, _, err := x.SearchNProbe(ds.At(0), 5, 0); err != nil {
+		t.Errorf("default nprobe should work: %v", err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	ds, qs, _ := workload(t, 1000)
+	x, _ := Build(ds, Config{NList: 16, M: 8, Seed: 4})
+	_, st, err := x.SearchNProbe(qs.At(0), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lists == 0 || st.Codes == 0 || st.DistComps == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+}
+
+func TestKMeansClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// two well separated blobs: centroids must land near them
+	ds := vec.NewDataset(2, 200)
+	for i := 0; i < 200; i++ {
+		base := float32(0)
+		if i%2 == 1 {
+			base = 100
+		}
+		ds.Append([]float32{base + float32(rng.NormFloat64()), base + float32(rng.NormFloat64())}, int64(i))
+	}
+	cents := kmeans(ds, 2, 20, rng)
+	if cents.Len() != 2 {
+		t.Fatalf("%d centroids", cents.Len())
+	}
+	a, b := cents.At(0)[0], cents.At(1)[0]
+	if a > b {
+		a, b = b, a
+	}
+	if a > 10 || b < 90 {
+		t.Errorf("centroids not at blobs: %v %v", a, b)
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := vec.NewDataset(2, 3)
+	for i := 0; i < 3; i++ {
+		ds.Append([]float32{float32(i), 0}, int64(i))
+	}
+	cents := kmeans(ds, 10, 5, rng)
+	if cents.Len() != 3 {
+		t.Errorf("k should clamp to n: %d", cents.Len())
+	}
+}
+
+func TestReconstructAll(t *testing.T) {
+	ds, _, _ := workload(t, 1500)
+	x, err := Build(ds, Config{NList: 16, M: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := x.ReconstructAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recon.Len() != ds.Len() || recon.Dim != ds.Dim {
+		t.Fatalf("shape %d x %d", recon.Len(), recon.Dim)
+	}
+	// reconstruction error must be far below the data spread
+	byID := make(map[int64][]float32, recon.Len())
+	for i := 0; i < recon.Len(); i++ {
+		byID[recon.ID(i)] = recon.At(i)
+	}
+	var reconErr, spread float64
+	for i := 0; i < ds.Len(); i++ {
+		r, ok := byID[ds.ID(i)]
+		if !ok {
+			t.Fatalf("row %d missing from reconstruction", i)
+		}
+		reconErr += float64(vec.L2Distance(ds.At(i), r))
+		if i > 0 {
+			spread += float64(vec.L2Distance(ds.At(i), ds.At(i-1)))
+		}
+	}
+	if reconErr/float64(ds.Len()) > 0.5*spread/float64(ds.Len()-1) {
+		t.Errorf("reconstruction error %.2f too large vs spread %.2f",
+			reconErr/float64(ds.Len()), spread/float64(ds.Len()-1))
+	}
+}

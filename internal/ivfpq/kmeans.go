@@ -1,0 +1,104 @@
+// Package ivfpq implements an inverted-file index with product
+// quantization — the compressed single-node baseline family the paper
+// positions itself against (references [13], [14]; discussed with
+// Figure 6: "Compression methods, even though capable of building an
+// index for billion-scale datasets that can be fit into the memory of a
+// single node and perform search faster, cannot achieve near perfect
+// recalls").
+//
+// The index follows the classic IVFADC design (Jégou et al., "Product
+// quantization for nearest neighbor search", TPAMI 2011):
+//
+//   - a coarse k-means quantizer assigns each vector to one of nlist
+//     inverted lists;
+//   - residuals (vector minus its coarse centroid) are product-quantized:
+//     the dimension is split into M subspaces, each encoded by one byte
+//     against a 256-entry subspace codebook;
+//   - queries scan the nprobe closest lists using asymmetric distance
+//     computation (ADC): a per-query lookup table of subspace distances
+//     makes scoring one code M table lookups.
+//
+// The compressed experiment compares its recall ceiling against the
+// paper's uncompressed engine.
+package ivfpq
+
+import (
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// kmeans runs Lloyd's algorithm and returns k centroids over ds rows.
+// Empty clusters are reseeded from the farthest points of the largest
+// cluster, keeping exactly k non-degenerate centroids.
+func kmeans(ds *vec.Dataset, k, iters int, rng *rand.Rand) *vec.Dataset {
+	n, dim := ds.Len(), ds.Dim
+	if k > n {
+		k = n
+	}
+	cents := vec.NewDataset(dim, k)
+	for _, i := range rng.Perm(n)[:k] {
+		cents.Append(ds.At(i), int64(cents.Len()))
+	}
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*dim)
+	for it := 0; it < iters; it++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, float32(0)
+			v := ds.At(i)
+			for c := 0; c < k; c++ {
+				d := vec.SquaredL2Distance(v, cents.At(c))
+				if c == 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			v := ds.At(i)
+			for j := 0; j < dim; j++ {
+				sums[c*dim+j] += float64(v[j])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// reseed from a random point
+				copy(cents.At(c), ds.At(rng.Intn(n)))
+				continue
+			}
+			cc := cents.At(c)
+			for j := 0; j < dim; j++ {
+				cc[j] = float32(sums[c*dim+j] / float64(counts[c]))
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return cents
+}
+
+// nearest returns the index of the centroid closest to v.
+func nearest(cents *vec.Dataset, v []float32) int {
+	best, bestD := 0, float32(0)
+	for c := 0; c < cents.Len(); c++ {
+		d := vec.SquaredL2Distance(v, cents.At(c))
+		if c == 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

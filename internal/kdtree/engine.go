@@ -1,0 +1,127 @@
+package kdtree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Engine is the PANDA-style exact distributed k-NN baseline of Table
+// III: a KD partition tree routes queries, and each partition answers
+// exactly with a local KD tree. Search is best-first over partitions and
+// provably exact: partitions are visited in ascending lower-bound order
+// until the next bound exceeds the current k-th distance.
+//
+// The engine is deliberately *not* approximate — the paper's comparison
+// point is "distributed KD trees give exact results", and the cost it
+// pays in high dimensions (visiting almost every partition) is the
+// effect being measured.
+type Engine struct {
+	tree  *PartitionTree
+	parts []*Tree
+	dim   int
+}
+
+// EngineStats reports the work of one engine search.
+type EngineStats struct {
+	DistComps         int64
+	PartitionsVisited int
+}
+
+// NewEngine partitions ds into p partitions and indexes each with a
+// local KD tree.
+func NewEngine(ds *vec.Dataset, p int) (*Engine, error) {
+	res, err := BuildPartitions(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{tree: res.Tree, parts: make([]*Tree, p), dim: ds.Dim}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > p {
+		nw = p
+	}
+	var wg sync.WaitGroup
+	work := make(chan int, p)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				e.parts[i] = NewTree(res.Partitions[i], TreeConfig{})
+			}
+		}()
+	}
+	for i := 0; i < p; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return e, nil
+}
+
+// Dim returns the vector dimensionality.
+func (e *Engine) Dim() int { return e.dim }
+
+// Partitions returns the partition count.
+func (e *Engine) Partitions() int { return len(e.parts) }
+
+// Search returns the exact k nearest neighbors of q.
+func (e *Engine) Search(q []float32, k int) ([]topk.Result, EngineStats, error) {
+	if len(q) != e.dim {
+		return nil, EngineStats{}, fmt.Errorf("kdtree: query dim %d, index dim %d", len(q), e.dim)
+	}
+	routes := e.tree.RouteAll(q)
+	c := topk.New(k)
+	var st EngineStats
+	for _, rt := range routes {
+		if c.Full() && rt.LowerBound > c.Bound() {
+			break // no partition beyond this bound can improve the result
+		}
+		rs, ps := e.parts[rt.Partition].Search(q, k)
+		st.DistComps += ps.DistComps
+		st.PartitionsVisited++
+		for _, r := range rs {
+			c.Push(r.ID, r.Dist)
+		}
+	}
+	return c.Results(), st, nil
+}
+
+// SearchBatch answers all queries with nThreads workers and returns the
+// results plus aggregate work stats.
+func (e *Engine) SearchBatch(queries *vec.Dataset, k, nThreads int) ([][]topk.Result, EngineStats, error) {
+	if nThreads <= 0 {
+		nThreads = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]topk.Result, queries.Len())
+	stats := make([]EngineStats, queries.Len())
+	errs := make([]error, queries.Len())
+	var wg sync.WaitGroup
+	work := make(chan int, nThreads*2)
+	for w := 0; w < nThreads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], stats[i], errs[i] = e.Search(queries.At(i), k)
+			}
+		}()
+	}
+	for i := 0; i < queries.Len(); i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	var agg EngineStats
+	for i := range stats {
+		if errs[i] != nil {
+			return nil, agg, errs[i]
+		}
+		agg.DistComps += stats[i].DistComps
+		agg.PartitionsVisited += stats[i].PartitionsVisited
+	}
+	return out, agg, nil
+}

@@ -1,0 +1,84 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/vec"
+)
+
+func TestEngineExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ds := randDS(rng, 3000, 12)
+	e, err := NewEngine(ds.Clone(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 12 || e.Partitions() != 8 {
+		t.Fatalf("shape: %d/%d", e.Dim(), e.Partitions())
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randDS(rng, 1, 12).At(0)
+		got, st, err := e.Search(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteforce.Search(ds, q, 7, vec.L2)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d rank %d: %+v vs %+v (visited %d)", trial, i, got[i], want[i], st.PartitionsVisited)
+			}
+		}
+	}
+}
+
+func TestEngineBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ds := randDS(rng, 1000, 8)
+	e, _ := NewEngine(ds.Clone(), 4)
+	qs := randDS(rng, 25, 8)
+	batch, agg, err := e.SearchBatch(qs, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.DistComps == 0 || agg.PartitionsVisited == 0 {
+		t.Error("no aggregate stats")
+	}
+	for i := 0; i < qs.Len(); i++ {
+		single, _, _ := e.Search(qs.At(i), 5)
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("q%d differs", i)
+			}
+		}
+	}
+}
+
+func TestEngineVisitsMorePartitionsInHighDim(t *testing.T) {
+	// The Table III effect: identical engine, low vs high dimension.
+	rng := rand.New(rand.NewSource(22))
+	lo := randDS(rng, 4000, 3)
+	hi := randDS(rng, 4000, 96)
+	el, _ := NewEngine(lo.Clone(), 16)
+	eh, _ := NewEngine(hi.Clone(), 16)
+	var vl, vh int
+	for i := 0; i < 20; i++ {
+		_, sl, _ := el.Search(randDS(rng, 1, 3).At(0), 10)
+		_, sh, _ := eh.Search(randDS(rng, 1, 96).At(0), 10)
+		vl += sl.PartitionsVisited
+		vh += sh.PartitionsVisited
+	}
+	if vh <= vl {
+		t.Errorf("high-dim should visit more partitions: %d vs %d", vh, vl)
+	}
+}
+
+func TestEngineDimError(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ds := randDS(rng, 100, 4)
+	e, _ := NewEngine(ds, 2)
+	if _, _, err := e.Search(make([]float32, 3), 1); err == nil {
+		t.Error("want dim error")
+	}
+}

@@ -1,0 +1,199 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/median"
+	"repro/internal/vec"
+)
+
+// PartitionTree is the KD analogue of vptree.PartitionTree: an internal
+// KD split tree whose leaves are data partitions, used as the routing
+// structure of the PANDA-style baseline engine.
+type PartitionTree struct {
+	Dim    int
+	Root   *PNode
+	Leaves int
+}
+
+// PNode is one node of a KD PartitionTree.
+type PNode struct {
+	SplitDim int
+	SplitVal float32
+	Left     *PNode
+	Right    *PNode
+	Leaf     int32 // partition ID if >= 0
+}
+
+// IsLeaf reports whether n is a partition leaf.
+func (n *PNode) IsLeaf() bool { return n.Leaf >= 0 }
+
+// Route mirrors vptree.Route: a partition plus a lower bound on the
+// distance from the query to any point of the partition's region.
+type Route struct {
+	Partition  int
+	LowerBound float32
+}
+
+// BuildResult is the output of the KD partitioner.
+type BuildResult struct {
+	Tree       *PartitionTree
+	Partitions []*vec.Dataset
+	DistComps  int64 // spread scans, for cost parity with the VP builder
+}
+
+// BuildPartitions splits ds into p near-equal partitions by recursive
+// median splits on the max-spread dimension.
+func BuildPartitions(ds *vec.Dataset, p int) (*BuildResult, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("kdtree: need at least one partition, got %d", p)
+	}
+	if ds.Len() < p {
+		return nil, fmt.Errorf("kdtree: cannot split %d points into %d partitions", ds.Len(), p)
+	}
+	b := &kbuilder{}
+	root := b.split(ds, p)
+	t := &PartitionTree{Dim: ds.Dim, Root: root, Leaves: len(b.parts)}
+	return &BuildResult{Tree: t, Partitions: b.parts, DistComps: b.scans}, nil
+}
+
+type kbuilder struct {
+	parts []*vec.Dataset
+	scans int64
+}
+
+func (b *kbuilder) split(ds *vec.Dataset, p int) *PNode {
+	if p == 1 {
+		id := int32(len(b.parts))
+		b.parts = append(b.parts, ds)
+		return &PNode{Leaf: id, SplitDim: -1}
+	}
+	leftLeaves := p / 2
+	rows := make([]int, ds.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	d := maxSpreadDim(ds, rows)
+	b.scans += int64(ds.Len())
+	vals := make([]float32, ds.Len())
+	for i := range vals {
+		vals[i] = ds.At(i)[d]
+	}
+	rank := ds.Len()*leftLeaves/p - 1
+	if rank < 0 {
+		rank = 0
+	}
+	v := median.Select(append([]float32(nil), vals...), rank)
+	left := vec.NewDataset(ds.Dim, ds.Len()/2)
+	right := vec.NewDataset(ds.Dim, ds.Len()/2)
+	for i := range vals {
+		if vals[i] <= v {
+			left.Append(ds.At(i), ds.ID(i))
+		} else {
+			right.Append(ds.At(i), ds.ID(i))
+		}
+	}
+	if left.Len() < leftLeaves || right.Len() < p-leftLeaves {
+		// duplicate-heavy fallback: split by rank order
+		cut := ds.Len() * leftLeaves / p
+		if cut == 0 {
+			cut = 1
+		}
+		left = ds.Slice(0, cut).Clone()
+		right = ds.Slice(cut, ds.Len()).Clone()
+		v = left.At(left.Len() - 1)[d]
+	}
+	return &PNode{
+		SplitDim: d,
+		SplitVal: v,
+		Leaf:     -1,
+		Left:     b.split(left, leftLeaves),
+		Right:    b.split(right, p-leftLeaves),
+	}
+}
+
+// RouteAll returns every partition with its L2 lower bound, ascending.
+func (t *PartitionTree) RouteAll(q []float32) []Route {
+	var out []Route
+	offsets := make([]float32, t.Dim)
+	descend(t.Root, q, 0, offsets, math.MaxFloat32, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LowerBound != out[j].LowerBound {
+			return out[i].LowerBound < out[j].LowerBound
+		}
+		return out[i].Partition < out[j].Partition
+	})
+	return out
+}
+
+// RouteBall returns the partitions whose region intersects B(q, tau) —
+// the exact F(q) under L2.
+func (t *PartitionTree) RouteBall(q []float32, tau float32) []Route {
+	all := t.RouteAll(q)
+	cut := sort.Search(len(all), func(i int) bool { return all[i].LowerBound > tau })
+	return all[:cut]
+}
+
+// RouteTop returns the m most promising partitions.
+func (t *PartitionTree) RouteTop(q []float32, m int) []Route {
+	all := t.RouteAll(q)
+	if m < len(all) {
+		all = all[:m]
+	}
+	return all
+}
+
+// Home returns the partition whose cell contains q.
+func (t *PartitionTree) Home(q []float32) int {
+	n := t.Root
+	for !n.IsLeaf() {
+		if q[n.SplitDim] <= n.SplitVal {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return int(n.Leaf)
+}
+
+// descend tracks the per-dimension offset from q to the current cell;
+// lb2 is the running squared distance (sum of squared offsets).
+func descend(n *PNode, q []float32, lb2 float32, offsets []float32, tau float32, out *[]Route) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		*out = append(*out, Route{Partition: int(n.Leaf), LowerBound: float32(math.Sqrt(float64(lb2)))})
+		return
+	}
+	d := n.SplitDim
+	diff := q[d] - n.SplitVal
+	old := offsets[d]
+	// toward the left cell (x <= val): offset grows only if q is right
+	// of the plane
+	var offL, offR float32
+	if diff > 0 {
+		offL = diff
+	}
+	if diff < 0 {
+		offR = -diff
+	}
+	// entering a child replaces the old offset on dim d
+	lbL := lb2 - old*old + offL*offL
+	lbR := lb2 - old*old + offR*offR
+	if offL < old {
+		offL = old // never shrink: the cell only tightens going down
+		lbL = lb2
+	}
+	if offR < old {
+		offR = old
+		lbR = lb2
+	}
+	offsets[d] = offL
+	descend(n.Left, q, lbL, offsets, tau, out)
+	offsets[d] = offR
+	descend(n.Right, q, lbR, offsets, tau, out)
+	offsets[d] = old
+}

@@ -1,0 +1,168 @@
+// Package lsh implements locality-sensitive hashing for Euclidean
+// space — the classic approximate k-NN family the paper's related work
+// opens with (Indyk & Motwani [9]). It serves as a second approximate
+// baseline beside IVF-PQ: LSH answers from hash-bucket candidates plus
+// exact re-ranking, trading memory (L tables) for recall.
+//
+// The scheme is p-stable E2LSH: each of L tables hashes a vector by K
+// quantised Gaussian projections h(v) = floor((a·v + b)/W); the K values
+// concatenate into the bucket key. Queries collect the union of their
+// buckets across tables and re-rank candidates with true distances.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Config sizes the hash structure.
+type Config struct {
+	// Tables is L, the number of independent hash tables (default 8).
+	Tables int
+	// Hashes is K, the projections concatenated per table (default 12).
+	Hashes int
+	// Width is the quantisation bucket width W; 0 auto-tunes to the mean
+	// pairwise distance of a sample (the standard E2LSH heuristic).
+	Width float64
+	Seed  int64
+}
+
+func (c *Config) fill() {
+	if c.Tables <= 0 {
+		c.Tables = 8
+	}
+	if c.Hashes <= 0 {
+		c.Hashes = 12
+	}
+}
+
+// Index is a built LSH index. It retains the dataset for re-ranking.
+type Index struct {
+	cfg Config
+	ds  *vec.Dataset
+
+	// projections: [Tables][Hashes] rows of dim floats + offsets
+	proj   [][]float32 // flattened per table: Hashes*dim
+	offset [][]float64
+	tables []map[string][]int32 // bucket key -> row indices
+}
+
+// Stats reports the work of one search.
+type Stats struct {
+	Candidates int   // unique candidates re-ranked
+	DistComps  int64 // exact distances computed
+}
+
+// Build hashes every row of ds (retained, not copied).
+func Build(ds *vec.Dataset, cfg Config) (*Index, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("lsh: empty dataset")
+	}
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	if cfg.Width <= 0 {
+		cfg.Width = estimateWidth(ds, rng)
+	}
+	x := &Index{
+		cfg:    cfg,
+		ds:     ds,
+		proj:   make([][]float32, cfg.Tables),
+		offset: make([][]float64, cfg.Tables),
+		tables: make([]map[string][]int32, cfg.Tables),
+	}
+	dim := ds.Dim
+	for t := 0; t < cfg.Tables; t++ {
+		x.proj[t] = make([]float32, cfg.Hashes*dim)
+		x.offset[t] = make([]float64, cfg.Hashes)
+		for h := 0; h < cfg.Hashes; h++ {
+			for j := 0; j < dim; j++ {
+				x.proj[t][h*dim+j] = float32(rng.NormFloat64())
+			}
+			x.offset[t][h] = rng.Float64() * cfg.Width
+		}
+		x.tables[t] = make(map[string][]int32)
+	}
+	key := make([]byte, 0, cfg.Hashes*3)
+	for i := 0; i < ds.Len(); i++ {
+		v := ds.At(i)
+		for t := 0; t < cfg.Tables; t++ {
+			key = x.bucketKey(key[:0], t, v)
+			k := string(key)
+			x.tables[t][k] = append(x.tables[t][k], int32(i))
+		}
+	}
+	return x, nil
+}
+
+// estimateWidth samples pairwise distances and returns their mean.
+func estimateWidth(ds *vec.Dataset, rng *rand.Rand) float64 {
+	const samples = 200
+	var sum float64
+	for s := 0; s < samples; s++ {
+		a := rng.Intn(ds.Len())
+		b := rng.Intn(ds.Len())
+		sum += float64(vec.L2Distance(ds.At(a), ds.At(b)))
+	}
+	w := sum / samples
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// bucketKey appends the quantised hash tuple of v for table t to dst.
+func (x *Index) bucketKey(dst []byte, t int, v []float32) []byte {
+	dim := x.ds.Dim
+	for h := 0; h < x.cfg.Hashes; h++ {
+		dot := float64(vec.Dot(x.proj[t][h*dim:(h+1)*dim], v))
+		q := int64((dot + x.offset[t][h]) / x.cfg.Width)
+		if dot+x.offset[t][h] < 0 {
+			q-- // floor for negatives
+		}
+		// varint-ish packing keeps keys short
+		dst = append(dst, byte(q), byte(q>>8), byte(q>>16))
+	}
+	return dst
+}
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return x.ds.Len() }
+
+// Search returns the approximate k nearest neighbors of q: the union of
+// q's buckets across tables, exactly re-ranked.
+func (x *Index) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	if len(q) != x.ds.Dim {
+		return nil, Stats{}, fmt.Errorf("lsh: query dim %d, index dim %d", len(q), x.ds.Dim)
+	}
+	var st Stats
+	seen := make(map[int32]bool)
+	col := topk.New(k)
+	key := make([]byte, 0, x.cfg.Hashes*3)
+	for t := 0; t < x.cfg.Tables; t++ {
+		key = x.bucketKey(key[:0], t, q)
+		for _, row := range x.tables[t][string(key)] {
+			if seen[row] {
+				continue
+			}
+			seen[row] = true
+			st.Candidates++
+			st.DistComps++
+			col.Push(x.ds.ID(int(row)), vec.L2Distance(q, x.ds.At(int(row))))
+		}
+	}
+	return col.Results(), st, nil
+}
+
+// MemoryBytes estimates table overhead (keys + row indices).
+func (x *Index) MemoryBytes() int64 {
+	var b int64
+	for _, t := range x.tables {
+		for k, rows := range t {
+			b += int64(len(k)) + int64(len(rows))*4
+		}
+	}
+	return b
+}

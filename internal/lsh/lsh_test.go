@@ -1,0 +1,117 @@
+package lsh
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+func workload(t testing.TB, n int) (*vec.Dataset, *vec.Dataset, [][]int32) {
+	t.Helper()
+	g, err := dataset.GenerateClusters(dataset.ClusterConfig{
+		N: n, Dim: 24, Clusters: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.PerturbedQueries(g.Data, 40, 0.05, 2)
+	truth := bruteforce.GroundTruth(g.Data, qs, 10, vec.L2)
+	return g.Data, qs, truth
+}
+
+func meanRecall(t *testing.T, x *Index, qs *vec.Dataset, truth [][]int32) float64 {
+	t.Helper()
+	res := make([][]topk.Result, qs.Len())
+	for i := 0; i < qs.Len(); i++ {
+		rs, _, err := x.Search(qs.At(i), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[i] = rs
+	}
+	return metrics.MeanRecall(res, truth)
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	ds, qs, truth := workload(t, 4000)
+	x, err := Build(ds, Config{Tables: 12, Hashes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != ds.Len() {
+		t.Fatalf("Len %d", x.Len())
+	}
+	if r := meanRecall(t, x, qs, truth); r < 0.4 {
+		t.Errorf("LSH recall %v unexpectedly low", r)
+	}
+	if x.MemoryBytes() <= 0 {
+		t.Error("no memory estimate")
+	}
+}
+
+func TestRecallImprovesWithTables(t *testing.T) {
+	ds, qs, truth := workload(t, 3000)
+	few, err := Build(ds, Config{Tables: 2, Hashes: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Build(ds, Config{Tables: 16, Hashes: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := meanRecall(t, few, qs, truth)
+	rm := meanRecall(t, many, qs, truth)
+	if rm < rf {
+		t.Errorf("more tables should not hurt recall: %v -> %v", rf, rm)
+	}
+}
+
+func TestCandidatesAreExactlyRanked(t *testing.T) {
+	// whatever candidates LSH surfaces, their order must be the true
+	// distance order (exact re-ranking)
+	ds, qs, _ := workload(t, 1000)
+	x, _ := Build(ds, Config{Tables: 8, Hashes: 6, Seed: 3})
+	for i := 0; i < 10; i++ {
+		rs, st, _ := x.Search(qs.At(i), 10)
+		for j := 1; j < len(rs); j++ {
+			if rs[j].Dist < rs[j-1].Dist {
+				t.Fatal("results out of order")
+			}
+		}
+		if len(rs) > 0 && st.Candidates == 0 {
+			t.Fatal("stats missing")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(vec.NewDataset(4, 0), Config{}); err == nil {
+		t.Error("want empty error")
+	}
+	ds, _, _ := workload(t, 100)
+	x, _ := Build(ds, Config{})
+	if _, _, err := x.Search(make([]float32, 3), 5); err == nil {
+		t.Error("want dim error")
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	ds, _, _ := workload(t, 2000)
+	x, _ := Build(ds, Config{Tables: 10, Hashes: 8, Seed: 4})
+	hits := 0
+	for i := 0; i < 50; i++ {
+		row := i * 37 % ds.Len()
+		rs, _, _ := x.Search(ds.At(row), 1)
+		if len(rs) > 0 && rs[0].ID == ds.ID(row) {
+			hits++
+		}
+	}
+	// a point always hashes into its own bucket in every table
+	if hits != 50 {
+		t.Errorf("self-query hits %d/50", hits)
+	}
+}

@@ -1,0 +1,163 @@
+// Package median provides selection algorithms: in-place quickselect with
+// median-of-medians pivoting (worst-case O(n)) and the weighted-median
+// combiner used by the distributed median algorithm in the VP-tree
+// construction (Algorithm 2 of the paper computes split radii with a
+// "distributed version of the median of medians algorithm").
+package median
+
+import "sort"
+
+// Select returns the k-th smallest element (0-based) of xs, partially
+// reordering xs in place. It panics if k is out of range.
+func Select(xs []float32, k int) float32 {
+	if k < 0 || k >= len(xs) {
+		panic("median: k out of range")
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := partition(xs, lo, hi, pivot(xs, lo, hi))
+		switch {
+		case k == p:
+			return xs[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return xs[k]
+}
+
+// Median returns the lower median of xs (element at index (n-1)/2 of the
+// sorted order), partially reordering xs in place.
+func Median(xs []float32) float32 {
+	if len(xs) == 0 {
+		panic("median: empty input")
+	}
+	return Select(xs, (len(xs)-1)/2)
+}
+
+// MedianCopy is Median on a copy, leaving xs untouched.
+func MedianCopy(xs []float32) float32 {
+	tmp := append([]float32(nil), xs...)
+	return Median(tmp)
+}
+
+// pivot computes a median-of-medians pivot value for xs[lo..hi].
+func pivot(xs []float32, lo, hi int) float32 {
+	n := hi - lo + 1
+	if n <= 5 {
+		return medianOfFive(xs, lo, hi)
+	}
+	// median of the medians of groups of five, collected out of place so
+	// the input is not disturbed before partitioning
+	medians := make([]float32, 0, (n+4)/5)
+	for i := lo; i <= hi; i += 5 {
+		end := i + 4
+		if end > hi {
+			end = hi
+		}
+		medians = append(medians, medianOfFive(xs, i, end))
+	}
+	return Select(medians, (len(medians)-1)/2)
+}
+
+func medianOfFive(xs []float32, lo, hi int) float32 {
+	tmp := make([]float32, hi-lo+1)
+	copy(tmp, xs[lo:hi+1])
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	return tmp[(len(tmp)-1)/2]
+}
+
+// partition performs a three-way-safe Lomuto partition of xs[lo..hi]
+// around value pv and returns the final index of one element equal to pv
+// (or the closest split position).
+func partition(xs []float32, lo, hi int, pv float32) int {
+	// move an element equal to pv (or the first >= pv) to the end
+	idx := lo
+	for i := lo; i <= hi; i++ {
+		if xs[i] == pv {
+			idx = i
+			break
+		}
+	}
+	xs[idx], xs[hi] = xs[hi], xs[idx]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if xs[i] < xs[hi] {
+			xs[i], xs[store] = xs[store], xs[i]
+			store++
+		}
+	}
+	xs[store], xs[hi] = xs[hi], xs[store]
+	return store
+}
+
+// WeightedMedian returns the weighted lower median of values: the
+// smallest v such that the weight of {x <= v} is at least half the total.
+// This is the combiner the distributed median uses: each rank contributes
+// its local median weighted by its local count. The slices must have
+// equal length and positive total weight.
+type WeightedValue struct {
+	Value  float32
+	Weight int64
+}
+
+// WeightedMedian computes the weighted lower median of vs.
+func WeightedMedian(vs []WeightedValue) float32 {
+	if len(vs) == 0 {
+		panic("median: empty weighted input")
+	}
+	sorted := append([]WeightedValue(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Value < sorted[j].Value })
+	var total int64
+	for _, v := range sorted {
+		total += v.Weight
+	}
+	half := (total + 1) / 2
+	var acc int64
+	for _, v := range sorted {
+		acc += v.Weight
+		if acc >= half {
+			return v.Value
+		}
+	}
+	return sorted[len(sorted)-1].Value
+}
+
+// CountLE returns how many elements of xs are <= v.
+func CountLE(xs []float32, v float32) int64 {
+	var n int64
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return n
+}
+
+// Rank returns the k-th smallest (0-based) across many distributed value
+// slices by iterative bisection on the value domain. It is exact for the
+// discrete set of values present. This mirrors the master-side step of
+// the distributed median: the caller supplies per-rank count callbacks.
+//
+// countLE(v) must return the total number of elements <= v across all
+// ranks; lo/hi must bracket all values; values is the total element
+// count.
+func Rank(k int64, values int64, lo, hi float32, countLE func(v float32) int64, maxIter int) float32 {
+	if values <= 0 || k < 0 || k >= values {
+		panic("median: bad rank query")
+	}
+	for i := 0; i < maxIter && lo < hi; i++ {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi { // float underflow: cannot split further
+			break
+		}
+		if countLE(mid) >= k+1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,143 @@
+package median
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedCopy(xs []float32) []float32 {
+	s := append([]float32(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		xs := make([]float32, n)
+		for i := range xs {
+			xs[i] = float32(rng.NormFloat64())
+		}
+		want := sortedCopy(xs)
+		k := rng.Intn(n)
+		if got := Select(append([]float32(nil), xs...), k); got != want[k] {
+			t.Fatalf("trial %d: Select(%d) = %v want %v", trial, k, got, want[k])
+		}
+	}
+}
+
+func TestSelectDuplicates(t *testing.T) {
+	xs := []float32{2, 2, 2, 2, 2}
+	if got := Select(xs, 2); got != 2 {
+		t.Errorf("got %v", got)
+	}
+	xs = []float32{1, 3, 1, 3, 1, 3}
+	want := sortedCopy(xs)
+	for k := range xs {
+		if got := Select(append([]float32(nil), xs...), k); got != want[k] {
+			t.Errorf("k=%d got %v want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestMedianQuick(t *testing.T) {
+	err := quick.Check(func(xs []float32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		want := sortedCopy(xs)[(len(xs)-1)/2]
+		return MedianCopy(xs) == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianCopyLeavesInputUnchanged(t *testing.T) {
+	xs := []float32{5, 1, 4, 2, 3}
+	MedianCopy(xs)
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Select(nil, 0) },
+		func() { Median(nil) },
+		func() { WeightedMedian(nil) },
+		func() { Rank(0, 0, 0, 1, nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	vs := []WeightedValue{{1, 1}, {10, 3}, {5, 2}}
+	// sorted: 1(w1) 5(w2) 10(w3); total 6, half 3 -> cumulative 1,3 -> 5
+	if got := WeightedMedian(vs); got != 5 {
+		t.Errorf("got %v want 5", got)
+	}
+	if got := WeightedMedian([]WeightedValue{{7, 1}}); got != 7 {
+		t.Errorf("single: got %v", got)
+	}
+}
+
+func TestCountLE(t *testing.T) {
+	if got := CountLE([]float32{1, 2, 3, 4}, 2.5); got != 2 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestRankFindsGlobalMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// three "ranks" of data
+	parts := make([][]float32, 3)
+	var all []float32
+	for p := range parts {
+		n := 100 + rng.Intn(100)
+		parts[p] = make([]float32, n)
+		for i := range parts[p] {
+			parts[p][i] = float32(rng.NormFloat64() * 10)
+		}
+		all = append(all, parts[p]...)
+	}
+	want := sortedCopy(all)[(len(all)-1)/2]
+	countLE := func(v float32) int64 {
+		var n int64
+		for _, p := range parts {
+			n += CountLE(p, v)
+		}
+		return n
+	}
+	got := Rank(int64((len(all)-1)/2), int64(len(all)), -100, 100, countLE, 200)
+	// got is the smallest representable value with enough mass <= it; it
+	// must equal the true median element.
+	if got != want {
+		t.Errorf("Rank = %v want %v", got, want)
+	}
+}
+
+func BenchmarkSelect10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]float32, 10000)
+	for i := range base {
+		base[i] = rng.Float32()
+	}
+	buf := make([]float32, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		Select(buf, len(buf)/2)
+	}
+}

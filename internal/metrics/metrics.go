@@ -1,0 +1,200 @@
+// Package metrics provides the measurement machinery of the evaluation:
+// recall@k against ground truth (Table III, Figure 6), latency and
+// timing statistics, time-breakdown accounting between computation and
+// communication (Figure 5), and query-distribution histograms across
+// processors (Figure 4b).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/topk"
+)
+
+// Recall returns |approx ∩ truth| / |truth| for one query, the paper's
+// recall definition ("the ratio of the number of true k-nearest
+// neighbors in the result of the approximate search to k").
+func Recall(approx []topk.Result, truth []int32) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	set := make(map[int64]bool, len(truth))
+	for _, id := range truth {
+		set[int64(id)] = true
+	}
+	hit := 0
+	for _, r := range approx {
+		if set[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// MeanRecall averages Recall over a batch; rows of approx and truth
+// correspond.
+func MeanRecall(approx [][]topk.Result, truth [][]int32) float64 {
+	if len(approx) != len(truth) {
+		panic(fmt.Sprintf("metrics: %d approx rows vs %d truth rows", len(approx), len(truth)))
+	}
+	if len(approx) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range approx {
+		s += Recall(approx[i], truth[i])
+	}
+	return s / float64(len(approx))
+}
+
+// Summary holds order statistics of a sample (latencies, counts, ...).
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, Std     float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes order statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, x := range s {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: mean,
+		Std:  math.Sqrt(variance),
+		P50:  quantile(s, 0.50),
+		P90:  quantile(s, 0.90),
+		P99:  quantile(s, 0.99),
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g mean=%.4g±%.4g",
+		s.N, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean, s.Std)
+}
+
+// Breakdown splits a search run's wall time into the paper's Figure 5
+// categories. Times are additive per category across ranks.
+type Breakdown struct {
+	Compute time.Duration // local HNSW/KD search work
+	Comm    time.Duration // messaging + one-sided accumulation
+	Route   time.Duration // master-side VP-tree routing
+	Idle    time.Duration // waiting (load imbalance, drain)
+	Total   time.Duration // end-to-end wall time
+}
+
+// CommFraction returns the fraction of total time spent communicating.
+func (b Breakdown) CommFraction() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Comm) / float64(b.Total)
+}
+
+// ComputeFraction returns the fraction of total time spent computing
+// (including routing).
+func (b Breakdown) ComputeFraction() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Compute+b.Route) / float64(b.Total)
+}
+
+// Add accumulates another breakdown.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Compute: b.Compute + o.Compute,
+		Comm:    b.Comm + o.Comm,
+		Route:   b.Route + o.Route,
+		Idle:    b.Idle + o.Idle,
+		Total:   b.Total + o.Total,
+	}
+}
+
+// Histogram is a fixed-bin histogram over non-negative integers, used to
+// report the per-processor query-count distribution of Figure 4(b).
+type Histogram struct {
+	Counts []int64 // raw per-processor counts
+}
+
+// NewHistogram wraps per-processor counts.
+func NewHistogram(counts []int64) *Histogram {
+	return &Histogram{Counts: append([]int64(nil), counts...)}
+}
+
+// Spread describes the dispersion of the distribution: min, max, and the
+// max/mean imbalance factor the load balancer tries to push toward 1.
+func (h *Histogram) Spread() (min, max int64, imbalance float64) {
+	if len(h.Counts) == 0 {
+		return 0, 0, 0
+	}
+	min, max = h.Counts[0], h.Counts[0]
+	var sum int64
+	for _, c := range h.Counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(len(h.Counts))
+	if mean == 0 {
+		return min, max, 0
+	}
+	return min, max, float64(max) / mean
+}
+
+// Quartiles returns the five-number summary of the counts (the box plot
+// of Figure 4b).
+func (h *Histogram) Quartiles() (min, q1, med, q3, max float64) {
+	if len(h.Counts) == 0 {
+		return
+	}
+	s := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		s[i] = float64(c)
+	}
+	sort.Float64s(s)
+	return s[0], quantile(s, 0.25), quantile(s, 0.5), quantile(s, 0.75), s[len(s)-1]
+}
+
+// Phase runs f and adds its duration to *bucket.
+func Phase(bucket *time.Duration, f func()) {
+	t0 := time.Now()
+	f()
+	*bucket += time.Since(t0)
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/topk"
+)
+
+func TestRecall(t *testing.T) {
+	approx := []topk.Result{{ID: 1}, {ID: 2}, {ID: 3}}
+	if r := Recall(approx, []int32{1, 2, 3}); r != 1 {
+		t.Errorf("perfect recall = %v", r)
+	}
+	if r := Recall(approx, []int32{1, 9, 8}); math.Abs(r-1.0/3) > 1e-9 {
+		t.Errorf("1/3 recall = %v", r)
+	}
+	if r := Recall(nil, []int32{1}); r != 0 {
+		t.Errorf("empty approx recall = %v", r)
+	}
+	if r := Recall(approx, nil); r != 0 {
+		t.Errorf("empty truth recall = %v", r)
+	}
+}
+
+func TestMeanRecall(t *testing.T) {
+	a := [][]topk.Result{{{ID: 1}}, {{ID: 5}}}
+	truth := [][]int32{{1}, {2}}
+	if r := MeanRecall(a, truth); r != 0.5 {
+		t.Errorf("mean = %v", r)
+	}
+	if r := MeanRecall(nil, nil); r != 0 {
+		t.Errorf("empty mean = %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on row mismatch")
+		}
+	}()
+	MeanRecall(a, truth[:1])
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("%+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+	one := Summarize([]float64{7})
+	if one.P99 != 7 || one.P50 != 7 {
+		t.Errorf("singleton: %+v", one)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Compute: 80, Comm: 10, Route: 5, Idle: 5, Total: 100}
+	if f := b.CommFraction(); f != 0.1 {
+		t.Errorf("comm fraction %v", f)
+	}
+	if f := b.ComputeFraction(); f != 0.85 {
+		t.Errorf("compute fraction %v", f)
+	}
+	var zero Breakdown
+	if zero.CommFraction() != 0 || zero.ComputeFraction() != 0 {
+		t.Error("zero-total fractions should be 0")
+	}
+	sum := b.Add(b)
+	if sum.Total != 200 || sum.Compute != 160 {
+		t.Errorf("Add: %+v", sum)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30, 40})
+	min, max, imb := h.Spread()
+	if min != 10 || max != 40 {
+		t.Errorf("spread %d %d", min, max)
+	}
+	if math.Abs(imb-1.6) > 1e-9 {
+		t.Errorf("imbalance %v", imb)
+	}
+	mn, q1, med, q3, mx := h.Quartiles()
+	if mn != 10 || mx != 40 || med != 25 {
+		t.Errorf("quartiles %v %v %v %v %v", mn, q1, med, q3, mx)
+	}
+	if q1 >= med || q3 <= med {
+		t.Errorf("quartile order %v %v %v", q1, med, q3)
+	}
+	empty := NewHistogram(nil)
+	if _, _, imb := empty.Spread(); imb != 0 {
+		t.Error("empty spread")
+	}
+	zeros := NewHistogram([]int64{0, 0})
+	if _, _, imb := zeros.Spread(); imb != 0 {
+		t.Error("zero-mean imbalance should be 0")
+	}
+}
+
+func TestPhase(t *testing.T) {
+	var bucket time.Duration
+	Phase(&bucket, func() { time.Sleep(time.Millisecond) })
+	if bucket < time.Millisecond/2 {
+		t.Errorf("bucket %v", bucket)
+	}
+}

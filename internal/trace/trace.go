@@ -1,0 +1,186 @@
+// Package trace records timestamped events from the distributed engine
+// — master routing/dispatch, worker task execution, window traffic — and
+// renders per-rank timelines and summaries. It exists for the reason
+// production MPI codes carry tracing hooks: the paper's performance
+// story (Figure 5's breakdown, Figure 4's imbalance) is only debuggable
+// when one can see which rank did what, when.
+//
+// Recording is lock-striped and bounded: a Recorder holds at most cap
+// events per rank in a ring, so tracing a million-task batch cannot
+// exhaust memory. A nil *Recorder is valid and records nothing, which
+// is how the engine keeps the hot path branch-cheap when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Rank   int
+	At     time.Time
+	Kind   string // e.g. "route", "dispatch", "task", "done"
+	Detail string
+}
+
+// Recorder collects events from concurrent ranks.
+type Recorder struct {
+	start time.Time
+	cap   int
+	mu    sync.Mutex
+	rings map[int]*ring
+}
+
+type ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// New returns a recorder keeping up to perRankCap events per rank
+// (default 4096 if <= 0).
+func New(perRankCap int) *Recorder {
+	if perRankCap <= 0 {
+		perRankCap = 4096
+	}
+	return &Recorder{start: time.Now(), cap: perRankCap, rings: make(map[int]*ring)}
+}
+
+// Emit records an event. Safe for concurrent use; no-op on a nil
+// recorder.
+func (r *Recorder) Emit(rank int, kind, detail string) {
+	if r == nil {
+		return
+	}
+	e := Event{Rank: rank, At: time.Now(), Kind: kind, Detail: detail}
+	r.mu.Lock()
+	rg := r.rings[rank]
+	if rg == nil {
+		rg = &ring{buf: make([]Event, 0, min(r.cap, 64))}
+		r.rings[rank] = rg
+	}
+	if len(rg.buf) < r.cap {
+		rg.buf = append(rg.buf, e)
+	} else {
+		rg.buf[rg.next] = e
+		rg.next = (rg.next + 1) % r.cap
+		rg.wrapped = true
+		rg.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Emitf is Emit with formatting.
+func (r *Recorder) Emitf(rank int, kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Emit(rank, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns all retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var out []Event
+	for _, rg := range r.rings {
+		if rg.wrapped {
+			out = append(out, rg.buf[rg.next:]...)
+			out = append(out, rg.buf[:rg.next]...)
+		} else {
+			out = append(out, rg.buf...)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Dropped returns the number of events lost to ring wraparound.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, rg := range r.rings {
+		n += rg.dropped
+	}
+	return n
+}
+
+// Timeline writes a per-rank chronological listing with timestamps
+// relative to the recorder's creation.
+func (r *Recorder) Timeline(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	events := r.Events()
+	byRank := map[int][]Event{}
+	var ranks []int
+	for _, e := range events {
+		if _, ok := byRank[e.Rank]; !ok {
+			ranks = append(ranks, e.Rank)
+		}
+		byRank[e.Rank] = append(byRank[e.Rank], e)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		if _, err := fmt.Fprintf(w, "rank %d:\n", rank); err != nil {
+			return err
+		}
+		for _, e := range byRank[rank] {
+			if _, err := fmt.Fprintf(w, "  %10.3fms %-10s %s\n",
+				float64(e.At.Sub(r.start).Microseconds())/1000, e.Kind, e.Detail); err != nil {
+				return err
+			}
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d events dropped by per-rank ring caps)\n", d)
+	}
+	return nil
+}
+
+// Summary writes per-kind counts and per-rank event counts.
+func (r *Recorder) Summary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	events := r.Events()
+	kinds := map[string]int{}
+	perRank := map[int]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		perRank[e.Rank]++
+	}
+	var ks []string
+	for k := range kinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		if _, err := fmt.Fprintf(w, "%-12s %6d\n", k, kinds[k]); err != nil {
+			return err
+		}
+	}
+	var ranks []int
+	for rk := range perRank {
+		ranks = append(ranks, rk)
+	}
+	sort.Ints(ranks)
+	for _, rk := range ranks {
+		if _, err := fmt.Fprintf(w, "rank %-4d %6d events\n", rk, perRank[rk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

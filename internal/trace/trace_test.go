@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(0, "x", "y")
+	r.Emitf(0, "x", "%d", 1)
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder should be inert")
+	}
+	var sb strings.Builder
+	if err := r.Timeline(&sb); err != nil || sb.Len() != 0 {
+		t.Error("nil timeline should write nothing")
+	}
+	if err := r.Summary(&sb); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	r := New(16)
+	r.Emit(1, "a", "first")
+	r.Emit(0, "b", "second")
+	r.Emitf(1, "c", "n=%d", 42)
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At.Before(ev[i-1].At) {
+			t.Fatal("events out of order")
+		}
+	}
+	if ev[2].Detail != "n=42" {
+		t.Errorf("Emitf detail %q", ev[2].Detail)
+	}
+}
+
+func TestRingCapsAndDropCount(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 30; i++ {
+		r.Emitf(0, "k", "%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != 8 {
+		t.Fatalf("retained %d, want 8", len(ev))
+	}
+	if ev[len(ev)-1].Detail != "29" || ev[0].Detail != "22" {
+		t.Errorf("ring kept wrong window: %s..%s", ev[0].Detail, ev[len(ev)-1].Detail)
+	}
+	if r.Dropped() != 22 {
+		t.Errorf("dropped %d, want 22", r.Dropped())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := New(1000)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(rank, "t", "")
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 4000 {
+		t.Errorf("got %d events", got)
+	}
+}
+
+func TestTimelineAndSummary(t *testing.T) {
+	r := New(16)
+	r.Emit(0, "route", "q1")
+	r.Emit(1, "task", "q1/p0")
+	r.Emit(1, "task", "q2/p0")
+	var tl strings.Builder
+	if err := r.Timeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "rank 0:") || !strings.Contains(out, "rank 1:") {
+		t.Errorf("timeline missing ranks:\n%s", out)
+	}
+	if !strings.Contains(out, "route") || !strings.Contains(out, "q2/p0") {
+		t.Errorf("timeline missing events:\n%s", out)
+	}
+	var sm strings.Builder
+	if err := r.Summary(&sm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sm.String(), "task") || !strings.Contains(sm.String(), "rank 1") {
+		t.Errorf("summary:\n%s", sm.String())
+	}
+}
+
+func TestDefaultCap(t *testing.T) {
+	r := New(0)
+	if r.cap != 4096 {
+		t.Errorf("default cap %d", r.cap)
+	}
+}

@@ -1,0 +1,33 @@
+package vec
+
+import "sync/atomic"
+
+// Counter counts distance computations. The cost model converts these
+// counts into modelled compute time, which is how the repository
+// extrapolates the paper's 8192-core runs; see internal/costmodel.
+//
+// Counter is safe for concurrent use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add records n distance computations.
+func (c *Counter) Add(n int64) { c.n.Add(n) }
+
+// Load returns the number of recorded distance computations.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// Counted wraps f so that every invocation increments c. A nil counter
+// returns f unchanged.
+func Counted(f DistFunc, c *Counter) DistFunc {
+	if c == nil {
+		return f
+	}
+	return func(a, b []float32) float32 {
+		c.Add(1)
+		return f(a, b)
+	}
+}

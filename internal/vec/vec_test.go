@@ -1,0 +1,309 @@
+package vec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func naiveSqL2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func TestSquaredL2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 16, 31, 128, 960} {
+		a, b := randVec(rng, dim), randVec(rng, dim)
+		got := float64(SquaredL2Distance(a, b))
+		want := naiveSqL2(a, b)
+		if math.Abs(got-want) > 1e-3*(1+want) {
+			t.Errorf("dim %d: got %v want %v", dim, got, want)
+		}
+	}
+}
+
+func TestL2IsSqrtOfSquared(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randVec(rng, 33), randVec(rng, 33)
+	if got, want := L2Distance(a, b), float32(math.Sqrt(float64(SquaredL2Distance(a, b)))); got != want {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestL1MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range []int{1, 2, 5, 64, 97} {
+		a, b := randVec(rng, dim), randVec(rng, dim)
+		var want float64
+		for i := range a {
+			want += math.Abs(float64(a[i]) - float64(b[i]))
+		}
+		if got := float64(L1Distance(a, b)); math.Abs(got-want) > 1e-3*(1+want) {
+			t.Errorf("dim %d: got %v want %v", dim, got, want)
+		}
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float32{3, 4}
+	if got := Dot(a, a); got != 25 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm(a); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := CosineDistance(a, b); math.Abs(float64(got)-1) > 1e-6 {
+		t.Errorf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance(a, a); math.Abs(float64(got)) > 1e-6 {
+		t.Errorf("self cosine distance = %v, want 0", got)
+	}
+	zero := []float32{0, 0}
+	if got := CosineDistance(a, zero); got != 1 {
+		t.Errorf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestInnerProductDistance(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 4}
+	if got := InnerProductDistance(a, b); got != -11 {
+		t.Errorf("got %v want -11", got)
+	}
+}
+
+// Property: metric axioms (identity, symmetry, triangle inequality) hold
+// for the true metrics on random vectors.
+func TestMetricAxiomsQuick(t *testing.T) {
+	for _, m := range []Metric{L2, L1} {
+		f := m.Func()
+		cfg := &quick.Config{MaxCount: 200}
+		err := quick.Check(func(ax, bx, cx [8]float32) bool {
+			a, b, c := ax[:], bx[:], cx[:]
+			dab := float64(f(a, b))
+			dba := float64(f(b, a))
+			dac := float64(f(a, c))
+			dcb := float64(f(c, b))
+			if f(a, a) != 0 {
+				return false
+			}
+			if math.Abs(dab-dba) > 1e-4*(1+dab) {
+				return false
+			}
+			return dab <= dac+dcb+1e-3*(1+dab)
+		}, cfg)
+		if err != nil {
+			t.Errorf("metric %v violates axioms: %v", m, err)
+		}
+	}
+}
+
+// Property: SquaredL2 is ordering-equivalent to L2.
+func TestSquaredL2OrderEquivalence(t *testing.T) {
+	err := quick.Check(func(q, ax, bx [6]float32) bool {
+		l2a, l2b := L2Distance(q[:], ax[:]), L2Distance(q[:], bx[:])
+		sa, sb := SquaredL2Distance(q[:], ax[:]), SquaredL2Distance(q[:], bx[:])
+		return (l2a < l2b) == (sa < sb) || l2a == l2b
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricStringRoundtrip(t *testing.T) {
+	for _, m := range []Metric{L2, SquaredL2, L1, Cosine, InnerProduct} {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("roundtrip %v: got %v, err %v", m, got, err)
+		}
+	}
+	if _, err := ParseMetric("nope"); err == nil {
+		t.Error("expected error for unknown metric")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !L2.Monotone() || !SquaredL2.Monotone() {
+		t.Error("L2/SquaredL2 should be monotone")
+	}
+	if L1.Monotone() || Cosine.Monotone() {
+		t.Error("L1/Cosine should not be monotone")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	SquaredL2Distance([]float32{1}, []float32{1, 2})
+}
+
+func TestScaleAddNormalize(t *testing.T) {
+	a := []float32{1, 2, 3}
+	Scale(a, 2)
+	if a[2] != 6 {
+		t.Errorf("Scale: %v", a)
+	}
+	Add(a, []float32{1, 1, 1})
+	if a[0] != 3 {
+		t.Errorf("Add: %v", a)
+	}
+	Normalize(a)
+	if math.Abs(float64(Norm(a))-1) > 1e-6 {
+		t.Errorf("Normalize: norm = %v", Norm(a))
+	}
+	z := []float32{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize(0) changed the vector: %v", z)
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset(3, 4)
+	d.Append([]float32{1, 2, 3}, 10)
+	d.Append([]float32{4, 5, 6}, 11)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := d.At(1); got[0] != 4 || got[2] != 6 {
+		t.Errorf("At(1) = %v", got)
+	}
+	if d.ID(0) != 10 {
+		t.Errorf("ID(0) = %d", d.ID(0))
+	}
+	v := d.Slice(1, 2)
+	if v.Len() != 1 || v.ID(0) != 11 {
+		t.Errorf("Slice view wrong: %+v", v)
+	}
+	sel := d.Select([]int{1, 0})
+	if sel.ID(0) != 11 || sel.ID(1) != 10 {
+		t.Errorf("Select wrong: %v", sel.IDs)
+	}
+	c := d.Clone()
+	c.Data[0] = 99
+	if d.Data[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+	if d.Bytes() != int64(2*3*4+2*8) {
+		t.Errorf("Bytes = %d", d.Bytes())
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if d.Len() != 3 || d.Dim != 2 || d.ID(2) != 2 {
+		t.Fatalf("FromRows: %+v", d)
+	}
+}
+
+func TestDatasetAppendAllAndMismatch(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{3, 4}})
+	a.AppendAll(b)
+	if a.Len() != 2 || a.At(1)[0] != 3 {
+		t.Fatalf("AppendAll: %+v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic appending wrong dim")
+		}
+	}()
+	a.Append([]float32{1}, 0)
+}
+
+func TestDatasetBinaryRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDataset(7, 100)
+	for i := 0; i < 100; i++ {
+		d.Append(randVec(rng, 7), int64(i*3))
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != d.Dim || got.Len() != d.Len() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Dim, got.Len(), d.Dim, d.Len())
+	}
+	for i := range d.Data {
+		if got.Data[i] != d.Data[i] {
+			t.Fatalf("data[%d] = %v want %v", i, got.Data[i], d.Data[i])
+		}
+	}
+	for i := range d.IDs {
+		if got.IDs[i] != d.IDs[i] {
+			t.Fatalf("id[%d] = %v want %v", i, got.IDs[i], d.IDs[i])
+		}
+	}
+}
+
+func TestReadBinaryCorruptHeader(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Error("expected error for zero-dim header")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("expected error for short header")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	f := Counted(SquaredL2Distance, &c)
+	a := []float32{1, 2}
+	f(a, a)
+	f(a, a)
+	if c.Load() != 2 {
+		t.Errorf("count = %d", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Errorf("after reset = %d", c.Load())
+	}
+	if g := Counted(SquaredL2Distance, nil); g == nil {
+		t.Error("nil counter should return the bare function")
+	}
+}
+
+func BenchmarkSquaredL2Dim128(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := randVec(rng, 128), randVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredL2Distance(x, y)
+	}
+}
+
+func BenchmarkSquaredL2Dim960(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := randVec(rng, 960), randVec(rng, 960)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredL2Distance(x, y)
+	}
+}

@@ -1,0 +1,394 @@
+package vptree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/median"
+	"repro/internal/vec"
+)
+
+// PartitionTree is the paper's space-partitioning VP tree: an internal
+// binary tree over vantage points whose leaves identify whole data
+// partitions (one per processing core). The master process walks it to
+// compute F(q), the set of partitions that must be searched for a query.
+//
+// The tree itself stores only vantage-point vectors and radii; the
+// partition payloads live wherever the caller put them (worker ranks in
+// the distributed engine, a slice of datasets in the single-node engine).
+type PartitionTree struct {
+	Dim    int
+	Metric vec.Metric
+	Root   *PNode
+	Leaves int
+
+	dist vec.DistFunc
+}
+
+// PNode is one node of a PartitionTree. Exported fields make the tree
+// gob-serialisable so the master can ship it to multiple owners.
+type PNode struct {
+	VP    []float32 // vantage point (copied out of the dataset)
+	Mu    float32   // split radius: left subtree is the closed ball B(VP, Mu)
+	Left  *PNode
+	Right *PNode
+	Leaf  int32 // partition ID if >= 0; internal nodes carry -1
+}
+
+// IsLeaf reports whether n is a partition leaf.
+func (n *PNode) IsLeaf() bool { return n.Leaf >= 0 }
+
+// NewPartitionTree wraps an externally built root (e.g. from the
+// distributed construction in internal/core).
+func NewPartitionTree(dim int, metric vec.Metric, root *PNode) *PartitionTree {
+	t := &PartitionTree{Dim: dim, Metric: metric, Root: root, dist: metric.Func()}
+	t.Leaves = countLeaves(root)
+	return t
+}
+
+func countLeaves(n *PNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+// BuildResult is the output of the sequential partitioner.
+type BuildResult struct {
+	Tree       *PartitionTree
+	Partitions []*vec.Dataset // Partitions[i] is the payload of leaf i
+	DistComps  int64
+}
+
+// PartitionConfig controls sequential partition-tree construction.
+type PartitionConfig struct {
+	Metric vec.Metric
+	Seed   int64
+	Select SelectConfig
+}
+
+// BuildPartitions splits ds into p partitions of near-equal size using
+// recursive vantage-point median splits — the sequential equivalent of
+// the paper's Algorithm 2 (the distributed version lives in
+// internal/core). p may be any positive count; non-powers of two are
+// handled by splitting at the child-leaf-count quantile instead of the
+// median.
+func BuildPartitions(ds *vec.Dataset, p int, cfg PartitionConfig) (*BuildResult, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("vptree: need at least one partition, got %d", p)
+	}
+	if ds.Len() < p {
+		return nil, fmt.Errorf("vptree: cannot split %d points into %d partitions", ds.Len(), p)
+	}
+	if cfg.Select.Candidates == 0 {
+		cfg.Select = DefaultSelect()
+	}
+	b := &builder{
+		metric: cfg.Metric,
+		dist:   cfg.Metric.Func(),
+		sel:    cfg.Select,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 7)),
+	}
+	root := b.split(ds, p)
+	t := NewPartitionTree(ds.Dim, cfg.Metric, root)
+	return &BuildResult{Tree: t, Partitions: b.parts, DistComps: b.distComps}, nil
+}
+
+type builder struct {
+	metric    vec.Metric
+	dist      vec.DistFunc
+	sel       SelectConfig
+	rng       *rand.Rand
+	parts     []*vec.Dataset
+	distComps int64
+}
+
+func (b *builder) split(ds *vec.Dataset, p int) *PNode {
+	if p == 1 {
+		id := int32(len(b.parts))
+		b.parts = append(b.parts, ds)
+		return &PNode{Leaf: id}
+	}
+	leftLeaves := p / 2
+	cands := SampleCandidates(ds.Len(), b.sel, b.rng)
+	vpRow := SelectVantagePointSerial(ds, cands, b.sel, b.count(), b.rng)
+	vpv := append([]float32(nil), ds.At(vpRow)...)
+
+	dists := make([]float32, ds.Len())
+	for i := range dists {
+		dists[i] = b.dist(vpv, ds.At(i))
+	}
+	b.distComps += int64(ds.Len())
+
+	// Split at the quantile so the left subtree receives a share of
+	// points proportional to its share of leaves; for p even this is the
+	// median, matching the paper.
+	rank := int(int64(ds.Len())*int64(leftLeaves)/int64(p)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	mu := median.Select(append([]float32(nil), dists...), rank)
+
+	left := vec.NewDataset(ds.Dim, ds.Len()/2)
+	right := vec.NewDataset(ds.Dim, ds.Len()/2)
+	for i := range dists {
+		if dists[i] <= mu {
+			left.Append(ds.At(i), ds.ID(i))
+		} else {
+			right.Append(ds.At(i), ds.ID(i))
+		}
+	}
+	// Ties at mu can unbalance the halves; rebalance by moving boundary
+	// points so both sides can still host their leaf counts.
+	needLeft, needRight := leftLeaves, p-leftLeaves
+	if left.Len() < needLeft || right.Len() < needRight {
+		return b.fallbackSplit(ds, p)
+	}
+	return &PNode{
+		VP:    vpv,
+		Mu:    mu,
+		Leaf:  -1,
+		Left:  b.split(left, leftLeaves),
+		Right: b.split(right, p-leftLeaves),
+	}
+}
+
+// fallbackSplit handles pathological duplicate-heavy data by splitting on
+// rank order, still producing a valid (if unprunable) tree node.
+func (b *builder) fallbackSplit(ds *vec.Dataset, p int) *PNode {
+	leftLeaves := p / 2
+	cut := ds.Len() * leftLeaves / p
+	if cut == 0 {
+		cut = 1
+	}
+	left := ds.Slice(0, cut)
+	right := ds.Slice(cut, ds.Len())
+	vpv := append([]float32(nil), ds.At(0)...)
+	return &PNode{
+		VP:    vpv,
+		Mu:    b.dist(vpv, ds.At(cut-1)),
+		Leaf:  -1,
+		Left:  b.split(left.Clone(), leftLeaves),
+		Right: b.split(right.Clone(), p-leftLeaves),
+	}
+}
+
+func (b *builder) count() vec.DistFunc {
+	return func(x, y []float32) float32 {
+		b.distComps++
+		return b.dist(x, y)
+	}
+}
+
+// Route is one routing decision: a partition and the lower bound on the
+// distance from the query to any point that could live in it.
+type Route struct {
+	Partition  int
+	LowerBound float32
+}
+
+// RouteBall returns every partition whose region intersects the closed
+// ball B(q, tau) — the exact F(q) of the paper when tau is (an upper
+// bound on) the k-th nearest distance. Routes are sorted by ascending
+// lower bound.
+func (t *PartitionTree) RouteBall(q []float32, tau float32) []Route {
+	var out []Route
+	t.descend(t.Root, q, 0, func(r Route) bool { return r.LowerBound <= tau }, &out)
+	sortRoutes(out)
+	return out
+}
+
+// RouteTop returns the m partitions with the smallest lower bounds — the
+// approximate F(q) used for throughput-oriented batched querying (the
+// paper's engine searches a fixed-size subset of promising partitions).
+func (t *PartitionTree) RouteTop(q []float32, m int) []Route {
+	rs, _ := t.RouteTopStats(q, m)
+	return rs
+}
+
+// RouteTopStats is RouteTop plus the number of internal tree nodes
+// evaluated (one distance computation each). It descends best-first (a
+// min-heap of frontier nodes keyed by lower bound), so the master's
+// routing cost per query is O(m log P) rather than O(P) — the property
+// that keeps the serial master off the critical path in the
+// strong-scaling experiments.
+func (t *PartitionTree) RouteTopStats(q []float32, m int) ([]Route, int) {
+	type frontier struct {
+		n  *PNode
+		lb float32
+	}
+	heap := []frontier{{t.Root, 0}}
+	push := func(f frontier) {
+		heap = append(heap, f)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].lb <= heap[i].lb {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() frontier {
+		top := heap[0]
+		n := len(heap) - 1
+		heap[0] = heap[n]
+		heap = heap[:n]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < n && heap[l].lb < heap[s].lb {
+				s = l
+			}
+			if r < n && heap[r].lb < heap[s].lb {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		return top
+	}
+	var out []Route
+	visits := 0
+	for len(heap) > 0 && len(out) < m {
+		f := pop()
+		if f.n.IsLeaf() {
+			out = append(out, Route{Partition: int(f.n.Leaf), LowerBound: f.lb})
+			continue
+		}
+		visits++
+		d := t.dist(q, f.n.VP)
+		lbL, lbR := f.lb, f.lb
+		if x := d - f.n.Mu; x > lbL {
+			lbL = x
+		}
+		if x := f.n.Mu - d; x > lbR {
+			lbR = x
+		}
+		if f.n.Left != nil {
+			push(frontier{f.n.Left, lbL})
+		}
+		if f.n.Right != nil {
+			push(frontier{f.n.Right, lbR})
+		}
+	}
+	sortRoutes(out)
+	return out, visits
+}
+
+// RouteAll returns every partition ordered by ascending lower bound.
+func (t *PartitionTree) RouteAll(q []float32) []Route {
+	var out []Route
+	t.descend(t.Root, q, 0, func(Route) bool { return true }, &out)
+	sortRoutes(out)
+	return out
+}
+
+// Home returns the single partition whose region contains q (lower bound
+// zero along the geodesic descent).
+func (t *PartitionTree) Home(q []float32) int {
+	n := t.Root
+	for !n.IsLeaf() {
+		if t.dist(q, n.VP) <= n.Mu {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return int(n.Leaf)
+}
+
+// descend accumulates per-leaf lower bounds: entering the inside-sphere
+// child costs max(0, d-mu) (q must travel inward), the outside child
+// max(0, mu-d).
+func (t *PartitionTree) descend(n *PNode, q []float32, lb float32, keep func(Route) bool, out *[]Route) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		r := Route{Partition: int(n.Leaf), LowerBound: lb}
+		if keep(r) {
+			*out = append(*out, r)
+		}
+		return
+	}
+	d := t.dist(q, n.VP)
+	lbL, lbR := lb, lb
+	if excess := d - n.Mu; excess > lbL {
+		lbL = excess
+	}
+	if excess := n.Mu - d; excess > lbR {
+		lbR = excess
+	}
+	if lbL <= lbR {
+		t.descend(n.Left, q, lbL, keep, out)
+		t.descend(n.Right, q, lbR, keep, out)
+	} else {
+		t.descend(n.Right, q, lbR, keep, out)
+		t.descend(n.Left, q, lbL, keep, out)
+	}
+}
+
+func sortRoutes(rs []Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].LowerBound != rs[j].LowerBound {
+			return rs[i].LowerBound < rs[j].LowerBound
+		}
+		return rs[i].Partition < rs[j].Partition
+	})
+}
+
+// Depth returns the height of the partition tree.
+func (t *PartitionTree) Depth() int {
+	var f func(*PNode) int
+	f = func(n *PNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.IsLeaf() {
+			return 1
+		}
+		l, r := f(n.Left), f(n.Right)
+		if l > r {
+			return 1 + l
+		}
+		return 1 + r
+	}
+	return f(t.Root)
+}
+
+// treeWire is the gob wire form of a PartitionTree.
+type treeWire struct {
+	Dim    int
+	Metric int
+	Root   *PNode
+}
+
+// Encode serialises the tree with encoding/gob; the multiple-owner
+// strategy and the TCP deployment ship the routing tree this way.
+func (t *PartitionTree) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(treeWire{Dim: t.Dim, Metric: int(t.Metric), Root: t.Root})
+}
+
+// ReadPartitionTree deserialises a tree written by Encode.
+func ReadPartitionTree(r io.Reader) (*PartitionTree, error) {
+	var w treeWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, err
+	}
+	if w.Root == nil {
+		return nil, fmt.Errorf("vptree: decoded tree has no root")
+	}
+	return NewPartitionTree(w.Dim, vec.Metric(w.Metric), w.Root), nil
+}

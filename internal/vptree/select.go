@@ -1,0 +1,93 @@
+// Package vptree implements vantage point trees (Yianilos, SODA 1993) in
+// two flavours:
+//
+//   - Tree: the classic point-per-leaf VP tree with exact k-NN search and
+//     triangle-inequality pruning, included as the metric-space baseline
+//     and to validate routing;
+//   - PartitionTree: the paper's variant whose leaves are whole data
+//     partitions ("the leaves of the VP tree we construct will be a set of
+//     data points rather than a single point"), used by the master process
+//     to compute F(q), the subset of partitions a query must visit.
+//
+// Vantage points are chosen by Yianilos' spread heuristic: sample a
+// candidate set, and pick the candidate maximising the second moment of
+// its distances to an evaluation sample about their median.
+package vptree
+
+import (
+	"math/rand"
+
+	"repro/internal/median"
+	"repro/internal/vec"
+)
+
+// SelectConfig controls vantage point selection.
+type SelectConfig struct {
+	// Candidates is the number of sampled vantage-point candidates
+	// (the paper's Algorithm 1 samples 100).
+	Candidates int
+	// Evals is the number of points sampled to evaluate each candidate.
+	Evals int
+}
+
+// DefaultSelect mirrors the paper: 100 candidates, 100 evaluation points.
+func DefaultSelect() SelectConfig { return SelectConfig{Candidates: 100, Evals: 100} }
+
+// SelectVantagePointSerial implements the paper's
+// SelectVantagePointSerial(D', D): among candidate rows cands (indices
+// into ds), return the index whose distances to an evaluation sample of
+// ds have the largest second moment about their median. dist counts are
+// the caller's responsibility via a counted DistFunc.
+func SelectVantagePointSerial(ds *vec.Dataset, cands []int, cfg SelectConfig, dist vec.DistFunc, rng *rand.Rand) int {
+	if len(cands) == 0 {
+		panic("vptree: no vantage candidates")
+	}
+	evalN := cfg.Evals
+	if evalN <= 0 {
+		evalN = 100
+	}
+	if evalN > ds.Len() {
+		evalN = ds.Len()
+	}
+	evals := rng.Perm(ds.Len())[:evalN]
+	best, bestSpread := cands[0], -1.0
+	d := make([]float32, evalN)
+	for _, c := range cands {
+		cv := ds.At(c)
+		for i, e := range evals {
+			d[i] = dist(cv, ds.At(e))
+		}
+		if s := Spread(d); s > bestSpread {
+			bestSpread, best = s, c
+		}
+	}
+	return best
+}
+
+// Spread computes the second moment of ds about their median — the
+// quality function H(v, D) of Algorithm 1. Larger spread means the
+// median sphere separates the space more sharply.
+func Spread(d []float32) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	m := float64(median.MedianCopy(d))
+	var s float64
+	for _, x := range d {
+		dx := float64(x) - m
+		s += dx * dx
+	}
+	return s / float64(len(d))
+}
+
+// SampleCandidates draws up to cfg.Candidates distinct row indices.
+func SampleCandidates(n int, cfg SelectConfig, rng *rand.Rand) []int {
+	c := cfg.Candidates
+	if c <= 0 {
+		c = 100
+	}
+	if c > n {
+		c = n
+	}
+	return rng.Perm(n)[:c]
+}

@@ -1,0 +1,166 @@
+package vptree
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/median"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Tree is a classic exact vantage point tree with one point per internal
+// node and small linear-scan buckets at the leaves.
+type Tree struct {
+	ds     *vec.Dataset
+	metric vec.Metric
+	dist   vec.DistFunc
+	root   *pnode
+	// LeafSize is the bucket size below which subtrees become leaves.
+	leafSize int
+}
+
+type pnode struct {
+	vp     int     // row index of the vantage point
+	mu     float32 // median distance
+	left   *pnode  // inside the sphere
+	right  *pnode  // outside
+	bucket []int   // leaf: row indices (vp unused)
+}
+
+// TreeConfig controls construction of the exact tree.
+type TreeConfig struct {
+	Metric   vec.Metric
+	LeafSize int // default 16
+	Seed     int64
+	Select   SelectConfig
+}
+
+// NewTree builds an exact VP tree over ds (which is retained, not copied).
+func NewTree(ds *vec.Dataset, cfg TreeConfig) *Tree {
+	if cfg.LeafSize <= 0 {
+		cfg.LeafSize = 16
+	}
+	if cfg.Select.Candidates == 0 {
+		cfg.Select = SelectConfig{Candidates: 16, Evals: 64}
+	}
+	t := &Tree{ds: ds, metric: cfg.Metric, dist: cfg.Metric.Func(), leafSize: cfg.LeafSize}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rows := make([]int, ds.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	t.root = t.build(rows, rng)
+	return t
+}
+
+func (t *Tree) build(rows []int, rng *rand.Rand) *pnode {
+	if len(rows) == 0 {
+		return nil
+	}
+	if len(rows) <= t.leafSize {
+		return &pnode{vp: -1, bucket: rows}
+	}
+	sub := t.ds.Select(rows)
+	ci := SampleCandidates(sub.Len(), SelectConfig{Candidates: 8, Evals: 32}, rng)
+	vpLocal := SelectVantagePointSerial(sub, ci, SelectConfig{Candidates: 8, Evals: 32}, t.dist, rng)
+	vp := rows[vpLocal]
+
+	vpv := t.ds.At(vp)
+	ds := make([]float32, 0, len(rows)-1)
+	rest := make([]int, 0, len(rows)-1)
+	for _, r := range rows {
+		if r == vp {
+			continue
+		}
+		rest = append(rest, r)
+		ds = append(ds, t.dist(vpv, t.ds.At(r)))
+	}
+	mu := median.MedianCopy(ds)
+	var left, right []int
+	for i, r := range rest {
+		if ds[i] <= mu {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	// Degenerate split (all equal distances): fall back to a leaf to
+	// guarantee termination.
+	if len(left) == 0 || len(right) == 0 {
+		return &pnode{vp: -1, bucket: rows}
+	}
+	return &pnode{
+		vp:    vp,
+		mu:    mu,
+		left:  t.build(left, rng),
+		right: t.build(right, rng),
+	}
+}
+
+// SearchStats reports the work of one exact search.
+type SearchStats struct {
+	DistComps  int64
+	NodesSeen  int64
+	LeavesSeen int64
+}
+
+// Search returns the exact k nearest neighbors of q.
+func (t *Tree) Search(q []float32, k int) ([]topk.Result, SearchStats) {
+	c := topk.New(k)
+	var st SearchStats
+	t.search(t.root, q, c, &st)
+	return c.Results(), st
+}
+
+func (t *Tree) search(n *pnode, q []float32, c *topk.Collector, st *SearchStats) {
+	if n == nil {
+		return
+	}
+	st.NodesSeen++
+	if n.bucket != nil {
+		st.LeavesSeen++
+		for _, r := range n.bucket {
+			st.DistComps++
+			c.Push(t.ds.ID(r), t.dist(q, t.ds.At(r)))
+		}
+		return
+	}
+	d := t.dist(q, t.ds.At(n.vp))
+	st.DistComps++
+	c.Push(t.ds.ID(n.vp), d)
+	tau := c.Bound()
+	// Visit the more promising side first, prune with the triangle
+	// inequality: the inside sphere can be skipped iff d - tau > mu, the
+	// outside iff d + tau < mu.
+	if d <= n.mu {
+		t.search(n.left, q, c, st)
+		tau = c.Bound()
+		if d+tau >= n.mu {
+			t.search(n.right, q, c, st)
+		}
+	} else {
+		t.search(n.right, q, c, st)
+		tau = c.Bound()
+		if d-tau <= n.mu {
+			t.search(n.left, q, c, st)
+		}
+	}
+}
+
+// Height returns the height of the tree (leaf = 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *pnode) int {
+	if n == nil {
+		return 0
+	}
+	if n.bucket != nil {
+		return 1
+	}
+	l, r := height(n.left), height(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.ds.Len() }

@@ -1,0 +1,341 @@
+package vptree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+func randDataset(rng *rand.Rand, n, dim int) *vec.Dataset {
+	ds := vec.NewDataset(dim, n)
+	v := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = float32(rng.NormFloat64() * 5)
+		}
+		ds.Append(v, int64(i))
+	}
+	return ds
+}
+
+func bruteKNN(ds *vec.Dataset, q []float32, k int, m vec.Metric) []topk.Result {
+	f := m.Func()
+	c := topk.New(k)
+	for i := 0; i < ds.Len(); i++ {
+		c.Push(ds.ID(i), f(q, ds.At(i)))
+	}
+	return c.Results()
+}
+
+func TestExactTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, metric := range []vec.Metric{vec.L2, vec.L1} {
+		ds := randDataset(rng, 500, 12)
+		tree := NewTree(ds, TreeConfig{Metric: metric, Seed: 3})
+		for trial := 0; trial < 25; trial++ {
+			q := randDataset(rng, 1, 12).At(0)
+			got, st := tree.Search(q, 7)
+			want := bruteKNN(ds, q, 7, metric)
+			if len(got) != len(want) {
+				t.Fatalf("metric %v: len %d vs %d", metric, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("metric %v trial %d: %+v vs %+v", metric, trial, got[i], want[i])
+				}
+			}
+			if st.DistComps == 0 || st.NodesSeen == 0 {
+				t.Fatal("stats not recorded")
+			}
+		}
+	}
+}
+
+func TestTreePrunes(t *testing.T) {
+	// On clustered low-dimensional data the VP tree must visit far fewer
+	// points than brute force.
+	rng := rand.New(rand.NewSource(2))
+	ds := vec.NewDataset(4, 4000)
+	v := make([]float32, 4)
+	for i := 0; i < 4000; i++ {
+		c := float32(i % 4 * 100)
+		for j := range v {
+			v[j] = c + float32(rng.NormFloat64())
+		}
+		ds.Append(v, int64(i))
+	}
+	tree := NewTree(ds, TreeConfig{Metric: vec.L2, Seed: 4})
+	q := ds.At(10)
+	_, st := tree.Search(q, 5)
+	if st.DistComps > int64(ds.Len())/2 {
+		t.Errorf("no pruning: %d dist comps for %d points", st.DistComps, ds.Len())
+	}
+}
+
+func TestTreeSmallInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 17} {
+		ds := randDataset(rng, n, 3)
+		tree := NewTree(ds, TreeConfig{Metric: vec.L2})
+		got, _ := tree.Search(ds.At(0), n+5)
+		if len(got) != n {
+			t.Errorf("n=%d: got %d results", n, len(got))
+		}
+		if tree.Len() != n || tree.Height() < 1 {
+			t.Errorf("n=%d: Len/Height wrong", n)
+		}
+	}
+}
+
+func TestTreeDuplicatePoints(t *testing.T) {
+	ds := vec.NewDataset(2, 64)
+	for i := 0; i < 64; i++ {
+		ds.Append([]float32{1, 1}, int64(i))
+	}
+	tree := NewTree(ds, TreeConfig{Metric: vec.L2, LeafSize: 4})
+	got, _ := tree.Search([]float32{1, 1}, 10)
+	if len(got) != 10 || got[0].Dist != 0 {
+		t.Fatalf("duplicates: %+v", got)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	if Spread(nil) != 0 {
+		t.Error("empty spread should be 0")
+	}
+	// constant distances: spread 0; spread of {0,10} about median 0 is 50
+	if s := Spread([]float32{3, 3, 3}); s != 0 {
+		t.Errorf("constant spread = %v", s)
+	}
+	if s := Spread([]float32{0, 10}); s != 50 {
+		t.Errorf("spread = %v, want 50", s)
+	}
+}
+
+func TestSelectVantagePointPrefersSpread(t *testing.T) {
+	// Points on a line: the extremes separate the set better than the
+	// center, so the heuristic should not pick the centroid.
+	ds := vec.NewDataset(1, 101)
+	for i := 0; i <= 100; i++ {
+		ds.Append([]float32{float32(i)}, int64(i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	cands := []int{0, 50, 100}
+	cfg := SelectConfig{Candidates: 3, Evals: 101}
+	got := SelectVantagePointSerial(ds, cands, cfg, vec.L2Distance, rng)
+	if got == 50 {
+		t.Errorf("heuristic picked the centroid, want an extreme")
+	}
+}
+
+func TestBuildPartitionsCoverAndDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := randDataset(rng, 1000, 8)
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		res, err := BuildPartitions(ds.Clone(), p, PartitionConfig{Metric: vec.L2, Seed: 11})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(res.Partitions) != p || res.Tree.Leaves != p {
+			t.Fatalf("p=%d: got %d partitions, %d leaves", p, len(res.Partitions), res.Tree.Leaves)
+		}
+		seen := make(map[int64]int)
+		total := 0
+		for _, part := range res.Partitions {
+			total += part.Len()
+			for i := 0; i < part.Len(); i++ {
+				seen[part.ID(i)]++
+			}
+		}
+		if total != ds.Len() {
+			t.Fatalf("p=%d: %d points in partitions, want %d", p, total, ds.Len())
+		}
+		for id, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("p=%d: id %d appears %d times", p, id, cnt)
+			}
+		}
+		// near-equal sizes: worst/best ratio bounded
+		minSz, maxSz := ds.Len(), 0
+		for _, part := range res.Partitions {
+			if part.Len() < minSz {
+				minSz = part.Len()
+			}
+			if part.Len() > maxSz {
+				maxSz = part.Len()
+			}
+		}
+		if p > 1 && maxSz > 2*minSz+8 {
+			t.Errorf("p=%d: imbalance %d..%d", p, minSz, maxSz)
+		}
+	}
+}
+
+func TestBuildPartitionsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := randDataset(rng, 3, 2)
+	if _, err := BuildPartitions(ds, 0, PartitionConfig{Metric: vec.L2}); err == nil {
+		t.Error("want error for p=0")
+	}
+	if _, err := BuildPartitions(ds, 10, PartitionConfig{Metric: vec.L2}); err == nil {
+		t.Error("want error for p>n")
+	}
+}
+
+func TestBuildPartitionsDuplicateHeavy(t *testing.T) {
+	ds := vec.NewDataset(2, 256)
+	for i := 0; i < 256; i++ {
+		ds.Append([]float32{1, 2}, int64(i))
+	}
+	res, err := BuildPartitions(ds, 8, PartitionConfig{Metric: vec.L2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Partitions {
+		total += p.Len()
+	}
+	if total != 256 {
+		t.Fatalf("lost points: %d", total)
+	}
+}
+
+// Property: RouteBall with the exact k-th distance always contains the
+// home partitions of all true k nearest neighbors (routing soundness).
+func TestRouteBallSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := randDataset(rng, 2000, 6)
+	res, err := BuildPartitions(ds.Clone(), 8, PartitionConfig{Metric: vec.L2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// map id -> partition
+	home := make(map[int64]int)
+	for pi, part := range res.Partitions {
+		for i := 0; i < part.Len(); i++ {
+			home[part.ID(i)] = pi
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := randDataset(rng, 1, 6).At(0)
+		want := bruteKNN(ds, q, 10, vec.L2)
+		tau := want[len(want)-1].Dist
+		routes := res.Tree.RouteBall(q, tau)
+		routed := make(map[int]bool)
+		for _, r := range routes {
+			routed[r.Partition] = true
+		}
+		for _, w := range want {
+			if !routed[home[w.ID]] {
+				t.Fatalf("trial %d: neighbor %d in partition %d not routed (tau=%v, routes=%v)",
+					trial, w.ID, home[w.ID], tau, routes)
+			}
+		}
+	}
+}
+
+func TestRouteTopAndAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := randDataset(rng, 800, 5)
+	res, _ := BuildPartitions(ds.Clone(), 8, PartitionConfig{Metric: vec.L2, Seed: 17})
+	q := ds.At(0)
+	all := res.Tree.RouteAll(q)
+	if len(all) != 8 {
+		t.Fatalf("RouteAll returned %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].LowerBound < all[i-1].LowerBound {
+			t.Fatal("RouteAll not sorted")
+		}
+	}
+	if all[0].LowerBound != 0 {
+		t.Errorf("home partition lower bound = %v, want 0", all[0].LowerBound)
+	}
+	top := res.Tree.RouteTop(q, 3)
+	if len(top) != 3 {
+		t.Fatalf("RouteTop returned %d", len(top))
+	}
+	for i := range top {
+		if top[i] != all[i] {
+			t.Errorf("RouteTop[%d] = %+v, want %+v", i, top[i], all[i])
+		}
+	}
+	if h := res.Tree.Home(q); h != all[0].Partition {
+		t.Errorf("Home = %d, want %d", h, all[0].Partition)
+	}
+}
+
+// Property: the home partition of a dataset point is the partition that
+// actually contains it.
+func TestHomeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds := randDataset(rng, 600, 4)
+	res, _ := BuildPartitions(ds.Clone(), 8, PartitionConfig{Metric: vec.L2, Seed: 19})
+	home := make(map[int64]int)
+	for pi, part := range res.Partitions {
+		for i := 0; i < part.Len(); i++ {
+			home[part.ID(i)] = pi
+		}
+	}
+	err := quick.Check(func(rowRaw uint16) bool {
+		row := int(rowRaw) % ds.Len()
+		return res.Tree.Home(ds.At(row)) == home[ds.ID(row)]
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionTreeSerialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := randDataset(rng, 500, 6)
+	res, _ := BuildPartitions(ds.Clone(), 8, PartitionConfig{Metric: vec.L2, Seed: 23})
+	var buf bytes.Buffer
+	if err := res.Tree.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartitionTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Leaves != res.Tree.Leaves || got.Dim != res.Tree.Dim || got.Metric != res.Tree.Metric {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randDataset(rng, 1, 6).At(0)
+		a := res.Tree.RouteAll(q)
+		b := got.RouteAll(q)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("routing differs after roundtrip: %+v vs %+v", a[i], b[i])
+			}
+		}
+	}
+	if _, err := ReadPartitionTree(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("want error for junk input")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := randDataset(rng, 512, 4)
+	res, _ := BuildPartitions(ds, 16, PartitionConfig{Metric: vec.L2, Seed: 29})
+	if d := res.Tree.Depth(); d < 5 {
+		t.Errorf("depth %d too small for 16 leaves", d)
+	}
+}
+
+func BenchmarkRouteAll64(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	ds := randDataset(rng, 6400, 32)
+	res, _ := BuildPartitions(ds, 64, PartitionConfig{Metric: vec.L2, Seed: 31})
+	q := ds.At(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Tree.RouteAll(q)
+	}
+}

@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test tier1 fast vet race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Quick loop: vet plus the short test suite. Fault-injection and other
+# timing-dependent integration tests honor -short and are skipped here.
+fast: vet
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the gate a change must pass before merging: vet clean and the
+# full suite (including the fault-injection integration tests) green
+# under the race detector.
+tier1: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

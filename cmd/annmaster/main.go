@@ -44,6 +44,13 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "save the built index under this directory")
 		resume  = flag.String("resume", "", "serve from a checkpoint directory instead of building")
 		traceTo = flag.String("trace", "", "write a master-side event timeline to this file")
+
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second,
+			"per-round collection deadline; 0 disables fault-tolerant serving")
+		retries      = flag.Int("retries", 2, "retry rounds for tasks lost to worker failures")
+		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff between retry rounds (doubles per round)")
+		hbInterval   = flag.Duration("hb-interval", time.Second, "TCP heartbeat period (negative disables)")
+		hbTimeout    = flag.Duration("hb-timeout", 5*time.Second, "declare a silent peer dead after this long")
 	)
 	flag.Parse()
 	list := strings.Split(*addrs, ",")
@@ -61,7 +68,11 @@ func main() {
 	}
 	fmt.Printf("dataset %d x %d, %d queries, %d workers\n", ds.Len(), ds.Dim, qs.Len(), len(list)-1)
 
-	node, comm, err := cluster.JoinTCP(0, list, *wait)
+	node, comm, err := cluster.JoinTCPOpts(0, list, cluster.TCPOptions{
+		DialTimeout:       *wait,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,6 +85,9 @@ func main() {
 	cfg.ThreadsPerWorker = *threads
 	cfg.Seed = *seed
 	cfg.CheckpointDir = *ckpt
+	cfg.QueryTimeout = *queryTimeout
+	cfg.MaxRetries = *retries
+	cfg.RetryBackoff = *retryBackoff
 	var rec *trace.Recorder
 	if *traceTo != "" {
 		rec = trace.New(1 << 16)
@@ -94,6 +108,12 @@ func main() {
 		fmt.Printf("answered %d queries in %v (%.0f q/s), dispatched %d tasks\n",
 			qs.Len(), res.Elapsed.Round(time.Microsecond),
 			float64(qs.Len())/res.Elapsed.Seconds(), res.Dispatched)
+		if res.Failovers > 0 || res.Retries > 0 {
+			fmt.Printf("fault tolerance: %d failovers over %d retry rounds\n", res.Failovers, res.Retries)
+		}
+		if res.Degraded {
+			fmt.Printf("WARNING: degraded batch — partitions %v unavailable (no live replica)\n", res.FailedPartitions)
+		}
 		if *gt != "" {
 			gf, err := os.Open(*gt)
 			if err != nil {

@@ -30,6 +30,10 @@ func main() {
 		wait    = flag.Duration("wait", 60*time.Second, "peer dial timeout")
 		ckpt    = flag.String("checkpoint", "", "save the built index under this directory")
 		resume  = flag.String("resume", "", "serve from a checkpoint directory instead of building")
+
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "must match the master")
+		hbInterval   = flag.Duration("hb-interval", time.Second, "TCP heartbeat period (negative disables)")
+		hbTimeout    = flag.Duration("hb-timeout", 5*time.Second, "declare a silent peer dead after this long")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("annworker[%d]: ", *rank))
@@ -38,7 +42,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	node, comm, err := cluster.JoinTCP(*rank, list, *wait)
+	node, comm, err := cluster.JoinTCPOpts(*rank, list, cluster.TCPOptions{
+		DialTimeout:       *wait,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,6 +60,7 @@ func main() {
 	cfg.Seed = *seed
 
 	cfg.CheckpointDir = *ckpt
+	cfg.QueryTimeout = *queryTimeout
 	log.Printf("joined cluster of %d ranks, serving", len(list))
 	var err2 error
 	if *resume != "" {

@@ -26,7 +26,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Any is the wildcard source or tag for Recv/Irecv/Probe, mirroring
@@ -35,14 +37,15 @@ const Any = -1
 
 // Reserved internal tags. User tags must be non-negative.
 const (
-	tagBarrier = -2
-	tagBcast   = -3
-	tagGather  = -4
-	tagScatter = -5
-	tagA2A     = -6
-	tagReduce  = -7
-	tagWindow  = -8
-	tagSplit   = -9
+	tagBarrier   = -2
+	tagBcast     = -3
+	tagGather    = -4
+	tagScatter   = -5
+	tagA2A       = -6
+	tagReduce    = -7
+	tagWindow    = -8
+	tagSplit     = -9
+	tagHeartbeat = -10 // TCP liveness probe; never enters a mailbox
 )
 
 // Envelope is one message in flight.
@@ -56,16 +59,21 @@ type Envelope struct {
 // mailbox is one rank's incoming queue: an unbounded FIFO with
 // predicate-matching receive, which is what lets wildcard and tagged
 // receives coexist (collectives, window traffic and user messages all
-// flow through the same box, matched by communicator and tag).
+// flow through the same box, matched by communicator and tag). It also
+// carries this rank's local view of peer liveness: transports mark world
+// ranks down, which wakes waiting receivers so pending matching receives
+// can fail fast with ErrPeerDown instead of blocking forever.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      []Envelope
 	closed bool
+	down   map[int32]bool // world ranks this rank believes dead
+	st     *Stats         // depth accounting; may be nil in unit tests
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(st *Stats) *mailbox {
+	m := &mailbox{st: st}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -74,6 +82,9 @@ func (m *mailbox) put(e Envelope) {
 	m.mu.Lock()
 	if !m.closed {
 		m.q = append(m.q, e)
+		if m.st != nil {
+			m.st.noteDepth(int64(len(m.q)))
+		}
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
@@ -86,10 +97,67 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
+// markDown records that a world rank died and wakes every waiter so
+// receives that can no longer complete fail promptly.
+func (m *mailbox) markDown(rank int32) {
+	m.mu.Lock()
+	if m.down == nil {
+		m.down = make(map[int32]bool)
+	}
+	m.down[rank] = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) isDown(rank int32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[rank]
+}
+
+// downSet returns a snapshot of the dead world ranks.
+func (m *mailbox) downSet() []int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int32, 0, len(m.down))
+	for r := range m.down {
+		out = append(out, r)
+	}
+	return out
+}
+
+// takeOpts controls a matching receive beyond the basic block/poll pair:
+// an absolute deadline, the set of world ranks that could still produce a
+// match (all dead -> ErrPeerDown), and extra ranks to watch (any dead ->
+// ErrPeerDown, used by the master to react to a worker death while
+// receiving from the wildcard source).
+type takeOpts struct {
+	block    bool
+	deadline time.Time // zero means no deadline
+	senders  []int32   // candidate sender world ranks; nil = unconstrained
+	watch    []int32   // world ranks whose death aborts the receive
+}
+
 // take removes and returns the first queued envelope matching pred. With
 // block=false it returns ok=false immediately when nothing matches; with
 // block=true it waits. A closed mailbox yields err.
 func (m *mailbox) take(pred func(*Envelope) bool, block bool) (Envelope, bool, error) {
+	return m.takeWith(pred, takeOpts{block: block})
+}
+
+func (m *mailbox) takeWith(pred func(*Envelope) bool, o takeOpts) (Envelope, bool, error) {
+	if !o.deadline.IsZero() {
+		if d := time.Until(o.deadline); d > 0 {
+			// The callback locks the mutex so the broadcast cannot slip
+			// into the window between a deadline check and cond.Wait.
+			timer := time.AfterFunc(d, func() {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				m.cond.Broadcast()
+			})
+			defer timer.Stop()
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -97,13 +165,41 @@ func (m *mailbox) take(pred func(*Envelope) bool, block bool) (Envelope, bool, e
 			if pred(&m.q[i]) {
 				e := m.q[i]
 				m.q = append(m.q[:i], m.q[i+1:]...)
+				if m.st != nil {
+					m.st.noteDepth(int64(len(m.q)))
+				}
 				return e, true, nil
 			}
 		}
 		if m.closed {
 			return Envelope{}, false, ErrClosed
 		}
-		if !block {
+		if len(m.down) > 0 {
+			for _, w := range o.watch {
+				if m.down[w] {
+					return Envelope{}, false, &PeerDownError{Rank: int(w)}
+				}
+			}
+			if len(o.senders) > 0 {
+				allDown, first := true, int32(-1)
+				for _, s := range o.senders {
+					if !m.down[s] {
+						allDown = false
+						break
+					}
+					if first < 0 {
+						first = s
+					}
+				}
+				if allDown {
+					return Envelope{}, false, &PeerDownError{Rank: int(first)}
+				}
+			}
+		}
+		if !o.deadline.IsZero() && !time.Now().Before(o.deadline) {
+			return Envelope{}, false, ErrTimeout
+		}
+		if !o.block {
 			return Envelope{}, false, nil
 		}
 		m.cond.Wait()
@@ -112,6 +208,30 @@ func (m *mailbox) take(pred func(*Envelope) bool, block bool) (Envelope, bool, e
 
 // ErrClosed is returned when communicating on a torn-down world.
 var ErrClosed = errors.New("cluster: world closed")
+
+// ErrTimeout is returned by deadline receives when the deadline expires
+// before a matching message arrives.
+var ErrTimeout = errors.New("cluster: receive timed out")
+
+// ErrPeerDown is the sentinel matched (via errors.Is) by PeerDownError,
+// the typed error deadline- and liveness-aware operations return when a
+// peer has been detected dead.
+var ErrPeerDown = errors.New("cluster: peer down")
+
+// PeerDownError reports that a peer rank was detected dead (read-loop
+// EOF, heartbeat timeout, or explicit kill). Rank is a communicator rank
+// when returned from a Comm receive, and a world rank when surfaced
+// straight from a transport send.
+type PeerDownError struct {
+	Rank int
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("cluster: peer rank %d is down", e.Rank)
+}
+
+// Is makes errors.Is(err, ErrPeerDown) succeed.
+func (e *PeerDownError) Is(target error) bool { return target == ErrPeerDown }
 
 // transport delivers envelopes between world ranks.
 type transport interface {
@@ -180,12 +300,16 @@ func (c *Comm) Send(to, tag int, payload []byte) error {
 func (c *Comm) sendInternal(to, tag int, payload []byte) error {
 	s := c.t.stats()
 	s.count(len(payload))
-	return c.t.send(c.group[to], Envelope{
+	err := c.t.send(c.group[to], Envelope{
 		Comm:    c.id,
 		From:    int32(c.group[c.rank]),
 		Tag:     int32(tag),
 		Payload: payload,
 	})
+	if err != nil {
+		return c.mapDown(err)
+	}
+	return nil
 }
 
 // match builds the receive predicate for (from, tag) with wildcards.
@@ -205,22 +329,9 @@ func (c *Comm) match(from, tag int) func(*Envelope) bool {
 	}
 }
 
-// Recv blocks until a message from "from" (or Any) with tag "tag" (or
-// Any) arrives and returns its payload.
-func (c *Comm) Recv(from, tag int) ([]byte, Status, error) {
-	e, _, err := c.t.box().take(c.match(from, tag), true)
-	if err != nil {
-		return nil, Status{}, err
-	}
-	return e.Payload, c.status(e), nil
-}
-
-// RecvTags blocks until a message from "from" (or Any) carrying any of
-// the listed user tags arrives. Worker threads use it to wait for either
-// a query or the End-of-Queries command with one blocking call instead
-// of an MPI_Test poll loop.
-func (c *Comm) RecvTags(from int, tags ...int) ([]byte, Status, error) {
-	pred := func(e *Envelope) bool {
+// matchTags builds the receive predicate for (from, any of tags).
+func (c *Comm) matchTags(from int, tags []int) func(*Envelope) bool {
+	return func(e *Envelope) bool {
 		if e.Comm != c.id {
 			return false
 		}
@@ -239,11 +350,112 @@ func (c *Comm) RecvTags(from int, tags ...int) ([]byte, Status, error) {
 		}
 		return c.localOf(e.From) >= 0
 	}
-	e, _, err := c.t.box().take(pred, true)
+}
+
+// sendersOf lists the world ranks that could satisfy a receive from
+// "from": the one rank, or every other member for the wildcard source.
+func (c *Comm) sendersOf(from int) []int32 {
+	if from != Any {
+		return []int32{int32(c.group[from])}
+	}
+	out := make([]int32, 0, len(c.group)-1)
+	for i, w := range c.group {
+		if i != c.rank {
+			out = append(out, int32(w))
+		}
+	}
+	return out
+}
+
+// mapDown rewrites a transport-level PeerDownError (world rank) into the
+// caller's communicator rank space.
+func (c *Comm) mapDown(err error) error {
+	var pd *PeerDownError
+	if errors.As(err, &pd) {
+		if l := c.localOf(int32(pd.Rank)); l >= 0 {
+			return &PeerDownError{Rank: l}
+		}
+	}
+	return err
+}
+
+// Recv blocks until a message from "from" (or Any) with tag "tag" (or
+// Any) arrives and returns its payload. It fails with ErrPeerDown when
+// every rank that could produce a match has been detected dead.
+func (c *Comm) Recv(from, tag int) ([]byte, Status, error) {
+	e, _, err := c.t.box().takeWith(c.match(from, tag), takeOpts{block: true, senders: c.sendersOf(from)})
 	if err != nil {
-		return nil, Status{}, err
+		return nil, Status{}, c.mapDown(err)
 	}
 	return e.Payload, c.status(e), nil
+}
+
+// RecvTimeout is Recv with a deadline: it returns ErrTimeout when no
+// matching message arrives within timeout (timeout <= 0 means no
+// deadline) and ErrPeerDown when the sender is detected dead.
+func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, Status, error) {
+	o := takeOpts{block: true, senders: c.sendersOf(from)}
+	if timeout > 0 {
+		o.deadline = time.Now().Add(timeout)
+	}
+	e, _, err := c.t.box().takeWith(c.match(from, tag), o)
+	if err != nil {
+		return nil, Status{}, c.mapDown(err)
+	}
+	return e.Payload, c.status(e), nil
+}
+
+// RecvTags blocks until a message from "from" (or Any) carrying any of
+// the listed user tags arrives. Worker threads use it to wait for either
+// a query or the End-of-Queries command with one blocking call instead
+// of an MPI_Test poll loop.
+func (c *Comm) RecvTags(from int, tags ...int) ([]byte, Status, error) {
+	return c.RecvTagsWatch(from, 0, nil, tags...)
+}
+
+// RecvTagsTimeout is RecvTags with a deadline (timeout <= 0 disables it).
+func (c *Comm) RecvTagsTimeout(from int, timeout time.Duration, tags ...int) ([]byte, Status, error) {
+	return c.RecvTagsWatch(from, timeout, nil, tags...)
+}
+
+// RecvTagsWatch is the deadline- and failure-aware receive the serving
+// protocol is built on: it waits for a message from "from" (or Any)
+// carrying one of tags, for at most timeout (<= 0 means forever), and
+// additionally aborts with a *PeerDownError as soon as any of the
+// watched communicator ranks is detected dead — even if other senders
+// could still produce messages. The master watches the workers it is
+// collecting from; workers watch the master.
+func (c *Comm) RecvTagsWatch(from int, timeout time.Duration, watch []int, tags ...int) ([]byte, Status, error) {
+	o := takeOpts{block: true, senders: c.sendersOf(from)}
+	if timeout > 0 {
+		o.deadline = time.Now().Add(timeout)
+	}
+	for _, w := range watch {
+		o.watch = append(o.watch, int32(c.group[w]))
+	}
+	e, _, err := c.t.box().takeWith(c.matchTags(from, tags), o)
+	if err != nil {
+		return nil, Status{}, c.mapDown(err)
+	}
+	return e.Payload, c.status(e), nil
+}
+
+// IsDown reports whether the given communicator rank has been detected
+// dead by this rank's failure detector.
+func (c *Comm) IsDown(rank int) bool {
+	return c.t.box().isDown(int32(c.group[rank]))
+}
+
+// Down returns the communicator ranks currently believed dead, sorted.
+func (c *Comm) Down() []int {
+	var out []int
+	for _, w := range c.t.box().downSet() {
+		if l := c.localOf(w); l >= 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // TryRecv is a non-blocking Recv: ok=false when no matching message is

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault injection: a transport wrapper that drops or delays outgoing
+// messages according to a seeded plan, so failure-handling code paths
+// can be exercised deterministically on either transport (the in-process
+// World or TCP). Combined with World.KillRank / TCPNode.Close it covers
+// the failure modes the serving protocol must survive: lost messages,
+// slow links, and dead ranks.
+
+// FaultPlan describes which sends are disturbed and how.
+type FaultPlan struct {
+	// Seed makes the drop/delay decisions reproducible.
+	Seed int64
+	// DropProb is the probability an eligible message is silently
+	// dropped (never delivered).
+	DropProb float64
+	// DelayProb is the probability an eligible message is delayed by a
+	// uniform random duration in (0, MaxDelay] before delivery.
+	DelayProb float64
+	// MaxDelay bounds injected delays; default 10ms when DelayProb > 0.
+	MaxDelay time.Duration
+	// Tags restricts injection to the listed user tags. Nil means all
+	// user messages are eligible. Internal (negative) tags are never
+	// disturbed: faulting a collective or window message models a
+	// transport bug, not a process failure.
+	Tags map[int]bool
+}
+
+type faultTransport struct {
+	inner transport
+	plan  FaultPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WithFaults returns a Comm whose sends pass through a fault-injecting
+// wrapper around c's transport. Receives and liveness are untouched; the
+// returned Comm shares c's mailbox, registry, and stats, so the wrapped
+// and unwrapped communicators are interchangeable on the same rank.
+func WithFaults(c *Comm, plan FaultPlan) *Comm {
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 10 * time.Millisecond
+	}
+	ft := &faultTransport{
+		inner: c.t,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+	group := make([]int, len(c.group))
+	copy(group, c.group)
+	return &Comm{t: ft, id: c.id, rank: c.rank, group: group}
+}
+
+func (f *faultTransport) send(to int, e Envelope) error {
+	if e.Tag >= 0 && (f.plan.Tags == nil || f.plan.Tags[int(e.Tag)]) {
+		f.mu.Lock()
+		drop := f.rng.Float64() < f.plan.DropProb
+		var delay time.Duration
+		if !drop && f.rng.Float64() < f.plan.DelayProb {
+			delay = time.Duration(1 + f.rng.Int63n(int64(f.plan.MaxDelay)))
+		}
+		f.mu.Unlock()
+		if drop {
+			f.inner.stats().faultDropped.Add(1)
+			return nil
+		}
+		if delay > 0 {
+			f.inner.stats().faultDelayed.Add(1)
+			// Sleeping inline (rather than handing off to a goroutine)
+			// preserves the per-pair FIFO guarantee the protocol
+			// depends on.
+			time.Sleep(delay)
+		}
+	}
+	return f.inner.send(to, e)
+}
+
+func (f *faultTransport) box() *mailbox       { return f.inner.box() }
+func (f *faultTransport) registry() *registry { return f.inner.registry() }
+func (f *faultTransport) stats() *Stats       { return f.inner.stats() }

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -23,6 +25,43 @@ import (
 // and keeps the connection; every rank runs an accept loop feeding its
 // mailbox. Per-pair FIFO holds because each ordered pair uses one
 // stream.
+//
+// Failure detection: every connection (dialed and accepted) runs a read
+// loop, and a heartbeat goroutine writes empty probe frames (commID 0,
+// tag tagHeartbeat) on all of them at HeartbeatInterval. A peer is
+// declared dead on read-loop EOF/error, on a heartbeat-write error, or
+// when nothing (heartbeat or data) has been seen from it within
+// HeartbeatTimeout. Death marks the rank down in the mailbox, failing
+// pending matching receives with ErrPeerDown, and makes later sends to
+// it fail fast.
+
+// TCPOptions tunes a TCP rank beyond the defaults.
+type TCPOptions struct {
+	// DialTimeout bounds the total dial-with-retry on first send to a
+	// peer. Default 30s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is the probe period. 0 means the 1s default; a
+	// negative value disables heartbeats (liveness then relies on
+	// read-loop EOF only).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the staleness bound: a peer we have a
+	// connection to, but have heard nothing from for this long, is
+	// declared dead. 0 means the 10s default.
+	HeartbeatTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * time.Second
+	}
+	return o
+}
 
 // TCPNode is one rank of a TCP world.
 type TCPNode struct {
@@ -31,12 +70,13 @@ type TCPNode struct {
 	ln    net.Listener
 	mbox  *mailbox
 	st    Stats
-
-	dialTimeout time.Duration
+	opts  TCPOptions
 
 	mu       sync.Mutex
 	conns    map[int]*tcpConn
-	accepted []net.Conn
+	accepted []*tcpConn
+	lastSeen map[int]time.Time
+	downs    map[int]bool
 	done     chan struct{}
 	wg       sync.WaitGroup
 }
@@ -50,6 +90,11 @@ type tcpConn struct {
 // communicator. addrs lists every rank's listen address in rank order;
 // peers may come up in any order (dials retry until dialTimeout).
 func JoinTCP(rank int, addrs []string, dialTimeout time.Duration) (*TCPNode, *Comm, error) {
+	return JoinTCPOpts(rank, addrs, TCPOptions{DialTimeout: dialTimeout})
+}
+
+// JoinTCPOpts is JoinTCP with full control over the liveness knobs.
+func JoinTCPOpts(rank int, addrs []string, opts TCPOptions) (*TCPNode, *Comm, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, nil, fmt.Errorf("cluster: rank %d out of range for %d addrs", rank, len(addrs))
 	}
@@ -58,19 +103,22 @@ func JoinTCP(rank int, addrs []string, dialTimeout time.Duration) (*TCPNode, *Co
 		return nil, nil, fmt.Errorf("cluster: rank %d listen %s: %w", rank, addrs[rank], err)
 	}
 	n := &TCPNode{
-		rank:  rank,
-		addrs: addrs,
-		ln:    ln,
-		mbox:  newMailbox(),
-		conns: make(map[int]*tcpConn),
-		done:  make(chan struct{}),
+		rank:     rank,
+		addrs:    addrs,
+		ln:       ln,
+		conns:    make(map[int]*tcpConn),
+		lastSeen: make(map[int]time.Time),
+		downs:    make(map[int]bool),
+		done:     make(chan struct{}),
+		opts:     opts.withDefaults(),
 	}
-	if dialTimeout <= 0 {
-		dialTimeout = 30 * time.Second
-	}
-	n.dialTimeout = dialTimeout
+	n.mbox = newMailbox(&n.st)
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.opts.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
 	group := make([]int, len(addrs))
 	for i := range group {
 		group[i] = i
@@ -84,6 +132,8 @@ func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
 
 func (n *TCPNode) acceptLoop() {
 	defer n.wg.Done()
+	backoff := 5 * time.Millisecond
+	fails := 0
 	for {
 		c, err := n.ln.Accept()
 		if err != nil {
@@ -91,23 +141,140 @@ func (n *TCPNode) acceptLoop() {
 			case <-n.done:
 				return
 			default:
-				continue
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Persistent accept failure (fd exhaustion and the like):
+			// back off instead of busy-spinning, and give up after
+			// enough consecutive failures rather than burning a core
+			// forever on a listener that will never recover.
+			fails++
+			if fails >= 100 {
+				log.Printf("cluster: rank %d accept failing persistently, stopping listener: %v", n.rank, err)
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
 		}
+		fails = 0
+		backoff = 5 * time.Millisecond
+		tc := &tcpConn{c: c}
 		n.mu.Lock()
-		n.accepted = append(n.accepted, c)
+		n.accepted = append(n.accepted, tc)
 		n.mu.Unlock()
 		n.wg.Add(1)
-		go n.readLoop(c)
+		go n.readLoop(c, -1)
 	}
 }
 
-func (n *TCPNode) readLoop(c net.Conn) {
+// heartbeatFrame builds the 20-byte liveness probe: commID 0 never
+// matches a real communicator, so probes are filtered in readLoop and
+// never enter a mailbox.
+func (n *TCPNode) heartbeatFrame() []byte {
+	buf := make([]byte, 20)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(n.rank))
+	hbTag := int32(tagHeartbeat)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(hbTag))
+	return buf
+}
+
+func (n *TCPNode) heartbeatLoop() {
+	defer n.wg.Done()
+	hb := n.heartbeatFrame()
+	tick := time.NewTicker(n.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case now := <-tick.C:
+			// Snapshot under the lock, write outside it.
+			n.mu.Lock()
+			type target struct {
+				tc   *tcpConn
+				peer int // -1 for accepted conns (peer unknown here)
+			}
+			var targets []target
+			for p, tc := range n.conns {
+				targets = append(targets, target{tc, p})
+			}
+			for _, tc := range n.accepted {
+				targets = append(targets, target{tc, -1})
+			}
+			var stale []int
+			for p, t := range n.lastSeen {
+				if !n.downs[p] && now.Sub(t) > n.opts.HeartbeatTimeout {
+					stale = append(stale, p)
+				}
+			}
+			n.mu.Unlock()
+			for _, p := range stale {
+				n.peerDown(p)
+			}
+			for _, t := range targets {
+				t.tc.mu.Lock()
+				t.tc.c.SetWriteDeadline(now.Add(n.opts.HeartbeatTimeout))
+				_, err := t.tc.c.Write(hb)
+				t.tc.c.SetWriteDeadline(time.Time{})
+				t.tc.mu.Unlock()
+				if err != nil && t.peer >= 0 {
+					select {
+					case <-n.done:
+					default:
+						n.peerDown(t.peer)
+					}
+				}
+			}
+		}
+	}
+}
+
+// peerDown records that a peer rank died: once per rank it bumps the
+// counter and marks the rank down in the mailbox, failing pending
+// matching receives with ErrPeerDown.
+func (n *TCPNode) peerDown(r int) {
+	if r < 0 || r == n.rank {
+		return
+	}
+	n.mu.Lock()
+	if n.downs[r] {
+		n.mu.Unlock()
+		return
+	}
+	n.downs[r] = true
+	n.mu.Unlock()
+	n.st.peerDowns.Add(1)
+	n.mbox.markDown(int32(r))
+}
+
+// readLoop drains one connection into the mailbox. peerHint is the rank
+// this conn reaches if known (dialed conns), else -1; either way the
+// peer is identified from the From field of the frames it sends, so an
+// EOF can be attributed and the peer declared dead.
+func (n *TCPNode) readLoop(c net.Conn, peerHint int) {
 	defer n.wg.Done()
 	defer c.Close()
+	peer := peerHint
+	note := func() {
+		if peer >= 0 && peer < len(n.addrs) {
+			n.mu.Lock()
+			n.lastSeen[peer] = time.Now()
+			n.mu.Unlock()
+		}
+	}
+	note()
 	hdr := make([]byte, 20)
 	for {
 		if _, err := io.ReadFull(c, hdr); err != nil {
+			select {
+			case <-n.done:
+			default:
+				n.peerDown(peer)
+			}
 			return
 		}
 		e := Envelope{
@@ -117,13 +284,37 @@ func (n *TCPNode) readLoop(c net.Conn) {
 		}
 		ln := binary.LittleEndian.Uint32(hdr[16:20])
 		if ln > 1<<30 {
-			return // implausible frame; drop the connection
+			// Implausible frame length: the stream is corrupt and no
+			// frame boundary can be recovered, so the connection must
+			// drop — but record why instead of dying silently.
+			n.st.badFrames.Add(1)
+			log.Printf("cluster: rank %d dropping connection from rank %d: implausible frame length %d (tag %d)",
+				n.rank, e.From, ln, e.Tag)
+			select {
+			case <-n.done:
+			default:
+				n.peerDown(peer)
+			}
+			return
+		}
+		if int(e.From) >= 0 && int(e.From) < len(n.addrs) {
+			peer = int(e.From)
+		}
+		note()
+		if e.Comm == 0 && e.Tag == tagHeartbeat {
+			continue // liveness probe only; never enters the mailbox
 		}
 		if ln > 0 {
 			e.Payload = make([]byte, ln)
 			if _, err := io.ReadFull(c, e.Payload); err != nil {
+				select {
+				case <-n.done:
+				default:
+					n.peerDown(peer)
+				}
 				return
 			}
+			note()
 		}
 		n.mbox.put(e)
 	}
@@ -136,6 +327,9 @@ func (n *TCPNode) send(to int, e Envelope) error {
 		n.mbox.put(e)
 		return nil
 	}
+	if n.mbox.isDown(int32(to)) {
+		return &PeerDownError{Rank: to}
+	}
 	tc, err := n.conn(to)
 	if err != nil {
 		return err
@@ -147,9 +341,18 @@ func (n *TCPNode) send(to int, e Envelope) error {
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(e.Payload)))
 	copy(buf[20:], e.Payload)
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	_, err = tc.c.Write(buf)
-	return err
+	tc.mu.Unlock()
+	if err != nil {
+		select {
+		case <-n.done:
+			return err
+		default:
+		}
+		n.peerDown(to)
+		return &PeerDownError{Rank: to}
+	}
+	return nil
 }
 
 func (n *TCPNode) conn(to int) (*tcpConn, error) {
@@ -160,13 +363,16 @@ func (n *TCPNode) conn(to int) (*tcpConn, error) {
 	}
 	n.mu.Unlock()
 	// Dial outside the lock; last writer wins benignly.
-	deadline := time.Now().Add(n.dialTimeout)
+	deadline := time.Now().Add(n.opts.DialTimeout)
 	var raw net.Conn
 	var err error
 	for {
 		raw, err = net.DialTimeout("tcp", n.addrs[to], 2*time.Second)
 		if err == nil {
 			break
+		}
+		if n.mbox.isDown(int32(to)) {
+			return nil, &PeerDownError{Rank: to}
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("cluster: rank %d cannot reach rank %d at %s: %w",
@@ -178,13 +384,19 @@ func (n *TCPNode) conn(to int) (*tcpConn, error) {
 		t.SetNoDelay(true)
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
 		raw.Close()
 		return c, nil
 	}
 	c := &tcpConn{c: raw}
 	n.conns[to] = c
+	n.lastSeen[to] = time.Now()
+	n.mu.Unlock()
+	// Dialed connections are read too: the peer heartbeats back on
+	// them, and an EOF here is the fastest death signal we get.
+	n.wg.Add(1)
+	go n.readLoop(raw, to)
 	return c, nil
 }
 
@@ -205,7 +417,7 @@ func (n *TCPNode) Close() error {
 		c.c.Close()
 	}
 	for _, c := range n.accepted {
-		c.Close()
+		c.c.Close()
 	}
 	n.mu.Unlock()
 	n.mbox.close()

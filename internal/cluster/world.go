@@ -9,15 +9,38 @@ import (
 )
 
 // Stats meters world traffic: the cost model prices communication from
-// these counters the way the paper's Figure 5 breaks down MPI time.
+// these counters the way the paper's Figure 5 breaks down MPI time. It
+// also carries the health counters the fault-tolerance layer exposes to
+// operators: dropped frames, detected peer deaths, injected faults, and
+// mailbox depth (current + high-water) so a stuck consumer is visible
+// before the unbounded queue OOMs.
 type Stats struct {
 	msgs  atomic.Int64
 	bytes atomic.Int64
+
+	badFrames    atomic.Int64 // TCP frames dropped for implausible length
+	peerDowns    atomic.Int64 // peer-death detections on this rank
+	faultDropped atomic.Int64 // messages dropped by fault injection
+	faultDelayed atomic.Int64 // messages delayed by fault injection
+	depth        atomic.Int64 // current mailbox depth (gauge)
+	highWater    atomic.Int64 // max mailbox depth observed
 }
 
 func (s *Stats) count(n int) {
 	s.msgs.Add(1)
 	s.bytes.Add(int64(n))
+}
+
+// noteDepth records the mailbox depth after an enqueue/dequeue and keeps
+// the high-water mark.
+func (s *Stats) noteDepth(d int64) {
+	s.depth.Store(d)
+	for {
+		hw := s.highWater.Load()
+		if d <= hw || s.highWater.CompareAndSwap(hw, d) {
+			return
+		}
+	}
 }
 
 // Messages returns the total number of messages sent in the world.
@@ -26,7 +49,31 @@ func (s *Stats) Messages() int64 { return s.msgs.Load() }
 // Bytes returns the total payload bytes sent in the world.
 func (s *Stats) Bytes() int64 { return s.bytes.Load() }
 
-// Reset zeroes the counters.
+// BadFrames returns the number of TCP frames dropped for an implausible
+// length header.
+func (s *Stats) BadFrames() int64 { return s.badFrames.Load() }
+
+// PeerDowns returns how many peer deaths this rank has detected.
+func (s *Stats) PeerDowns() int64 { return s.peerDowns.Load() }
+
+// FaultDropped returns the messages dropped by the fault-injection
+// wrapper (tests only).
+func (s *Stats) FaultDropped() int64 { return s.faultDropped.Load() }
+
+// FaultDelayed returns the messages delayed by the fault-injection
+// wrapper (tests only).
+func (s *Stats) FaultDelayed() int64 { return s.faultDelayed.Load() }
+
+// MailboxDepth returns the current depth of the rank's mailbox (for the
+// in-process world, the depth most recently updated by any rank's box).
+func (s *Stats) MailboxDepth() int64 { return s.depth.Load() }
+
+// MailboxHighWater returns the deepest any mailbox sharing these stats
+// has been.
+func (s *Stats) MailboxHighWater() int64 { return s.highWater.Load() }
+
+// Reset zeroes the traffic counters (health counters are left alone so
+// failures spanning a Reset stay visible).
 func (s *Stats) Reset() { s.msgs.Store(0); s.bytes.Store(0) }
 
 // registry is the shared-object rendezvous used by one-sided windows on
@@ -71,9 +118,32 @@ func NewWorld(n int) *World {
 	}
 	w := &World{n: n, boxes: make([]*mailbox, n), reg: registry{m: make(map[string]any)}}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(&w.st)
 	}
 	return w
+}
+
+// KillRank simulates the death of a rank: its mailbox closes and drops
+// its queued messages (pending receives there fail with ErrClosed, like
+// a process losing its memory) and every other rank's failure detector
+// marks it down, failing their pending matching receives with
+// ErrPeerDown — the in-process analogue of a worker process dying.
+func (w *World) KillRank(r int) {
+	if r < 0 || r >= w.n {
+		return
+	}
+	b := w.boxes[r]
+	b.mu.Lock()
+	b.closed = true
+	b.q = nil
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	w.st.peerDowns.Add(1)
+	for i, b := range w.boxes {
+		if i != r {
+			b.markDown(int32(r))
+		}
+	}
 }
 
 // Size returns the number of ranks.
@@ -91,6 +161,9 @@ type localTransport struct {
 func (t *localTransport) send(to int, e Envelope) error {
 	if to < 0 || to >= t.w.n {
 		return fmt.Errorf("cluster: world rank %d out of range", to)
+	}
+	if t.w.boxes[t.rank].isDown(int32(to)) {
+		return &PeerDownError{Rank: to}
 	}
 	t.w.boxes[to].put(e)
 	return nil

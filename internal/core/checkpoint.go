@@ -152,10 +152,10 @@ func RunClusterFromCheckpoint(c *cluster.Comm, dir string, cfg Config, driver fu
 	}
 	cfg.Partitions = c.Size() - 1
 	if c.Rank() == 0 {
-		// On any master-side failure, still broadcast shutdown so workers
+		// On any master-side failure, still send shutdown so workers
 		// that loaded successfully do not wait forever for a batch.
 		abort := func(err error) error {
-			_, _ = c.Bcast(0, encodeHeader(batchHeader{Shutdown: true}))
+			_ = sendShutdown(c)
 			return err
 		}
 		tree, err := LoadCheckpointTree(dir)

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/hnsw"
 	"repro/internal/trace"
@@ -100,6 +101,21 @@ type Config struct {
 	// In-process worlds share the recorder directly; the TCP deployment
 	// records per process.
 	Trace *trace.Recorder
+	// QueryTimeout, when positive, enables fault-tolerant serving: the
+	// master bounds each collection round by this deadline, declares
+	// unresponsive workers lagging, and reroutes their tasks to replicas
+	// in the same workgroup (Algorithm 5's W_i doubling as failover
+	// targets). Zero keeps the legacy wait-forever protocol. Enabling it
+	// forces OneSided off: the one-sided window's collective setup and
+	// barrier cannot survive a dead rank.
+	QueryTimeout time.Duration
+	// MaxRetries bounds the retry rounds per batch after the first
+	// attempt (default 2 when QueryTimeout is set).
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff between retry
+	// rounds: round i sleeps RetryBackoff << (i-1). Default 50ms when
+	// QueryTimeout is set.
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig returns the configuration used by the paper's headline
@@ -146,6 +162,18 @@ func (c *Config) fill(dim int) error {
 		c.HNSW = hnsw.DefaultConfig(c.Metric)
 	}
 	c.HNSW.Metric = c.Metric
+	if c.QueryTimeout > 0 {
+		if c.MaxRetries <= 0 {
+			c.MaxRetries = 2
+		}
+		if c.RetryBackoff <= 0 {
+			c.RetryBackoff = 50 * time.Millisecond
+		}
+		// Windows and barriers are not failure-safe (a dead rank wedges
+		// the dissemination barrier asymmetrically), so fault-tolerant
+		// serving always collects two-sided.
+		c.OneSided = false
+	}
 	_ = dim
 	return nil
 }

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// Fault-tolerant batch serving (enabled by Config.QueryTimeout > 0).
+//
+// The legacy protocol waits forever for every worker's Done, so one dead
+// rank hangs the batch. This path bounds every collection round by the
+// query timeout and treats Algorithm 5's replication workgroups as
+// failover targets: a (query, partition) task lost to a dead, erroring,
+// or unresponsive worker is retried — with exponential backoff, at most
+// MaxRetries rounds — on another worker of the partition's workgroup.
+// When no replica is left the batch completes anyway, flagged Degraded
+// with the failed partitions identified.
+//
+// Correctness hinges on three rules:
+//
+//  1. Rounds are numbered (batchHeader.Seq) and workers echo the number
+//     in every result and Done, so stale traffic is recognized.
+//  2. A worker that missed its round deadline is "lagging": it gets no
+//     new header until its Done (with the old Seq) arrives, so its
+//     in-flight threads can never consume queries of a newer round.
+//  3. Results are deduplicated per (query, partition): a lagging
+//     worker's late answer and a replica's retried answer for the same
+//     task cannot both be pushed into the collector.
+
+// taskKey identifies one routed (query, partition) task.
+type taskKey struct {
+	qi   uint32
+	part int32
+}
+
+// ftTask is one outstanding task and its failover history.
+type ftTask struct {
+	qi    uint32
+	part  int32
+	vec   []float32
+	tried map[int]bool // worker ranks already attempted
+}
+
+// FaultStats counts fault-tolerance events across a master's lifetime.
+type FaultStats struct {
+	// Failovers is the number of tasks rerouted to a replica worker.
+	Failovers int64
+	// Timeouts is the number of collection rounds that hit the deadline.
+	Timeouts int64
+	// DegradedBatches is the number of batches that returned Degraded.
+	DegradedBatches int64
+}
+
+// FaultStats returns the counters accumulated since the master started.
+func (m *Master) FaultStats() FaultStats { return m.d.ft }
+
+// replicaWorkers lists the worker ranks of partition part's workgroup
+// W_part = {p_part, ..., p_(part+r-1 mod P)} in workgroup order,
+// deduplicated (CoresPerNode > 1 can map several cores to one rank).
+func (d *Distributed) replicaWorkers(part int) []int {
+	r := d.cfg.Replication
+	p := d.cfg.Partitions
+	cpn := d.cfg.CoresPerNode
+	out := make([]int, 0, r)
+	for off := 0; off < r; off++ {
+		w := ((part+off)%p)/cpn + 1
+		dup := false
+		for _, x := range out {
+			if x == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// unionParts merges two sorted failed-partition lists.
+func unionParts(a, b []int) []int {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ftBatch carries the mutable state of one fault-tolerant batch.
+type ftBatch struct {
+	res        *BatchResult
+	collectors []*topk.Collector
+	pending    map[taskKey]*ftTask
+	acked      map[taskKey]bool
+	batchStart uint32 // Seq of the batch's first round
+}
+
+// drainQueued absorbs every queued result/Done without blocking: late
+// answers from lagging workers resolve pending tasks for free, and stale
+// Dones clear the lagging flag so those workers become eligible again.
+func (m *Master) drainQueued(b *ftBatch) {
+	c := m.d.comm
+	for {
+		pay, st, ok, err := c.TryRecv(cluster.Any, tagDone)
+		if err != nil || !ok {
+			break
+		}
+		if dn, err := decodeDone(pay); err == nil {
+			delete(m.d.lagging, st.Source)
+			if b != nil && dn.Seq >= b.batchStart {
+				m.noteDone(b, st.Source, dn)
+			}
+		}
+	}
+	for {
+		pay, _, ok, err := c.TryRecv(cluster.Any, tagResult)
+		if err != nil || !ok {
+			break
+		}
+		if rm, err := decodeResult(pay); err == nil && b != nil {
+			m.noteResult(b, rm)
+		}
+	}
+}
+
+func (m *Master) noteDone(b *ftBatch, source int, dn workerDone) {
+	b.res.PerWorkerQueries[source-1] += dn.Processed
+	b.res.PerWorkerDistComps[source-1] += dn.DistComps
+	b.res.PerWorkerHops[source-1] += dn.Hops
+	b.res.Work.DistComps += dn.DistComps
+	b.res.Work.Hops += dn.Hops
+}
+
+func (m *Master) noteResult(b *ftBatch, rm resultMsg) {
+	if rm.Seq < b.batchStart {
+		return // leftover from an earlier batch
+	}
+	key := taskKey{qi: rm.QueryID, part: rm.Partition}
+	if b.acked[key] {
+		return // duplicate: a lagging worker and its replica both answered
+	}
+	b.acked[key] = true
+	delete(b.pending, key)
+	if int(rm.QueryID) < len(b.collectors) {
+		for _, x := range rm.Results {
+			b.collectors[rm.QueryID].PushResult(x)
+		}
+	}
+}
+
+// collectRound receives results and Dones until every worker in waitDone
+// has closed round roundSeq, the deadline passes (remaining workers are
+// marked lagging), or a watched worker dies (it is dropped and the loop
+// continues). Only ErrClosed-style hard failures are returned.
+func (m *Master) collectRound(b *ftBatch, waitDone map[int]bool, roundSeq uint32, deadline time.Time) error {
+	d := m.d
+	c := d.comm
+	for len(waitDone) > 0 {
+		for w := range waitDone {
+			if c.IsDown(w) {
+				delete(waitDone, w)
+			}
+		}
+		if len(waitDone) == 0 {
+			return nil
+		}
+		watch := make([]int, 0, len(waitDone))
+		for w := range waitDone {
+			watch = append(watch, w)
+		}
+		timeout := time.Until(deadline)
+		if timeout <= 0 {
+			timeout = time.Millisecond
+		}
+		pay, st, err := c.RecvTagsWatch(cluster.Any, timeout, watch, tagResult, tagDone)
+		if err != nil {
+			if errors.Is(err, cluster.ErrTimeout) {
+				for w := range waitDone {
+					d.lagging[w] = true
+				}
+				d.ft.Timeouts++
+				d.cfg.Trace.Emitf(0, "fault", "round %d timed out waiting for %v", roundSeq, watch)
+				return nil
+			}
+			var pd *cluster.PeerDownError
+			if errors.As(err, &pd) {
+				d.cfg.Trace.Emitf(0, "fault", "worker %d died during round %d", pd.Rank, roundSeq)
+				delete(waitDone, pd.Rank)
+				continue
+			}
+			return err
+		}
+		switch st.Tag {
+		case tagDone:
+			dn, err := decodeDone(pay)
+			if err != nil {
+				continue
+			}
+			if dn.Seq != roundSeq {
+				// A lagging worker finally closed an old round; its
+				// stats still belong to this batch if the round does.
+				delete(d.lagging, st.Source)
+				if dn.Seq >= b.batchStart {
+					m.noteDone(b, st.Source, dn)
+				}
+				continue
+			}
+			m.noteDone(b, st.Source, dn)
+			delete(waitDone, st.Source)
+			delete(d.lagging, st.Source)
+		case tagResult:
+			rm, err := decodeResult(pay)
+			if err != nil {
+				continue
+			}
+			m.noteResult(b, rm)
+		}
+	}
+	return nil
+}
+
+// assignWorker picks the next untried, alive, non-lagging worker of the
+// task's workgroup, rotated by rot for load balance. Returns -1 when the
+// workgroup is exhausted.
+func (d *Distributed) assignWorker(t *ftTask, rot int) int {
+	cands := d.replicaWorkers(int(t.part))
+	for i := 0; i < len(cands); i++ {
+		w := cands[(rot+i)%len(cands)]
+		if t.tried[w] || d.lagging[w] || d.comm.IsDown(w) {
+			continue
+		}
+		return w
+	}
+	return -1
+}
+
+// searchBatchFT is the fault-tolerant Algorithm 3/5: dispatch with
+// per-worker headers, collect under a deadline, and retry lost tasks on
+// workgroup replicas with exponential backoff.
+func (m *Master) searchBatchFT(queries *vec.Dataset, route func(qi int, q []float32) []vptree.Route) (*BatchResult, error) {
+	d := m.d
+	c := d.comm
+	nq := queries.Len()
+	k := d.cfg.K
+	p := d.cfg.Partitions
+	workers := c.Size() - 1
+	t0 := time.Now()
+
+	if d.lagging == nil {
+		d.lagging = make(map[int]bool)
+	}
+
+	res := &BatchResult{
+		Results:            make([][]topk.Result, nq),
+		PerWorkerQueries:   make([]int64, workers),
+		PerWorkerDistComps: make([]int64, workers),
+		PerWorkerHops:      make([]int64, workers),
+	}
+	b := &ftBatch{
+		res:     res,
+		pending: make(map[taskKey]*ftTask),
+		acked:   make(map[taskKey]bool),
+	}
+	b.collectors = make([]*topk.Collector, nq)
+	for i := range b.collectors {
+		b.collectors[i] = topk.New(k)
+	}
+
+	// Absorb anything left queued from previous batches (this also
+	// un-lags workers whose old Done has since arrived), then open the
+	// batch: from here on, Seq >= batchStart identifies our traffic.
+	m.drainQueued(nil)
+	b.batchStart = d.nextSeq()
+	roundSeq := b.batchStart
+
+	d.cfg.Trace.Emitf(0, "batch", "start (ft): %d queries, k=%d, seq=%d", nq, k, roundSeq)
+
+	// Round 1 header: every alive, non-lagging worker participates.
+	var commT time.Duration
+	inRound := make(map[int]bool)
+	metrics.Phase(&commT, func() {
+		enc := encodeHeader(batchHeader{Seq: roundSeq, NQueries: uint32(nq), K: uint16(k)})
+		for w := 1; w <= workers; w++ {
+			if c.IsDown(w) || d.lagging[w] {
+				continue
+			}
+			if err := c.Send(w, tagHeader, enc); err != nil {
+				continue
+			}
+			inRound[w] = true
+		}
+	})
+
+	// Route and dispatch. next[i] rotates the workgroup of partition i
+	// (Algorithm 5's load balancing); a candidate that is dead, lagging,
+	// or fails at send time falls through to the next replica.
+	next := make([]int, p)
+	var batchFailovers int64
+	var routeT, sendT time.Duration
+	for qi := 0; qi < nq; qi++ {
+		q := queries.At(qi)
+		var routes []vptree.Route
+		metrics.Phase(&routeT, func() { routes = route(qi, q) })
+		metrics.Phase(&sendT, func() {
+			for _, rt := range routes {
+				t := &ftTask{qi: uint32(qi), part: int32(rt.Partition), vec: q, tried: make(map[int]bool)}
+				key := taskKey{qi: t.qi, part: t.part}
+				b.pending[key] = t
+				rot := next[rt.Partition]
+				next[rt.Partition] = (next[rt.Partition] + 1) % d.cfg.Replication
+				msg := encodeQuery(queryMsg{QueryID: t.qi, Partition: t.part, K: uint16(k), Vec: q})
+				for {
+					w := d.assignWorker(t, rot)
+					if w < 0 || !inRound[w] {
+						break // no live replica: stays pending -> degraded
+					}
+					if err := c.Send(w, tagQuery, msg); err != nil {
+						t.tried[w] = true // died at send time; try the next replica
+						continue
+					}
+					t.tried[w] = true
+					res.Dispatched++
+					d.cfg.Trace.Emitf(0, "dispatch", "q%d -> partition %d on rank %d", qi, rt.Partition, w)
+					break
+				}
+			}
+		})
+	}
+	metrics.Phase(&sendT, func() {
+		for w := range inRound {
+			if err := c.Send(w, tagEOQ, nil); err != nil {
+				delete(inRound, w)
+			}
+		}
+	})
+
+	// Collect round 1.
+	var recvT time.Duration
+	waitDone := make(map[int]bool, len(inRound))
+	for w := range inRound {
+		waitDone[w] = true
+	}
+	var roundErr error
+	metrics.Phase(&recvT, func() {
+		roundErr = m.collectRound(b, waitDone, roundSeq, time.Now().Add(d.cfg.QueryTimeout))
+	})
+	if roundErr != nil {
+		return nil, roundErr
+	}
+
+	// Retry rounds: regroup the leftover tasks onto untried replicas.
+	for attempt := 1; len(b.pending) > 0 && attempt <= d.cfg.MaxRetries; attempt++ {
+		time.Sleep(d.cfg.RetryBackoff << (attempt - 1))
+		// Late traffic may have resolved tasks (or un-lagged workers)
+		// while we slept.
+		m.drainQueued(b)
+		if len(b.pending) == 0 {
+			break
+		}
+		byWorker := make(map[int][]*ftTask)
+		for _, t := range b.pending {
+			if w := d.assignWorker(t, 0); w >= 0 {
+				byWorker[w] = append(byWorker[w], t)
+			}
+		}
+		if len(byWorker) == 0 {
+			break // every leftover task has exhausted its workgroup
+		}
+		res.Retries++
+		roundSeq = d.nextSeq()
+		d.cfg.Trace.Emitf(0, "fault", "retry round %d: %d tasks on %d workers", roundSeq, len(b.pending), len(byWorker))
+		waitDone = make(map[int]bool, len(byWorker))
+		metrics.Phase(&sendT, func() {
+			enc := encodeHeader(batchHeader{Seq: roundSeq, NQueries: uint32(nq), K: uint16(k)})
+			for w, tasks := range byWorker {
+				if err := c.Send(w, tagHeader, enc); err != nil {
+					continue // died just now; tasks stay pending
+				}
+				for _, t := range tasks {
+					msg := encodeQuery(queryMsg{QueryID: t.qi, Partition: t.part, K: uint16(k), Vec: t.vec})
+					if err := c.Send(w, tagQuery, msg); err != nil {
+						break
+					}
+					t.tried[w] = true
+					batchFailovers++
+					res.Dispatched++
+				}
+				if err := c.Send(w, tagEOQ, nil); err != nil {
+					continue
+				}
+				waitDone[w] = true
+			}
+		})
+		if len(waitDone) == 0 {
+			continue
+		}
+		metrics.Phase(&recvT, func() {
+			roundErr = m.collectRound(b, waitDone, roundSeq, time.Now().Add(d.cfg.QueryTimeout))
+		})
+		if roundErr != nil {
+			return nil, roundErr
+		}
+	}
+
+	// Finalize: whatever is still pending is lost for this batch.
+	if len(b.pending) > 0 {
+		res.Degraded = true
+		d.ft.DegradedBatches++
+		seen := make(map[int]bool)
+		for key := range b.pending {
+			if !seen[int(key.part)] {
+				seen[int(key.part)] = true
+				res.FailedPartitions = append(res.FailedPartitions, int(key.part))
+			}
+		}
+		sort.Ints(res.FailedPartitions)
+		d.cfg.Trace.Emitf(0, "fault", "batch degraded: %d tasks lost, partitions %v", len(b.pending), res.FailedPartitions)
+	}
+	res.Failovers = batchFailovers
+	d.ft.Failovers += batchFailovers
+	for i, col := range b.collectors {
+		res.Results[i] = col.Results()
+	}
+	res.Elapsed = time.Since(t0)
+	d.cfg.Trace.Emitf(0, "batch", "done in %v (%d tasks, %d failovers, degraded=%v)",
+		res.Elapsed, res.Dispatched, res.Failovers, res.Degraded)
+	res.Breakdown = metrics.Breakdown{
+		Route:   routeT,
+		Comm:    commT + sendT + recvT,
+		Compute: 0,
+		Total:   res.Elapsed,
+	}
+	return res, nil
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+// Failover integration tests: kill one worker mid-batch and check that
+// the batch still completes — fully answered when Replication=2 (the
+// workgroup replica takes over), degraded-but-returned when
+// Replication=1 (no replica exists).
+//
+// The victim's result sends are delayed via the fault-injection wrapper
+// so the batch is guaranteed to still be in flight when the kill lands.
+
+// victimComm wraps a rank's comm so its results crawl out slowly.
+func victimComm(c *cluster.Comm) *cluster.Comm {
+	return cluster.WithFaults(c, cluster.FaultPlan{
+		Seed:      7,
+		DelayProb: 1,
+		MaxDelay:  20 * time.Millisecond,
+		Tags:      map[int]bool{tagResult: true},
+	})
+}
+
+func ftConfig(p, repl int) Config {
+	cfg := DefaultConfig(p)
+	cfg.Replication = repl
+	cfg.NProbe = 2
+	cfg.ThreadsPerWorker = 2
+	cfg.QueryTimeout = 3 * time.Second
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = 20 * time.Millisecond
+	return cfg
+}
+
+// runKillWorld runs master + p workers on the in-process world, kills
+// victim (a worker rank) killDelay after the search starts, and returns
+// the master's batch result. Worker errors are expected for the victim
+// and tolerated for the others only if the master still succeeded.
+func runKillWorld(t *testing.T, ds, qs *vec.Dataset, cfg Config, p, victim int, killDelay time.Duration) *BatchResult {
+	t.Helper()
+	w := cluster.NewWorld(p + 1)
+	defer w.Close()
+	var res *BatchResult
+	var masterErr error
+	searchStarted := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r <= p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			if rank == victim {
+				c = victimComm(c)
+			}
+			err := RunCluster(c, ds, cfg, func(m *Master) error {
+				close(searchStarted)
+				out, err := m.Search(qs)
+				res = out
+				return err
+			})
+			if rank == 0 {
+				masterErr = err
+			}
+		}(r)
+	}
+	go func() {
+		<-searchStarted
+		time.Sleep(killDelay)
+		w.KillRank(victim)
+	}()
+	wg.Wait()
+	if masterErr != nil {
+		t.Fatalf("master: %v", masterErr)
+	}
+	if res == nil {
+		t.Fatal("no batch result")
+	}
+	return res
+}
+
+func TestFailoverInProcessReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection integration test")
+	}
+	const p, victim = 4, 2
+	ds := clustered(t, 2000, 16, 4, 21)
+	qs := dataset.PerturbedQueries(ds, 100, 0.05, 22)
+	cfg := ftConfig(p, 2)
+	res := runKillWorld(t, ds, qs, cfg, p, victim, 100*time.Millisecond)
+
+	if res.Degraded {
+		t.Fatalf("batch degraded with Replication=2: failed partitions %v", res.FailedPartitions)
+	}
+	for i, rs := range res.Results {
+		if len(rs) != cfg.K {
+			t.Fatalf("query %d: %d results, want %d (failover incomplete)", i, len(rs), cfg.K)
+		}
+	}
+	truth := truthIDs(ds, qs, cfg.K)
+	if r := metrics.MeanRecall(res.Results, truth); r < 0.7 {
+		t.Errorf("recall after failover %v < 0.7", r)
+	}
+	if res.Failovers == 0 {
+		t.Error("no failovers recorded; kill landed after the batch?")
+	}
+}
+
+func TestFailoverInProcessDegraded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection integration test")
+	}
+	const p, victim = 4, 2
+	ds := clustered(t, 2000, 16, 4, 23)
+	qs := dataset.PerturbedQueries(ds, 100, 0.05, 24)
+	cfg := ftConfig(p, 1)
+	start := time.Now()
+	res := runKillWorld(t, ds, qs, cfg, p, victim, 100*time.Millisecond)
+	elapsed := time.Since(start)
+
+	if !res.Degraded {
+		t.Fatal("batch not degraded with Replication=1 and a dead worker")
+	}
+	want := victim - 1 // CoresPerNode=1: worker rank v hosts partition v-1
+	found := false
+	for _, fp := range res.FailedPartitions {
+		if fp == want {
+			found = true
+		} else {
+			t.Errorf("unexpected failed partition %d (victim hosts only %d)", fp, want)
+		}
+	}
+	if !found {
+		t.Errorf("failed partitions %v do not identify the dead partition %d", res.FailedPartitions, want)
+	}
+	// Bounded: one round deadline plus retries and backoff, with margin.
+	if limit := 4 * cfg.QueryTimeout; elapsed > limit {
+		t.Errorf("degraded batch took %v, want < %v", elapsed, limit)
+	}
+	// Queries still get answers from the surviving partitions.
+	answered := 0
+	for _, rs := range res.Results {
+		if len(rs) > 0 {
+			answered++
+		}
+	}
+	if answered < len(res.Results)/2 {
+		t.Errorf("only %d/%d queries answered", answered, len(res.Results))
+	}
+}
+
+// --- TCP variant: real sockets, worker process death = node.Close() ---
+
+func ftFreeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// runKillTCP is runKillWorld over the TCP transport: every rank gets its
+// own TCPNode on a loopback socket and the victim's node is closed (the
+// process-death analogue) killDelay after the search starts.
+func runKillTCP(t *testing.T, ds, qs *vec.Dataset, cfg Config, p, victim int, killDelay time.Duration) *BatchResult {
+	t.Helper()
+	addrs := ftFreeAddrs(t, p+1)
+	opts := cluster.TCPOptions{
+		DialTimeout:       10 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	}
+	var res *BatchResult
+	var masterErr error
+	searchStarted := make(chan struct{})
+	nodes := make([]*cluster.TCPNode, p+1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r <= p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			node, comm, err := cluster.JoinTCPOpts(rank, addrs, opts)
+			if err != nil {
+				if rank == 0 {
+					masterErr = err
+				}
+				return
+			}
+			mu.Lock()
+			nodes[rank] = node
+			mu.Unlock()
+			if rank == victim {
+				comm = victimComm(comm)
+			}
+			err = RunCluster(comm, ds, cfg, func(m *Master) error {
+				close(searchStarted)
+				out, serr := m.Search(qs)
+				res = out
+				return serr
+			})
+			if rank == 0 {
+				masterErr = err
+			}
+		}(r)
+	}
+	go func() {
+		<-searchStarted
+		time.Sleep(killDelay)
+		mu.Lock()
+		n := nodes[victim]
+		mu.Unlock()
+		if n != nil {
+			n.Close()
+		}
+	}()
+	wg.Wait()
+	for r, n := range nodes {
+		if n != nil && r != victim {
+			n.Close()
+		}
+	}
+	if masterErr != nil {
+		t.Fatalf("master: %v", masterErr)
+	}
+	if res == nil {
+		t.Fatal("no batch result")
+	}
+	return res
+}
+
+func TestFailoverTCPReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection integration test over TCP")
+	}
+	const p, victim = 4, 2
+	ds := clustered(t, 1500, 16, 4, 25)
+	qs := dataset.PerturbedQueries(ds, 80, 0.05, 26)
+	cfg := ftConfig(p, 2)
+	res := runKillTCP(t, ds, qs, cfg, p, victim, 100*time.Millisecond)
+
+	if res.Degraded {
+		t.Fatalf("batch degraded with Replication=2: failed partitions %v", res.FailedPartitions)
+	}
+	for i, rs := range res.Results {
+		if len(rs) != cfg.K {
+			t.Fatalf("query %d: %d results, want %d", i, len(rs), cfg.K)
+		}
+	}
+	truth := truthIDs(ds, qs, cfg.K)
+	if r := metrics.MeanRecall(res.Results, truth); r < 0.7 {
+		t.Errorf("recall after failover %v < 0.7", r)
+	}
+}
+
+func TestFailoverTCPDegraded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection integration test over TCP")
+	}
+	const p, victim = 4, 2
+	ds := clustered(t, 1500, 16, 4, 27)
+	qs := dataset.PerturbedQueries(ds, 80, 0.05, 28)
+	cfg := ftConfig(p, 1)
+	start := time.Now()
+	res := runKillTCP(t, ds, qs, cfg, p, victim, 100*time.Millisecond)
+	elapsed := time.Since(start)
+
+	if !res.Degraded {
+		t.Fatal("batch not degraded with Replication=1 and a dead worker")
+	}
+	want := victim - 1
+	found := false
+	for _, fp := range res.FailedPartitions {
+		if fp == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failed partitions %v do not identify partition %d", res.FailedPartitions, want)
+	}
+	if limit := 4 * cfg.QueryTimeout; elapsed > limit {
+		t.Errorf("degraded batch took %v, want < %v", elapsed, limit)
+	}
+}
+
+// TestFTMatchesLegacyWhenHealthy pins down that with no failures the
+// fault-tolerant path returns the same answers as the legacy protocol.
+func TestFTMatchesLegacyWhenHealthy(t *testing.T) {
+	ds := clustered(t, 2000, 16, 4, 29)
+	qs := dataset.PerturbedQueries(ds, 40, 0.05, 30)
+
+	legacy := DefaultConfig(4)
+	legacy.OneSided = false
+	legacy.NProbe = 2
+	legacy.Seed = 5
+	a := runDistributedSearch(t, ds, qs, legacy, 4)
+
+	ft := legacy
+	ft.QueryTimeout = 5 * time.Second
+	b := runDistributedSearch(t, ds, qs, ft, 4)
+
+	if b.Degraded || b.Failovers != 0 || b.Retries != 0 {
+		t.Fatalf("healthy FT batch reported faults: %+v", b)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result rows %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if len(a.Results[i]) != len(b.Results[i]) {
+			t.Fatalf("query %d: %d vs %d results", i, len(a.Results[i]), len(b.Results[i]))
+		}
+		// Compare ID sets, not positions: equal-distance ties at the
+		// k-th boundary may resolve by arrival order.
+		ids := make(map[int64]bool, len(a.Results[i]))
+		for _, r := range a.Results[i] {
+			ids[r.ID] = true
+		}
+		miss := 0
+		for _, r := range b.Results[i] {
+			if !ids[r.ID] {
+				miss++
+			}
+		}
+		if miss > 1 {
+			t.Fatalf("query %d: FT results diverge from legacy by %d IDs", i, miss)
+		}
+	}
+	if a.Dispatched != b.Dispatched {
+		t.Errorf("dispatched %d vs %d", a.Dispatched, b.Dispatched)
+	}
+}

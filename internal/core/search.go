@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,17 @@ type Distributed struct {
 	tree   *vptree.PartitionTree
 	cons   ConstructStats // aggregated (max over workers per phase)
 	builtB *Built         // worker state
+
+	// fault-tolerant serving state (master only, driver goroutine only)
+	seq     uint32       // monotonic batch-round sequence number
+	lagging map[int]bool // workers that missed a round deadline and owe a Done
+	ft      FaultStats
+}
+
+// nextSeq issues the next batch-round sequence number (master only).
+func (d *Distributed) nextSeq() uint32 {
+	d.seq++
+	return d.seq
 }
 
 // RunCluster is the lifecycle entry point: every rank of c calls it.
@@ -204,8 +216,12 @@ func maxConsStats(a, b ConstructStats) ConstructStats {
 	return out
 }
 
-// batch header exchanged before every search batch (master -> all).
+// batch header exchanged before every search batch (master -> each
+// worker individually, so retry rounds can address a subset and dead
+// ranks can be skipped). Seq names the round; workers echo it in every
+// result and Done so the master can tell fresh traffic from stale.
 type batchHeader struct {
+	Seq      uint32
 	NQueries uint32
 	K        uint16
 	OneSided bool
@@ -213,24 +229,26 @@ type batchHeader struct {
 }
 
 func encodeHeader(h batchHeader) []byte {
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint32(buf[0:], h.NQueries)
-	binary.LittleEndian.PutUint16(buf[4:], h.K)
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf[0:], h.Seq)
+	binary.LittleEndian.PutUint32(buf[4:], h.NQueries)
+	binary.LittleEndian.PutUint16(buf[8:], h.K)
 	if h.OneSided {
-		buf[6] = 1
+		buf[10] = 1
 	}
 	if h.Shutdown {
-		buf[7] = 1
+		buf[11] = 1
 	}
 	return buf
 }
 
 func decodeHeader(b []byte) batchHeader {
 	return batchHeader{
-		NQueries: binary.LittleEndian.Uint32(b[0:]),
-		K:        binary.LittleEndian.Uint16(b[4:]),
-		OneSided: b[6] == 1,
-		Shutdown: b[7] == 1,
+		Seq:      binary.LittleEndian.Uint32(b[0:]),
+		NQueries: binary.LittleEndian.Uint32(b[4:]),
+		K:        binary.LittleEndian.Uint16(b[8:]),
+		OneSided: b[10] == 1,
+		Shutdown: b[11] == 1,
 	}
 }
 
@@ -264,6 +282,19 @@ type BatchResult struct {
 	RouteNodes int64
 	Work       WorkStats
 	Breakdown  metrics.Breakdown
+
+	// Degraded reports that some (query, partition) tasks were lost to
+	// worker failures and could not be recovered from a replica within
+	// the retry budget; Results are still valid but may miss neighbors
+	// from the listed partitions.
+	Degraded bool
+	// FailedPartitions lists the partitions whose tasks were abandoned
+	// (deduplicated, ascending).
+	FailedPartitions []int
+	// Failovers counts tasks rerouted to a replica worker this batch.
+	Failovers int64
+	// Retries counts the retry rounds this batch needed.
+	Retries int
 }
 
 // Search answers a batch of queries with the configured routing mode.
@@ -323,6 +354,10 @@ func (m *Master) searchAdaptive(queries *vec.Dataset) (*BatchResult, error) {
 		Dispatched:         first.Dispatched + second.Dispatched,
 		Work:               first.Work.Add(second.Work),
 		Breakdown:          first.Breakdown.Add(second.Breakdown),
+		Degraded:           first.Degraded || second.Degraded,
+		FailedPartitions:   unionParts(first.FailedPartitions, second.FailedPartitions),
+		Failovers:          first.Failovers + second.Failovers,
+		Retries:            first.Retries + second.Retries,
 	}
 	for i := range out.PerWorkerQueries {
 		out.PerWorkerQueries[i] = first.PerWorkerQueries[i] + second.PerWorkerQueries[i]
@@ -354,18 +389,31 @@ func (m *Master) searchBatch(queries *vec.Dataset, route func(q []float32) []vpt
 // send End-of-Queries, then collect results two-sided or via the
 // one-sided window.
 func (m *Master) searchBatchIndexed(queries *vec.Dataset, route func(qi int, q []float32) []vptree.Route) (*BatchResult, error) {
+	if m.d.cfg.QueryTimeout > 0 {
+		return m.searchBatchFT(queries, route)
+	}
 	d := m.d
 	c := d.comm
 	nq := queries.Len()
 	k := d.cfg.K
 	t0 := time.Now()
 
-	hdr := batchHeader{NQueries: uint32(nq), K: uint16(k), OneSided: d.cfg.OneSided}
+	hdr := batchHeader{Seq: d.nextSeq(), NQueries: uint32(nq), K: uint16(k), OneSided: d.cfg.OneSided}
 	d.cfg.Trace.Emitf(0, "batch", "start: %d queries, k=%d", nq, k)
 	var commT time.Duration
+	var hdrErr error
 	metrics.Phase(&commT, func() {
-		_, _ = c.Bcast(0, encodeHeader(hdr))
+		enc := encodeHeader(hdr)
+		for w := 1; w < c.Size(); w++ {
+			if err := c.Send(w, tagHeader, enc); err != nil {
+				hdrErr = err
+				return
+			}
+		}
 	})
+	if hdrErr != nil {
+		return nil, hdrErr
+	}
 
 	var win *cluster.Window
 	if d.cfg.OneSided {
@@ -457,12 +505,12 @@ func (m *Master) searchBatchIndexed(queries *vec.Dataset, route func(qi int, q [
 			switch st.Tag {
 			case tagDone:
 				dn, err := decodeDone(pay)
-				if err != nil {
-					continue
+				if err != nil || dn.Seq != hdr.Seq {
+					continue // stale round (can only happen after FT batches)
 				}
-				res.PerWorkerQueries[st.Source-1] = dn.Processed
-				res.PerWorkerDistComps[st.Source-1] = dn.DistComps
-				res.PerWorkerHops[st.Source-1] = dn.Hops
+				res.PerWorkerQueries[st.Source-1] += dn.Processed
+				res.PerWorkerDistComps[st.Source-1] += dn.DistComps
+				res.PerWorkerHops[st.Source-1] += dn.Hops
 				totalAcc += dn.Accumulates
 				res.Work.DistComps += dn.DistComps
 				res.Work.Hops += dn.Hops
@@ -477,11 +525,11 @@ func (m *Master) searchBatchIndexed(queries *vec.Dataset, route func(qi int, q [
 					}
 				}
 			case tagResult:
-				resultsSeen++
 				rm, err := decodeResult(pay)
-				if err != nil {
+				if err != nil || rm.Seq != hdr.Seq {
 					continue
 				}
+				resultsSeen++
 				for _, x := range rm.Results {
 					collectors[rm.QueryID].PushResult(x)
 				}
@@ -528,16 +576,42 @@ func (m *Master) searchBatchIndexed(queries *vec.Dataset, route func(qi int, q [
 
 // shutdown tells the workers to exit their loops.
 func (m *Master) shutdown() error {
-	_, err := m.d.comm.Bcast(0, encodeHeader(batchHeader{Shutdown: true}))
-	return err
+	return sendShutdown(m.d.comm)
 }
 
-// workerLoop is Algorithm 4: serve batches until shutdown.
+// sendShutdown delivers the Shutdown header to every worker still alive.
+// Dead workers are skipped and races with death are tolerated: a
+// shutdown must never fail the run over a rank that is already gone.
+func sendShutdown(c *cluster.Comm) error {
+	var firstErr error
+	enc := encodeHeader(batchHeader{Shutdown: true})
+	for w := 1; w < c.Size(); w++ {
+		if c.IsDown(w) {
+			continue
+		}
+		if err := c.Send(w, tagHeader, enc); err != nil && !errors.Is(err, cluster.ErrPeerDown) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// workerLoop is Algorithm 4: serve batches until shutdown. The header
+// receive fails fast (ErrPeerDown) if the master dies, so workers do not
+// outlive a crashed master.
 func (d *Distributed) workerLoop() error {
 	c := d.comm
 	for {
-		raw, err := c.Bcast(0, nil)
+		raw, _, err := c.RecvTags(0, tagHeader)
 		if err != nil {
+			// Master gone while we are idle between batches: no more
+			// work will ever arrive, so treat it like a shutdown. The
+			// master's shutdown frame and its connection close can
+			// also race on distinct conns, making this path reachable
+			// even on a clean exit.
+			if errors.Is(err, cluster.ErrPeerDown) {
+				return nil
+			}
 			return err
 		}
 		hdr := decodeHeader(raw)
@@ -566,6 +640,7 @@ func (d *Distributed) serveBatch(hdr batchHeader) error {
 	}
 	var processed, accumulates atomic.Int64
 	var dc, hops atomic.Int64
+	var eoqSeen atomic.Bool
 	var wg sync.WaitGroup
 	var firstErr error
 	var errMu sync.Mutex
@@ -587,13 +662,15 @@ func (d *Distributed) serveBatch(hdr batchHeader) error {
 				// EOQ means this thread has no work left; it re-posts
 				// EOQ for its sibling threads (poison-pill cascade) and
 				// exits — the message-passing form of Algorithm 4's
-				// shared Done flag.
-				pay, st, err := c.RecvTags(cluster.Any, tagQuery, tagEOQ)
+				// shared Done flag. Watching rank 0 makes the wait fail
+				// fast instead of hanging if the master dies mid-batch.
+				pay, st, err := c.RecvTagsWatch(cluster.Any, 0, []int{0}, tagQuery, tagEOQ)
 				if err != nil {
 					fail(err)
 					return
 				}
 				if st.Tag == tagEOQ {
+					eoqSeen.Store(true)
 					if err := c.Send(c.Rank(), tagEOQ, nil); err != nil {
 						fail(err)
 					}
@@ -621,6 +698,7 @@ func (d *Distributed) serveBatch(hdr batchHeader) error {
 				out := encodeResult(resultMsg{
 					QueryID:   qm.QueryID,
 					Partition: qm.Partition,
+					Seq:       hdr.Seq,
 					DistComps: hst.DistComps,
 					Results:   rs,
 				})
@@ -640,15 +718,34 @@ func (d *Distributed) serveBatch(hdr batchHeader) error {
 		}()
 	}
 	wg.Wait()
-	// The cascade leaves exactly one re-posted EOQ behind; drain it so
-	// the next batch starts clean. (If every thread failed before
-	// consuming EOQ, this drains the master's original instead.)
-	_, _, _, _ = c.TryRecv(cluster.Any, tagEOQ)
+	// Drain leftovers so the next batch starts clean. If every thread
+	// died on an internal error before consuming EOQ, the master's
+	// queries for this round (and its EOQ) may still be queued or in
+	// flight; consume up to the EOQ (bounded, in case the master died
+	// too) so stale queries cannot leak into the next batch's threads.
+	if !eoqSeen.Load() && firstErr != nil &&
+		!errors.Is(firstErr, cluster.ErrPeerDown) && !errors.Is(firstErr, cluster.ErrClosed) {
+		for {
+			_, st, err := c.RecvTagsWatch(cluster.Any, 2*time.Second, []int{0}, tagQuery, tagEOQ)
+			if err != nil || st.Tag == tagEOQ {
+				break
+			}
+		}
+	}
+	// The cascade leaves exactly one re-posted EOQ behind; drain any
+	// queued EOQ leftovers. (The master never starts this worker on a new
+	// round before our Done below, so these can only be this round's.)
+	for {
+		if _, _, ok, err := c.TryRecv(cluster.Any, tagEOQ); err != nil || !ok {
+			break
+		}
+	}
 	// Report Done even after an internal error: the master sizes its
 	// collection on the processed counts, so a failing worker degrades
 	// results instead of deadlocking the batch.
 	d.cfg.Trace.Emitf(c.Rank(), "done", "%d tasks processed", processed.Load())
 	if err := c.Send(0, tagDone, encodeDone(workerDone{
+		Seq:         hdr.Seq,
 		Processed:   processed.Load(),
 		Accumulates: accumulates.Load(),
 		DistComps:   dc.Load(),

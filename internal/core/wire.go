@@ -27,6 +27,9 @@ const (
 	tagResult = 3 // worker -> master: resultMsg (two-sided mode)
 	tagDone   = 4 // worker -> master: workerDone
 	tagOwner  = 5 // owner -> host and back (multiple-owner strategy)
+	tagHeader = 9 // master -> worker: batchHeader (per-worker, replaces Bcast
+	// so the master can address retry rounds to a subset of workers and
+	// tolerate dead ranks)
 )
 
 // queryMsg is a routed query dispatched to one partition host.
@@ -65,21 +68,25 @@ func decodeQuery(b []byte) (queryMsg, error) {
 }
 
 // resultMsg carries the local k-NN of one query in one partition, plus
-// the work performed (for the cost model and Figure 5).
+// the work performed (for the cost model and Figure 5). Seq is the batch
+// round the result answers; the master uses it to discard results from
+// rounds that have already been retried elsewhere.
 type resultMsg struct {
 	QueryID   uint32
 	Partition int32
+	Seq       uint32
 	DistComps int64
 	Results   []topk.Result
 }
 
 func encodeResult(m resultMsg) []byte {
-	buf := make([]byte, 20+12*len(m.Results))
+	buf := make([]byte, 24+12*len(m.Results))
 	binary.LittleEndian.PutUint32(buf[0:], m.QueryID)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Partition))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(m.DistComps))
-	binary.LittleEndian.PutUint32(buf[16:], uint32(len(m.Results)))
-	off := 20
+	binary.LittleEndian.PutUint32(buf[8:], m.Seq)
+	binary.LittleEndian.PutUint64(buf[12:], uint64(m.DistComps))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(m.Results)))
+	off := 24
 	for _, r := range m.Results {
 		binary.LittleEndian.PutUint64(buf[off:], uint64(r.ID))
 		binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(r.Dist))
@@ -89,20 +96,21 @@ func encodeResult(m resultMsg) []byte {
 }
 
 func decodeResult(b []byte) (resultMsg, error) {
-	if len(b) < 20 {
+	if len(b) < 24 {
 		return resultMsg{}, fmt.Errorf("core: malformed result message (%d bytes)", len(b))
 	}
-	n := int(binary.LittleEndian.Uint32(b[16:]))
-	if len(b) != 20+12*n {
-		return resultMsg{}, fmt.Errorf("core: result message length %d != %d", len(b), 20+12*n)
+	n := int(binary.LittleEndian.Uint32(b[20:]))
+	if len(b) != 24+12*n {
+		return resultMsg{}, fmt.Errorf("core: result message length %d != %d", len(b), 24+12*n)
 	}
 	m := resultMsg{
 		QueryID:   binary.LittleEndian.Uint32(b[0:]),
 		Partition: int32(binary.LittleEndian.Uint32(b[4:])),
-		DistComps: int64(binary.LittleEndian.Uint64(b[8:])),
+		Seq:       binary.LittleEndian.Uint32(b[8:]),
+		DistComps: int64(binary.LittleEndian.Uint64(b[12:])),
 		Results:   make([]topk.Result, n),
 	}
-	off := 20
+	off := 24
 	for i := range m.Results {
 		m.Results[i] = topk.Result{
 			ID:   int64(binary.LittleEndian.Uint64(b[off:])),
@@ -115,7 +123,10 @@ func decodeResult(b []byte) (resultMsg, error) {
 
 // workerDone reports a worker's completion along with its per-partition
 // processed-query counts and issued accumulate count (one-sided mode).
+// Seq identifies the batch round the Done closes; a stale Seq tells the
+// master a lagging worker has finally finished an old round.
 type workerDone struct {
+	Seq         uint32
 	Processed   int64
 	Accumulates int64
 	DistComps   int64
@@ -123,23 +134,25 @@ type workerDone struct {
 }
 
 func encodeDone(d workerDone) []byte {
-	buf := make([]byte, 32)
-	binary.LittleEndian.PutUint64(buf[0:], uint64(d.Processed))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(d.Accumulates))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(d.DistComps))
-	binary.LittleEndian.PutUint64(buf[24:], uint64(d.Hops))
+	buf := make([]byte, 40)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(d.Seq))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(d.Processed))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(d.Accumulates))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(d.DistComps))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(d.Hops))
 	return buf
 }
 
 func decodeDone(b []byte) (workerDone, error) {
-	if len(b) != 32 {
+	if len(b) != 40 {
 		return workerDone{}, fmt.Errorf("core: malformed done message (%d bytes)", len(b))
 	}
 	return workerDone{
-		Processed:   int64(binary.LittleEndian.Uint64(b[0:])),
-		Accumulates: int64(binary.LittleEndian.Uint64(b[8:])),
-		DistComps:   int64(binary.LittleEndian.Uint64(b[16:])),
-		Hops:        int64(binary.LittleEndian.Uint64(b[24:])),
+		Seq:         uint32(binary.LittleEndian.Uint64(b[0:])),
+		Processed:   int64(binary.LittleEndian.Uint64(b[8:])),
+		Accumulates: int64(binary.LittleEndian.Uint64(b[16:])),
+		DistComps:   int64(binary.LittleEndian.Uint64(b[24:])),
+		Hops:        int64(binary.LittleEndian.Uint64(b[32:])),
 	}, nil
 }
 

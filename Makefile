@@ -1,11 +1,17 @@
 GO ?= go
+BIN ?= bin
 
-.PHONY: all build test tier1 fast vet race bench clean
+.PHONY: all build bin test tier1 fast vet race bench clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Install every binary (anngen, annbuild, annquery, annserve,
+# annmaster, annworker, annbench) into $(BIN)/.
+bin:
+	$(GO) build -o $(BIN)/ ./cmd/...
 
 # Quick loop: vet plus the short test suite. Fault-injection and other
 # timing-dependent integration tests honor -short and are skipped here.
@@ -18,8 +24,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiment-driver tests carry real compute; under the race
+# detector on a small machine they outlive go test's default 10m
+# per-package timeout, so give them room.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 # tier1 is the gate a change must pass before merging: vet clean and the
 # full suite (including the fault-injection integration tests) green

@@ -2,9 +2,14 @@
 // optionally scoring recall against ivecs ground truth:
 //
 //	annquery -index sift.ann -queries sift_query.fvecs -gt sift_gt.ivecs -k 10
+//
+// With -json the run emits one machine-readable JSON object on stdout
+// (same fields the annserve gateway's loadgen and scripts consume)
+// instead of the human-readable log lines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -14,7 +19,38 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/topk"
 )
+
+// report is the -json output shape.
+type report struct {
+	Index struct {
+		Points     int `json:"points"`
+		Partitions int `json:"partitions"`
+		Dim        int `json:"dim"`
+	} `json:"index"`
+	Queries   int     `json:"queries"`
+	K         int     `json:"k"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	QPS       float64 `json:"qps"`
+
+	Tuned *struct {
+		NProbe   int     `json:"nprobe"`
+		EfSearch int     `json:"ef_search"`
+		Recall   float64 `json:"recall"`
+	} `json:"tuned,omitempty"`
+
+	LatencyUS *metrics.Summary `json:"latency_us,omitempty"`
+	Recall    *float64         `json:"recall,omitempty"`
+
+	// Results holds the first -show result rows (-show -1 = all).
+	Results []resultRow `json:"results,omitempty"`
+}
+
+type resultRow struct {
+	IDs   []int64   `json:"ids"`
+	Dists []float32 `json:"dists"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -27,14 +63,21 @@ func main() {
 		nprobe  = flag.Int("nprobe", 0, "override partitions searched per query")
 		ef      = flag.Int("ef", 0, "override HNSW efSearch")
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		show    = flag.Int("show", 3, "print the first N query results")
+		show    = flag.Int("show", 3, "print the first N query results (-1 = all)")
 		latency = flag.Bool("latency", false, "also measure per-query latency percentiles (serial pass)")
 		tune    = flag.Float64("tune", 0, "tune nprobe/efSearch to this recall target before querying (needs -gt)")
+		jsonOut = flag.Bool("json", false, "emit one machine-readable JSON object on stdout instead of text")
 	)
 	flag.Parse()
 	if *index == "" || *queries == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// In -json mode nothing but the final object may reach stdout.
+	human := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
 	}
 	f, err := os.Open(*index)
 	if err != nil {
@@ -55,13 +98,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("index: %d points, %d partitions; queries: %d x %d\n",
+	var rep report
+	rep.Index.Points = e.Len()
+	rep.Index.Partitions = e.Partitions()
+	rep.Index.Dim = e.Dim()
+	rep.Queries = qs.Len()
+	rep.K = *k
+	human("index: %d points, %d partitions; queries: %d x %d\n",
 		e.Len(), e.Partitions(), qs.Len(), qs.Dim)
 
-	if *tune > 0 {
-		if *gt == "" {
-			log.Fatal("-tune requires -gt ground truth")
-		}
+	loadTruth := func() [][]int32 {
 		gf, err := os.Open(*gt)
 		if err != nil {
 			log.Fatal(err)
@@ -76,6 +122,14 @@ func main() {
 				truth[i] = truth[i][:*k]
 			}
 		}
+		return truth
+	}
+
+	if *tune > 0 {
+		if *gt == "" {
+			log.Fatal("-tune requires -gt ground truth")
+		}
+		truth := loadTruth()
 		// tune on a held-out prefix to keep the timing pass honest
 		n := qs.Len() / 4
 		if n < 10 {
@@ -83,8 +137,13 @@ func main() {
 		}
 		res, err := e.Tune(qs.Slice(0, n), truth[:n], *k, *tune)
 		if res != nil {
-			fmt.Printf("tuned: nprobe=%d efSearch=%d recall=%.3f (%d points evaluated)\n",
+			human("tuned: nprobe=%d efSearch=%d recall=%.3f (%d points evaluated)\n",
 				res.NProbe, res.EfSearch, res.Recall, len(res.Evaluated))
+			rep.Tuned = &struct {
+				NProbe   int     `json:"nprobe"`
+				EfSearch int     `json:"ef_search"`
+				Recall   float64 `json:"recall"`
+			}{res.NProbe, res.EfSearch, res.Recall}
 		}
 		if err != nil {
 			log.Printf("tuning: %v", err)
@@ -97,8 +156,10 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(t0)
-	fmt.Printf("answered %d queries in %v (%.0f queries/s)\n",
-		qs.Len(), elapsed.Round(time.Microsecond), float64(qs.Len())/elapsed.Seconds())
+	rep.ElapsedUS = elapsed.Microseconds()
+	rep.QPS = float64(qs.Len()) / elapsed.Seconds()
+	human("answered %d queries in %v (%.0f queries/s)\n",
+		qs.Len(), elapsed.Round(time.Microsecond), rep.QPS)
 
 	if *latency {
 		lats := make([]float64, qs.Len())
@@ -109,32 +170,46 @@ func main() {
 			}
 			lats[i] = float64(time.Since(q0).Microseconds())
 		}
-		fmt.Printf("per-query latency (µs): %s\n", metrics.Summarize(lats))
+		sum := metrics.Summarize(lats)
+		rep.LatencyUS = &sum
+		human("per-query latency (µs): %s\n", sum)
 	}
 
-	for i := 0; i < *show && i < len(res); i++ {
-		fmt.Printf("q%d:", i)
-		for _, r := range res[i] {
-			fmt.Printf(" %d(%.3f)", r.ID, r.Dist)
+	nshow := *show
+	if nshow < 0 || nshow > len(res) {
+		nshow = len(res)
+	}
+	for i := 0; i < nshow; i++ {
+		rep.Results = append(rep.Results, toRow(res[i]))
+		if !*jsonOut {
+			fmt.Printf("q%d:", i)
+			for _, r := range res[i] {
+				fmt.Printf(" %d(%.3f)", r.ID, r.Dist)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	if *gt != "" {
-		gf, err := os.Open(*gt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth, err := dataset.ReadIvecs(gf, qs.Len())
-		gf.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i := range truth {
-			if len(truth[i]) > *k {
-				truth[i] = truth[i][:*k]
-			}
-		}
-		fmt.Printf("recall@%d = %.4f\n", *k, metrics.MeanRecall(res, truth))
+		truth := loadTruth()
+		recall := metrics.MeanRecall(res, truth)
+		rep.Recall = &recall
+		human("recall@%d = %.4f\n", *k, recall)
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func toRow(rs []topk.Result) resultRow {
+	row := resultRow{IDs: make([]int64, len(rs)), Dists: make([]float32, len(rs))}
+	for i, r := range rs {
+		row.IDs[i] = r.ID
+		row.Dists[i] = r.Dist
+	}
+	return row
 }

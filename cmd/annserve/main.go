@@ -1,0 +1,197 @@
+// annserve is the online serving gateway: a long-lived HTTP JSON query
+// service over an index built with annbuild (single-process mode) or
+// over a live worker cluster (distributed mode, master rank).
+//
+// Single process:
+//
+//	annserve -index sift.ann -addr :8080 -max-batch 64 -max-wait 2ms
+//
+// Distributed (this process is rank 0; start annworker ranks 1..P):
+//
+//	annserve -cluster host0:7000,host1:7000,host2:7000 \
+//	         -data sift.fvecs -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/search   {"query":[...]} or {"queries":[[...],...]},
+//	                  optional "k" and "timeout_ms"
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /varz        served-traffic counters + runtime snapshot (JSON)
+//
+// Concurrent requests are coalesced into batched search rounds; a full
+// admission queue sheds load with 429 + Retry-After; SIGTERM/SIGINT
+// drains gracefully (in-flight requests finish, new ones are refused).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annserve: ")
+	var (
+		addr  = flag.String("addr", ":8080", "HTTP listen address")
+		index = flag.String("index", "", "index file from annbuild (single-process mode)")
+
+		clusterAddrs = flag.String("cluster", "", "comma-separated rank addresses for distributed mode; this process is rank 0")
+		data         = flag.String("data", "", "dataset fvecs file (distributed mode, unless -resume)")
+		resume       = flag.String("resume", "", "serve a checkpoint directory instead of building (distributed mode)")
+		limit        = flag.Int("limit", 0, "load at most this many points")
+		workerWait   = flag.Duration("worker-wait", 60*time.Second, "worker dial timeout (distributed mode)")
+		clusterK     = flag.Int("cluster-k", 10, "neighbors per query the cluster serves (distributed mode)")
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-round failover deadline; 0 disables fault tolerance (distributed mode)")
+		repl         = flag.Int("replication", 1, "replication factor (distributed mode)")
+		wthreads     = flag.Int("worker-threads", 4, "searcher threads per worker (distributed mode)")
+
+		nprobe  = flag.Int("nprobe", 0, "override partitions searched per query")
+		ef      = flag.Int("ef", 0, "override HNSW efSearch (single-process mode)")
+		threads = flag.Int("threads", 0, "search threads per batch round (0 = GOMAXPROCS)")
+
+		maxBatch = flag.Int("max-batch", 64, "max queries coalesced into one search round")
+		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits to be batched")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x max-batch); beyond it requests shed with 429")
+		cache    = flag.Int("cache", 4096, "LRU result-cache entries (0 disables)")
+		deadline = flag.Duration("deadline", 0, "default per-request deadline when the client sends no timeout_ms (0 = none)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to finish queued work on shutdown")
+	)
+	flag.Parse()
+
+	single := *index != ""
+	distributed := *clusterAddrs != ""
+	if single == distributed {
+		log.Print("exactly one of -index or -cluster is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srvCfg := serve.ServerConfig{
+		Batcher: serve.BatcherConfig{
+			MaxBatch:   *maxBatch,
+			MaxWait:    *maxWait,
+			QueueDepth: *queue,
+		},
+		CacheSize:      *cache,
+		DefaultTimeout: *deadline,
+	}
+
+	if single {
+		f, err := os.Open(*index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := core.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *nprobe > 0 {
+			e.SetNProbe(*nprobe)
+		}
+		if *ef > 0 {
+			e.SetEfSearch(*ef)
+		}
+		log.Printf("index: %d points, %d partitions, dim %d", e.Len(), e.Partitions(), e.Dim())
+		backend := &serve.EngineBackend{Engine: e, Threads: *threads}
+		if err := serveHTTP(*addr, backend, srvCfg, *drainFor); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Distributed: join the cluster as rank 0, build (or resume), then
+	// serve HTTP as the master driver until a shutdown signal.
+	list := strings.Split(*clusterAddrs, ",")
+	if len(list) < 2 {
+		log.Fatal("-cluster needs at least a master and one worker address")
+	}
+	if *data == "" && *resume == "" {
+		log.Fatal("distributed mode needs -data or -resume")
+	}
+	cfg := core.DefaultConfig(len(list) - 1)
+	cfg.K = *clusterK
+	cfg.NProbe = *nprobe
+	cfg.Replication = *repl
+	cfg.ThreadsPerWorker = *wthreads
+	cfg.QueryTimeout = *queryTimeout
+	if *nprobe <= 0 {
+		cfg.NProbe = 2
+	}
+	node, comm, err := cluster.JoinTCPOpts(0, list, cluster.TCPOptions{DialTimeout: *workerWait})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	driver := func(m *core.Master) error {
+		log.Printf("cluster up: %d workers, dim %d, k=%d", len(list)-1, m.Dim(), m.K())
+		return serveHTTP(*addr, &serve.MasterBackend{Master: m}, srvCfg, *drainFor)
+	}
+	if *resume != "" {
+		err = core.RunClusterFromCheckpoint(comm, *resume, cfg, driver)
+	} else {
+		ds, lerr := dataset.LoadFvecsFile(*data, *limit)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		err = core.RunCluster(comm, ds, cfg, driver)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serveHTTP runs the gateway until SIGTERM/SIGINT, then drains: stop
+// accepting connections, finish queued searches, exit.
+func serveHTTP(addr string, backend serve.Backend, cfg serve.ServerConfig, drainFor time.Duration) error {
+	gw := serve.NewServer(backend, cfg)
+	hs := &http.Server{Addr: addr, Handler: gw.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("%v: draining (up to %v)", sig, drainFor)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	// Stop accepting and let in-flight handlers deliver their
+	// submissions, then drain the batcher's queue.
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := gw.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	snap := gw.Stats().Snapshot()
+	log.Printf("drained: served %d queries in %d batches (mean batch %.1f), shed %d, cache hits %d",
+		snap.Queries, snap.Batches, snap.MeanBatchSize, snap.Shed, snap.CacheHits)
+	return <-errCh
+}

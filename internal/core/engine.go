@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -179,8 +180,20 @@ func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, er
 // (default GOMAXPROCS) — the single-node equivalent of the batched
 // throughput mode the paper targets.
 func (e *Engine) SearchBatch(queries *vec.Dataset, k, nThreads int) ([][]topk.Result, error) {
+	return e.SearchBatchContext(context.Background(), queries, k, nThreads)
+}
+
+// SearchBatchContext is SearchBatch with cancellation: once ctx is done,
+// remaining queries are skipped, the pool drains, and ctx.Err() is
+// returned. Queries already being searched run to completion (local HNSW
+// searches are short); this is the entry point the serving gateway uses
+// to bound a coalesced batch by its requests' deadlines.
+func (e *Engine) SearchBatchContext(ctx context.Context, queries *vec.Dataset, k, nThreads int) ([][]topk.Result, error) {
 	if queries.Dim != e.dim {
 		return nil, fmt.Errorf("core: query dim %d, index dim %d", queries.Dim, e.dim)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if nThreads <= 0 {
 		nThreads = runtime.GOMAXPROCS(0)
@@ -189,11 +202,18 @@ func (e *Engine) SearchBatch(queries *vec.Dataset, k, nThreads int) ([][]topk.Re
 	errs := make([]error, queries.Len())
 	var wg sync.WaitGroup
 	work := make(chan int, nThreads*2)
+	done := ctx.Done()
 	for w := 0; w < nThreads; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				select {
+				case <-done:
+					errs[i] = ctx.Err()
+					continue // keep draining so the producer never blocks
+				default:
+				}
 				out[i], errs[i] = e.Search(queries.At(i), k)
 			}
 		}()
@@ -203,6 +223,9 @@ func (e *Engine) SearchBatch(queries *vec.Dataset, k, nThreads int) ([][]topk.Re
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -281,34 +304,59 @@ func (e *Engine) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// LoadEngine reads an engine saved with Save.
+// loadErr wraps a section-read failure with context, turning the bare
+// io.EOF a truncated file produces mid-structure into the unambiguous
+// io.ErrUnexpectedEOF so callers see "engine file truncated reading X"
+// instead of EOF soup.
+func loadErr(section string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("core: engine file truncated or corrupt reading %s: %w", section, err)
+}
+
+// maxEnginePartitions bounds the partition-count header field so a
+// corrupt file fails fast instead of driving a near-endless decode loop.
+const maxEnginePartitions = 1 << 20
+
+// LoadEngine reads an engine saved with Save. Truncated or corrupt
+// inputs return descriptive errors naming the section that failed.
 func LoadEngine(r io.Reader) (*Engine, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
+		if err == io.EOF {
+			return nil, fmt.Errorf("core: engine file is empty: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, loadErr("magic", err)
 	}
 	if string(magic) != engineMagic {
-		return nil, fmt.Errorf("core: bad engine magic %q", magic)
+		return nil, fmt.Errorf("core: bad engine magic %q (want %q): not an annbuild index file", magic, engineMagic)
 	}
 	hdr := make([]byte, 12)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, err
+		return nil, loadErr("header", err)
 	}
 	dim := int(binary.LittleEndian.Uint32(hdr[0:]))
 	np := int(binary.LittleEndian.Uint32(hdr[4:]))
 	nprobe := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: corrupt engine header: dimension %d", dim)
+	}
+	if np <= 0 || np > maxEnginePartitions {
+		return nil, fmt.Errorf("core: corrupt engine header: partition count %d", np)
+	}
 	var lenb [4]byte
 	if _, err := io.ReadFull(br, lenb[:]); err != nil {
-		return nil, err
+		return nil, loadErr("routing-tree length", err)
 	}
 	tblob := make([]byte, binary.LittleEndian.Uint32(lenb[:]))
 	if _, err := io.ReadFull(br, tblob); err != nil {
-		return nil, err
+		return nil, loadErr("routing tree", err)
 	}
 	tree, err := vptree.ReadPartitionTree(bytes.NewReader(tblob))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: decoding routing tree: %w", err)
 	}
 	e := &Engine{
 		tree:  tree,
@@ -318,7 +366,10 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	for i := range e.parts {
 		g, err := hnsw.ReadFrom(br)
 		if err != nil {
-			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("core: engine file truncated or corrupt reading partition %d of %d: %w", i, np, err)
 		}
 		e.parts[i] = index.WrapHNSW(g)
 	}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// savedEngine builds a tiny engine and returns its serialized bytes.
+func savedEngine(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ds := vec.NewDataset(6, 200)
+	for i := 0; i < 200; i++ {
+		v := make([]float32, 6)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		ds.Append(v, int64(i))
+	}
+	cfg := DefaultConfig(4)
+	cfg.K = 5
+	e, err := NewEngine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadEngineTruncated(t *testing.T) {
+	full := savedEngine(t)
+	// Truncation points covering every section: empty file, mid-magic,
+	// mid-header, mid tree-length, mid tree blob, mid partition stream,
+	// and one byte short of complete.
+	cuts := []int{0, 2, 4, 9, 17, 40, len(full) / 2, len(full) - 1}
+	for _, n := range cuts {
+		if n > len(full) {
+			continue
+		}
+		_, err := LoadEngine(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("LoadEngine(%d of %d bytes): want error, got nil", n, len(full))
+		}
+		// Every truncation must surface as a described unexpected-EOF (or
+		// a named decode failure), never a bare io.EOF.
+		if err == io.EOF {
+			t.Fatalf("LoadEngine(%d bytes): bare io.EOF leaked: %v", n, err)
+		}
+		if !strings.Contains(err.Error(), "core:") {
+			t.Fatalf("LoadEngine(%d bytes): undescriptive error %q", n, err)
+		}
+	}
+}
+
+func TestLoadEngineBadMagic(t *testing.T) {
+	full := savedEngine(t)
+	bad := append([]byte("NOPE"), full[4:]...)
+	_, err := LoadEngine(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "bad engine magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+}
+
+func TestLoadEngineCorruptHeader(t *testing.T) {
+	full := savedEngine(t)
+	// Zero dimension.
+	bad := append([]byte(nil), full...)
+	bad[4], bad[5], bad[6], bad[7] = 0, 0, 0, 0
+	if _, err := LoadEngine(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("want corrupt-dimension error, got %v", err)
+	}
+	// Absurd partition count must fail fast, not loop decoding garbage.
+	bad = append([]byte(nil), full...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := LoadEngine(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "partition count") {
+		t.Fatalf("want corrupt-partition-count error, got %v", err)
+	}
+}
+
+func TestLoadEngineCorruptTree(t *testing.T) {
+	full := savedEngine(t)
+	bad := append([]byte(nil), full...)
+	// Scribble over the gob-encoded routing tree (starts at offset 20).
+	for i := 20; i < 40 && i < len(bad); i++ {
+		bad[i] ^= 0xa5
+	}
+	_, err := LoadEngine(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("want error decoding corrupt tree, got nil")
+	}
+	if !strings.Contains(err.Error(), "core:") {
+		t.Fatalf("undescriptive error %q", err)
+	}
+}
+
+func TestLoadEngineRoundTrip(t *testing.T) {
+	full := savedEngine(t)
+	e, err := LoadEngine(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 200 || e.Partitions() != 4 || e.Dim() != 6 {
+		t.Fatalf("round trip mismatch: len=%d parts=%d dim=%d", e.Len(), e.Partitions(), e.Dim())
+	}
+	if _, err := e.Search(make([]float32, 6), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchBatchContextCancel(t *testing.T) {
+	full := savedEngine(t)
+	e, err := LoadEngine(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := vec.NewDataset(6, 8)
+	for i := 0; i < 8; i++ {
+		qs.Append(make([]float32, 6), int64(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchBatchContext(ctx, qs, 3, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// And an un-canceled context behaves exactly like SearchBatch.
+	res, err := e.SearchBatchContext(context.Background(), qs, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("want 8 result rows, got %d", len(res))
+	}
+	for i, r := range res {
+		if len(r) != 3 {
+			t.Fatalf("row %d: want 3 results, got %d", i, len(r))
+		}
+	}
+}

@@ -260,6 +260,13 @@ type Master struct {
 // Tree exposes the routing tree (for inspection and tests).
 func (m *Master) Tree() *vptree.PartitionTree { return m.d.tree }
 
+// Dim returns the vector dimensionality the cluster was built with.
+func (m *Master) Dim() int { return m.d.dim }
+
+// K returns the per-query neighbor count the cluster serves (fixed at
+// build time by Config.K; the serving gateway trims to smaller ks).
+func (m *Master) K() int { return m.d.cfg.K }
+
 // ConstructionStats returns the aggregated build-phase timings (Table II
 // reports the max across ranks per phase).
 func (m *Master) ConstructionStats() ConstructStats { return m.d.cons }

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSnapshot is a point-in-time picture of the Go process serving
+// traffic: scheduler pressure (goroutines), memory footprint, and GC
+// behavior. The serving gateway exports it on /varz; long-running
+// experiment drivers can log it between phases.
+type RuntimeSnapshot struct {
+	Goroutines   int           `json:"goroutines"`
+	HeapAlloc    uint64        `json:"heap_alloc_bytes"`  // live heap bytes
+	HeapSys      uint64        `json:"heap_sys_bytes"`    // heap bytes obtained from the OS
+	HeapObjects  uint64        `json:"heap_objects"`      // live objects
+	StackInuse   uint64        `json:"stack_inuse_bytes"` // goroutine stack bytes
+	TotalAlloc   uint64        `json:"total_alloc_bytes"` // cumulative allocated bytes
+	NumGC        uint32        `json:"num_gc"`            // completed GC cycles
+	GCPauseTotal time.Duration `json:"gc_pause_total_ns"` // cumulative stop-the-world pause
+	LastGC       time.Time     `json:"last_gc,omitempty"` // completion time of the last cycle
+	GCCPUPercent float64       `json:"gc_cpu_percent"`    // fraction of CPU spent in GC, as a percentage
+	NumCPU       int           `json:"num_cpu"`           // usable logical CPUs
+}
+
+// CaptureRuntime reads the runtime counters. It calls
+// runtime.ReadMemStats, which briefly stops the world — cheap enough for
+// a /varz scrape or a per-phase log line, too hot for a per-query path.
+func CaptureRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSnapshot{
+		Goroutines:   runtime.NumGoroutine(),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapSys:      ms.HeapSys,
+		HeapObjects:  ms.HeapObjects,
+		StackInuse:   ms.StackInuse,
+		TotalAlloc:   ms.TotalAlloc,
+		NumGC:        ms.NumGC,
+		GCPauseTotal: time.Duration(ms.PauseTotalNs),
+		GCCPUPercent: ms.GCCPUFraction * 100,
+		NumCPU:       runtime.NumCPU(),
+	}
+	if ms.LastGC != 0 {
+		s.LastGC = time.Unix(0, int64(ms.LastGC))
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCaptureRuntime(t *testing.T) {
+	s := CaptureRuntime()
+	if s.Goroutines < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", s.Goroutines)
+	}
+	if s.HeapAlloc == 0 || s.HeapSys == 0 || s.HeapObjects == 0 {
+		t.Fatalf("zero heap stats: %+v", s)
+	}
+	if s.NumCPU < 1 {
+		t.Fatalf("NumCPU = %d", s.NumCPU)
+	}
+	// After a forced GC the cycle count must advance and pauses accrue.
+	runtime.GC()
+	s2 := CaptureRuntime()
+	if s2.NumGC <= s.NumGC {
+		t.Fatalf("NumGC did not advance: %d -> %d", s.NumGC, s2.NumGC)
+	}
+	if s2.GCPauseTotal < s.GCPauseTotal {
+		t.Fatalf("GC pause total went backwards: %v -> %v", s.GCPauseTotal, s2.GCPauseTotal)
+	}
+	if s2.LastGC.IsZero() {
+		t.Fatal("LastGC still zero after runtime.GC()")
+	}
+	// The snapshot must serialize cleanly — /varz embeds it as JSON.
+	b, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["goroutines"]; !ok {
+		t.Fatalf("missing goroutines key in %s", b)
+	}
+}

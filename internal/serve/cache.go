@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/topk"
+)
+
+// cacheKey fingerprints a (query vector, k) pair. FNV-1a over the raw
+// float bits: exact-match caching only, which is what repeated traffic
+// (hot queries, retries, loadgen loops) produces.
+func cacheKey(q []float32, k int) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(k))
+	h.Write(b[:])
+	for _, x := range q {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// flight is one in-progress search that duplicate concurrent requests
+// wait on instead of searching again.
+type flight struct {
+	done chan struct{} // closed when res/err are set
+	res  []topk.Result
+	err  error
+}
+
+// resultCache is a bounded LRU of recent results plus a single-flight
+// table of in-progress searches. Result slices stored here are treated
+// as immutable by every reader.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[uint64]*list.Element
+	flights map[uint64]*flight
+}
+
+type cacheEntry struct {
+	key uint64
+	res []topk.Result
+}
+
+// newResultCache returns a cache retaining up to capacity entries;
+// capacity <= 0 disables storage (single-flight dedup still works).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[uint64]*list.Element),
+		flights: make(map[uint64]*flight),
+	}
+}
+
+// get returns a cached result row and refreshes its recency.
+func (c *resultCache) get(key uint64) ([]topk.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result row, evicting the least recently used entry past
+// capacity.
+func (c *resultCache) put(key uint64, res []topk.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// startFlight registers interest in key. The first caller becomes the
+// leader (leader=true) and must call finishFlight exactly once; later
+// callers get the shared flight to wait on.
+func (c *resultCache) startFlight(key uint64) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// finishFlight publishes the leader's outcome to all waiters and, on
+// success, stores the row in the LRU.
+func (c *resultCache) finishFlight(key uint64, f *flight, res []topk.Result, err error) {
+	f.res, f.err = res, err
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	if err == nil {
+		c.put(key, res)
+	}
+}
+
+// wait blocks until the flight resolves or ctx expires.
+func (f *flight) wait(ctx context.Context) ([]topk.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

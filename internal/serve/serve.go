@@ -1,0 +1,103 @@
+// Package serve is the online serving gateway: a long-lived HTTP front
+// end over the engine's batched search core.
+//
+// The paper's protocol (Algorithms 3–4) answers *batches* of queries —
+// routing, dispatch and result merging all amortize over the batch — but
+// online traffic arrives one request at a time. The gateway bridges the
+// two with a dynamic micro-batcher: concurrent in-flight requests are
+// coalesced into one SearchBatch round (bounded by MaxBatch queries and
+// a MaxWait accumulation window), recovering the throughput that
+// per-request dispatch would waste, exactly as the request-coalescing
+// front ends of web-scale ANN systems (LANNS, HARMONY) do over their
+// distributed cores.
+//
+// Around the batcher sit the production concerns:
+//
+//   - admission control: a bounded queue sheds load (HTTP 429 +
+//     Retry-After) instead of letting latency collapse under overload;
+//   - deadlines: each request's context plumbs down to the search call,
+//     and requests that expire while queued are dropped before dispatch;
+//   - caching: an LRU of recent results with single-flight deduplication,
+//     so identical concurrent queries cost one search;
+//   - drain: on shutdown the gateway stops admitting, finishes what is
+//     queued, and only then returns.
+//
+// The gateway serves either backend: the single-process core.Engine or
+// the distributed core.Master driver (see Backend).
+package serve
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Backend is the search core the gateway fronts. SearchBatch answers
+// every query in queries with k neighbors each, honoring ctx
+// cancellation (best-effort: a batch already dispatched to remote
+// workers runs to completion). The batcher calls it from a single
+// dispatcher goroutine, so implementations need not be safe for
+// concurrent SearchBatch calls — which is what lets the single-driver
+// core.Master serve here unchanged.
+type Backend interface {
+	// Dim is the vector dimensionality queries must have.
+	Dim() int
+	// MaxK bounds the per-query k this backend can return; 0 means
+	// unbounded.
+	MaxK() int
+	SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error)
+}
+
+// EngineBackend adapts the single-process core.Engine.
+type EngineBackend struct {
+	Engine *core.Engine
+	// Threads is the worker-pool width per batch (0 = GOMAXPROCS).
+	Threads int
+}
+
+// Dim implements Backend.
+func (b *EngineBackend) Dim() int { return b.Engine.Dim() }
+
+// MaxK implements Backend; the engine serves any k.
+func (b *EngineBackend) MaxK() int { return 0 }
+
+// SearchBatch implements Backend.
+func (b *EngineBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+	return b.Engine.SearchBatchContext(ctx, queries, k, b.Threads)
+}
+
+// MasterBackend adapts the distributed core.Master driver handle. The
+// cluster's k is fixed at build time (Config.K); requests asking for
+// fewer neighbors are trimmed by the gateway, requests asking for more
+// are capped at MaxK by the server.
+type MasterBackend struct {
+	Master *core.Master
+}
+
+// Dim implements Backend.
+func (b *MasterBackend) Dim() int { return b.Master.Dim() }
+
+// MaxK implements Backend.
+func (b *MasterBackend) MaxK() int { return b.Master.K() }
+
+// SearchBatch implements Backend. The distributed protocol has its own
+// deadline machinery (Config.QueryTimeout failover); ctx is checked
+// before dispatch so queue-expired batches never reach the wire.
+func (b *MasterBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := b.Master.Search(queries)
+	if err != nil {
+		return nil, err
+	}
+	out := res.Results
+	for i := range out {
+		if len(out[i]) > k {
+			out[i] = out[i][:k]
+		}
+	}
+	return out, nil
+}

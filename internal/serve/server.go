@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/topk"
+)
+
+// ServerConfig tunes the HTTP gateway.
+type ServerConfig struct {
+	// Batcher configures the micro-batcher (see BatcherConfig).
+	Batcher BatcherConfig
+	// DefaultK is the neighbor count when a request omits k (default 10).
+	DefaultK int
+	// MaxK caps per-request k (default: the backend's MaxK, else 1000).
+	MaxK int
+	// CacheSize is the LRU result-cache capacity in entries; 0 disables
+	// result caching (single-flight deduplication stays on regardless),
+	// negative uses the default 4096.
+	CacheSize int
+	// DefaultTimeout bounds requests that do not carry their own
+	// timeout_ms; 0 leaves them deadline-free.
+	DefaultTimeout time.Duration
+	// MaxQueries bounds the queries one POST may carry (default 1024).
+	MaxQueries int
+}
+
+func (c *ServerConfig) fill(backend Backend) {
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK <= 0 {
+		if mk := backend.MaxK(); mk > 0 {
+			c.MaxK = mk
+		} else {
+			c.MaxK = 1000
+		}
+	}
+	if c.DefaultK > c.MaxK {
+		c.DefaultK = c.MaxK
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 1024
+	}
+}
+
+// Server is the gateway: HTTP handlers over the micro-batcher, the
+// result cache, and the stats collector.
+type Server struct {
+	backend Backend
+	cfg     ServerConfig
+	batcher *Batcher
+	cache   *resultCache
+	stats   *Stats
+	mux     *http.ServeMux
+}
+
+// NewServer wires the gateway over backend and starts its dispatcher.
+func NewServer(backend Backend, cfg ServerConfig) *Server {
+	cfg.fill(backend)
+	s := &Server{
+		backend: backend,
+		cfg:     cfg,
+		stats:   NewStats(),
+		cache:   newResultCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+	}
+	s.batcher = NewBatcher(backend, cfg.Batcher, s.stats)
+	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/varz", s.handleVarz)
+	return s
+}
+
+// Handler returns the gateway's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats exposes the served-traffic counters (tests and embedders).
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Drain stops admitting queries, finishes everything queued, and waits
+// (bounded by ctx). Call it after http.Server.Shutdown so in-flight
+// handlers have delivered their submissions.
+func (s *Server) Drain(ctx context.Context) error { return s.batcher.Drain(ctx) }
+
+// Draining reports whether Drain has begun (healthz turns 503).
+func (s *Server) Draining() bool { return s.batcher.Draining() }
+
+// searchRequest is the POST /v1/search body. Exactly one of Query or
+// Queries must be set.
+type searchRequest struct {
+	Query   []float32   `json:"query,omitempty"`
+	Queries [][]float32 `json:"queries,omitempty"`
+	K       int         `json:"k,omitempty"`
+	// TimeoutMS is the per-request deadline; it rides the request context
+	// down to the batched search call. 0 uses the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// searchResult is one query's answer.
+type searchResult struct {
+	IDs    []int64   `json:"ids"`
+	Dists  []float32 `json:"dists"`
+	Cached bool      `json:"cached,omitempty"`
+}
+
+// searchResponse is the 200 body.
+type searchResponse struct {
+	K       int            `json:"k"`
+	TookUS  int64          `json:"took_us"`
+	Results []searchResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// failStatus maps a per-query error to the request's HTTP status. When a
+// batch fails in several ways the most actionable status wins: draining
+// beats overload beats deadline beats internal.
+func failStatus(errs []error) (int, error) {
+	rank := func(err error) int {
+		switch {
+		case errors.Is(err, ErrDraining):
+			return 3
+		case errors.Is(err, ErrOverloaded):
+			return 2
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			return 1
+		default:
+			return 0
+		}
+	}
+	best, bestRank := error(nil), -1
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if r := rank(err); r > bestRank {
+			best, bestRank = err, r
+		}
+	}
+	switch bestRank {
+	case 3:
+		return http.StatusServiceUnavailable, best
+	case 2:
+		return http.StatusTooManyRequests, best
+	case 1:
+		return http.StatusGatewayTimeout, best
+	default:
+		return http.StatusInternalServerError, best
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	t0 := time.Now()
+	var req searchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	queries := req.Queries
+	if req.Query != nil {
+		if queries != nil {
+			s.stats.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set query or queries, not both"})
+			return
+		}
+		queries = [][]float32{req.Query}
+	}
+	if len(queries) == 0 {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no queries"})
+		return
+	}
+	if len(queries) > s.cfg.MaxQueries {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("%d queries exceeds the per-request limit %d", len(queries), s.cfg.MaxQueries)})
+		return
+	}
+	dim := s.backend.Dim()
+	for i, q := range queries {
+		if len(q) != dim {
+			s.stats.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("query %d has dim %d, index dim %d", i, len(q), dim)})
+			return
+		}
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	s.stats.Requests.Add(int64(len(queries)))
+
+	// Each query goes through the cache/single-flight/batcher path on its
+	// own, so members of one HTTP batch coalesce and dedup individually
+	// alongside every other in-flight request.
+	results := make([]searchResult, len(queries))
+	errs := make([]error, len(queries))
+	if len(queries) == 1 {
+		results[0], errs[0] = s.answerOne(ctx, queries[0], k)
+	} else {
+		var wg sync.WaitGroup
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q []float32) {
+				defer wg.Done()
+				results[i], errs[i] = s.answerOne(ctx, q, k)
+			}(i, q)
+		}
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			status, cause := failStatus(errs)
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, status, errorResponse{Error: cause.Error()})
+			return
+		}
+	}
+	s.stats.RecordLatency(time.Since(t0))
+	writeJSON(w, http.StatusOK, searchResponse{
+		K:       k,
+		TookUS:  time.Since(t0).Microseconds(),
+		Results: results,
+	})
+}
+
+// answerOne resolves a single query: cache hit, join an identical
+// in-flight search, or lead one through the batcher.
+func (s *Server) answerOne(ctx context.Context, q []float32, k int) (searchResult, error) {
+	key := cacheKey(q, k)
+	if res, ok := s.cache.get(key); ok {
+		s.stats.CacheHits.Add(1)
+		return toSearchResult(res, true), nil
+	}
+	s.stats.CacheMisses.Add(1)
+	f, leader := s.cache.startFlight(key)
+	if !leader {
+		s.stats.Coalesced.Add(1)
+		res, err := f.wait(ctx)
+		if err != nil {
+			return searchResult{}, err
+		}
+		return toSearchResult(res, false), nil
+	}
+	res, err := s.batcher.Do(ctx, q, k)
+	s.cache.finishFlight(key, f, res, err)
+	if err != nil {
+		return searchResult{}, err
+	}
+	return toSearchResult(res, false), nil
+}
+
+func toSearchResult(res []topk.Result, cached bool) searchResult {
+	sr := searchResult{
+		IDs:    make([]int64, len(res)),
+		Dists:  make([]float32, len(res)),
+		Cached: cached,
+	}
+	for i, r := range res {
+		sr.IDs[i] = r.ID
+		sr.Dists[i] = r.Dist
+	}
+	return sr
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.stats.Snapshot())
+}

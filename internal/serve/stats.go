@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ringSize bounds the samples kept for the /varz latency and batch-size
+// summaries: enough for stable percentiles, small enough to summarize on
+// every scrape.
+const ringSize = 4096
+
+// ring is a fixed-capacity sample reservoir of the most recent values.
+type ring struct {
+	mu   sync.Mutex
+	buf  [ringSize]float64
+	n    int // total values ever pushed
+	fill int // values currently valid (min(n, ringSize))
+}
+
+func (r *ring) push(v float64) {
+	r.mu.Lock()
+	r.buf[r.n%ringSize] = v
+	r.n++
+	if r.fill < ringSize {
+		r.fill++
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring) summarize() metrics.Summary {
+	r.mu.Lock()
+	s := append([]float64(nil), r.buf[:r.fill]...)
+	r.mu.Unlock()
+	return metrics.Summarize(s)
+}
+
+// Stats aggregates the gateway's served-traffic counters. Counters are
+// atomics (hot path); the latency/batch-size reservoirs are mutex-backed
+// rings summarized only on /varz scrape.
+type Stats struct {
+	Requests      atomic.Int64 // queries received over HTTP (after parsing)
+	Batches       atomic.Int64 // backend rounds dispatched
+	Queries       atomic.Int64 // queries that reached the backend
+	Shed          atomic.Int64 // admissions refused with 429
+	DeadlineDrops atomic.Int64 // queued entries expired before dispatch
+	CacheHits     atomic.Int64 // answered from the result cache
+	CacheMisses   atomic.Int64 // had to search (cache enabled only)
+	Coalesced     atomic.Int64 // answered by another request's single-flight search
+	BackendErrors atomic.Int64 // backend rounds that failed
+	BadRequests   atomic.Int64 // malformed HTTP requests
+
+	queueDepth atomic.Int64 // entries currently admitted but not collected
+
+	batchSizes ring // queries per dispatched round
+	latencies  ring // per-request end-to-end µs (HTTP handler view)
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats { return &Stats{} }
+
+// recordBatch accounts one dispatched round.
+func (s *Stats) recordBatch(size int) {
+	s.Batches.Add(1)
+	s.Queries.Add(int64(size))
+	s.batchSizes.push(float64(size))
+}
+
+// RecordLatency accounts one served request's end-to-end latency.
+func (s *Stats) RecordLatency(d time.Duration) {
+	s.latencies.push(float64(d.Microseconds()))
+}
+
+// Snapshot is the JSON shape /varz exports.
+type Snapshot struct {
+	Requests      int64 `json:"requests"`
+	Batches       int64 `json:"batches"`
+	Queries       int64 `json:"queries"`
+	Shed          int64 `json:"shed"`
+	DeadlineDrops int64 `json:"deadline_drops"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Coalesced     int64 `json:"coalesced"`
+	BackendErrors int64 `json:"backend_errors"`
+	BadRequests   int64 `json:"bad_requests"`
+	QueueDepth    int64 `json:"queue_depth"`
+
+	// MeanBatchSize is Queries/Batches — the amortization the
+	// micro-batcher is buying.
+	MeanBatchSize float64         `json:"mean_batch_size"`
+	BatchSize     metrics.Summary `json:"batch_size"`
+	LatencyUS     metrics.Summary `json:"latency_us"`
+
+	Runtime metrics.RuntimeSnapshot `json:"runtime"`
+}
+
+// Snapshot captures every counter plus a process runtime snapshot.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		Requests:      s.Requests.Load(),
+		Batches:       s.Batches.Load(),
+		Queries:       s.Queries.Load(),
+		Shed:          s.Shed.Load(),
+		DeadlineDrops: s.DeadlineDrops.Load(),
+		CacheHits:     s.CacheHits.Load(),
+		CacheMisses:   s.CacheMisses.Load(),
+		Coalesced:     s.Coalesced.Load(),
+		BackendErrors: s.BackendErrors.Load(),
+		BadRequests:   s.BadRequests.Load(),
+		QueueDepth:    s.queueDepth.Load(),
+		BatchSize:     s.batchSizes.summarize(),
+		LatencyUS:     s.latencies.summarize(),
+		Runtime:       metrics.CaptureRuntime(),
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatchSize = float64(snap.Queries) / float64(snap.Batches)
+	}
+	return snap
+}

@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build bin test tier1 fast vet race bench clean
+.PHONY: all build bin test tier1 tier1-race fast vet race bench clean
 
 all: build
 
@@ -34,6 +34,13 @@ race:
 # full suite (including the fault-injection integration tests) green
 # under the race detector.
 tier1: build vet race
+
+# Focused race pass over the concurrency-heavy packages: the durable
+# store (WAL appends vs group-commit ticker vs compaction swaps), the
+# gateway (batcher/cache/mutations), and the engine (searches vs
+# swaps). Much faster than the full race suite; CI runs both.
+tier1-race:
+	$(GO) test -race -count=1 -timeout 900s ./internal/store/... ./internal/serve/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -6,6 +6,15 @@
 //
 //	annserve -index sift.ann -addr :8080 -max-batch 64 -max-wait 2ms
 //
+// Single process with durable ingestion (write-ahead log + snapshots +
+// background compaction; POST /v1/upsert and /v1/delete go live):
+//
+//	annserve -index sift.ann -wal /var/lib/ann/store -addr :8080
+//
+// On the first run the store directory is seeded from -index; later
+// runs recover from the newest snapshot plus the WAL tail, and -index
+// may be omitted.
+//
 // Distributed (this process is rank 0; start annworker ranks 1..P):
 //
 //	annserve -cluster host0:7000,host1:7000,host2:7000 \
@@ -40,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -48,6 +58,11 @@ func main() {
 	var (
 		addr  = flag.String("addr", ":8080", "HTTP listen address")
 		index = flag.String("index", "", "index file from annbuild (single-process mode)")
+
+		walDir       = flag.String("wal", "", "durable store directory: WAL + snapshots + compaction (single-process mode)")
+		walSyncEvery = flag.Int("wal-sync-every", 64, "fsync after this many WAL records (1 = every record)")
+		walSyncInt   = flag.Duration("wal-sync-interval", 50*time.Millisecond, "group-commit fsync interval (0 = default, negative disables the ticker)")
+		compactRatio = flag.Float64("compact-ratio", 0.25, "tombstone/live ratio that triggers partition compaction (negative disables)")
 
 		clusterAddrs = flag.String("cluster", "", "comma-separated rank addresses for distributed mode; this process is rank 0")
 		data         = flag.String("data", "", "dataset fvecs file (distributed mode, unless -resume)")
@@ -72,10 +87,10 @@ func main() {
 	)
 	flag.Parse()
 
-	single := *index != ""
+	single := *index != "" || *walDir != ""
 	distributed := *clusterAddrs != ""
 	if single == distributed {
-		log.Print("exactly one of -index or -cluster is required")
+		log.Print("exactly one of -index/-wal or -cluster is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -91,14 +106,40 @@ func main() {
 	}
 
 	if single {
-		f, err := os.Open(*index)
-		if err != nil {
-			log.Fatal(err)
+		loadIndex := func() (*core.Engine, error) {
+			if *index == "" {
+				return nil, fmt.Errorf("store %q is uninitialised; the first run needs -index to seed it", *walDir)
+			}
+			f, err := os.Open(*index)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return core.LoadEngine(f)
 		}
-		e, err := core.LoadEngine(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		var (
+			e   *core.Engine
+			d   *store.Durable
+			err error
+		)
+		if *walDir != "" {
+			d, err = store.OpenOrCreate(*walDir, loadIndex, store.Options{
+				SyncEvery:    *walSyncEvery,
+				SyncInterval: *walSyncInt,
+				CompactRatio: *compactRatio,
+				Logf:         log.Printf,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			e = d.Engine()
+			st := d.Stats()
+			log.Printf("store %s: seq %d (snapshot watermark %d, replayed %d), %d WAL segments (%d bytes)",
+				*walDir, st.LastSeq, st.Watermark, st.Replayed, st.WALSegments, st.WALDiskBytes)
+		} else {
+			if e, err = loadIndex(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if *nprobe > 0 {
 			e.SetNProbe(*nprobe)
@@ -107,9 +148,21 @@ func main() {
 			e.SetEfSearch(*ef)
 		}
 		log.Printf("index: %d points, %d partitions, dim %d", e.Len(), e.Partitions(), e.Dim())
-		backend := &serve.EngineBackend{Engine: e, Threads: *threads}
+		backend := &serve.EngineBackend{Engine: e, Threads: *threads, Store: d}
 		if err := serveHTTP(*addr, backend, srvCfg, *drainFor); err != nil {
 			log.Fatal(err)
+		}
+		if d != nil {
+			// Checkpoint on clean shutdown so the next start replays no WAL.
+			if err := d.Checkpoint(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+			st := d.Stats()
+			log.Printf("store: %d upserts, %d deletes, %d fsyncs, %d compactions (%d tombstones folded)",
+				st.Upserts, st.Deletes, st.WALFsyncs, st.Compactions, st.Folded)
+			if err := d.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
 		}
 		return
 	}

@@ -86,10 +86,26 @@ func (b *Built) SaveCheckpoint(dir string) error {
 	return nil
 }
 
-// LoadCheckpoint reads one rank's checkpoint file.
+// LoadCheckpoint reads one rank's checkpoint file. Before touching the
+// partition file it validates the directory as a whole — a missing
+// tree.vp or a partition id outside the tree's leaf count fails here
+// with a descriptive error instead of surfacing later as a confusing
+// mid-replay failure.
 func LoadCheckpoint(dir string, partition int) (*Built, error) {
+	tree, err := LoadCheckpointTree(dir)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= tree.Leaves {
+		return nil, fmt.Errorf("core: checkpoint %q holds %d partitions; partition %d out of range",
+			dir, tree.Leaves, partition)
+	}
 	f, err := os.Open(filepath.Join(dir, fmt.Sprintf("part-%d.ann", partition)))
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("core: checkpoint %q has tree.vp but no part-%d.ann (did every rank finish SaveCheckpoint?): %w",
+				dir, partition, err)
+		}
 		return nil, err
 	}
 	defer f.Close()
@@ -109,13 +125,25 @@ func LoadCheckpoint(dir string, partition int) (*Built, error) {
 		PartitionID: int(binary.LittleEndian.Uint32(hdr[0:])),
 		Replicas:    make(map[int]index.Local),
 	}
+	if b.PartitionID != partition {
+		return nil, fmt.Errorf("core: checkpoint file part-%d.ann claims partition %d (renamed or mixed checkpoint dirs?)",
+			partition, b.PartitionID)
+	}
 	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if n > tree.Leaves {
+		return nil, fmt.Errorf("core: checkpoint part-%d.ann holds %d replicas but the tree has only %d partitions",
+			partition, n, tree.Leaves)
+	}
 	for i := 0; i < n; i++ {
 		var idb [4]byte
 		if _, err := io.ReadFull(br, idb[:]); err != nil {
 			return nil, err
 		}
 		id := int(binary.LittleEndian.Uint32(idb[:]))
+		if id < 0 || id >= tree.Leaves {
+			return nil, fmt.Errorf("core: checkpoint part-%d.ann replica id %d out of range [0,%d)",
+				partition, id, tree.Leaves)
+		}
 		g, err := hnsw.ReadFrom(br)
 		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint partition %d replica %d: %w", partition, id, err)
@@ -136,10 +164,18 @@ func LoadCheckpoint(dir string, partition int) (*Built, error) {
 func LoadCheckpointTree(dir string) (*vptree.PartitionTree, error) {
 	f, err := os.Open(filepath.Join(dir, "tree.vp"))
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("core: %q is not a checkpoint directory: missing tree.vp (rank 0 writes it last; was the build interrupted?): %w",
+				dir, err)
+		}
 		return nil, err
 	}
 	defer f.Close()
-	return vptree.ReadPartitionTree(f)
+	t, err := vptree.ReadPartitionTree(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding %s: %w", filepath.Join(dir, "tree.vp"), err)
+	}
+	return t, nil
 }
 
 // RunClusterFromCheckpoint serves batches from a checkpoint directory:

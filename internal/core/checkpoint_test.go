@@ -1,0 +1,90 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// saveSmallCheckpoint builds a 2-partition checkpoint into dir.
+func saveSmallCheckpoint(t *testing.T, dir string) {
+	t.Helper()
+	ds := clustered(t, 600, 8, 2, 91)
+	w := cluster.NewWorld(2)
+	err := w.Run(func(c *cluster.Comm) error {
+		shard, err := ScatterDataset(c, 0, ds, 1)
+		if err != nil {
+			return err
+		}
+		b, err := BuildDistributed(c, shard, DefaultConfig(2))
+		if err != nil {
+			return err
+		}
+		return b.SaveCheckpoint(dir)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	saveSmallCheckpoint(t, dir)
+
+	// happy path still works
+	if _, err := LoadCheckpoint(dir, 1); err != nil {
+		t.Fatalf("valid checkpoint: %v", err)
+	}
+
+	// partition beyond the tree's leaf count
+	if _, err := LoadCheckpoint(dir, 5); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("partition out of range: got %v", err)
+	}
+	if _, err := LoadCheckpoint(dir, -1); err == nil {
+		t.Error("negative partition: want error")
+	}
+
+	// a part file whose header claims another partition
+	if err := os.Rename(filepath.Join(dir, "part-0.ann"), filepath.Join(dir, "part-0.ann.bak")); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFile(filepath.Join(dir, "part-1.ann"), filepath.Join(dir, "part-0.ann")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir, 0); err == nil || !strings.Contains(err.Error(), "claims partition") {
+		t.Errorf("mismatched partition id: got %v", err)
+	}
+	if err := os.Rename(filepath.Join(dir, "part-0.ann.bak"), filepath.Join(dir, "part-0.ann")); err != nil {
+		t.Fatal(err)
+	}
+
+	// missing part file for an in-range partition
+	if err := os.Remove(filepath.Join(dir, "part-1.ann")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir, 1); err == nil || !strings.Contains(err.Error(), "no part-1.ann") {
+		t.Errorf("missing part file: got %v", err)
+	}
+
+	// missing tree.vp turns the whole directory invalid
+	if err := os.Remove(filepath.Join(dir, "tree.vp")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir, 0); err == nil || !strings.Contains(err.Error(), "missing tree.vp") {
+		t.Errorf("missing tree: got %v", err)
+	}
+	if _, err := LoadCheckpointTree(dir); err == nil || !strings.Contains(err.Error(), "missing tree.vp") {
+		t.Errorf("missing tree via LoadCheckpointTree: got %v", err)
+	}
+}
+
+func copyFile(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
+}

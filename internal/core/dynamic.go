@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/hnsw"
 	"repro/internal/index"
 	"repro/internal/topk"
 	"repro/internal/vec"
@@ -21,32 +22,69 @@ import (
 // Updates and searches may interleave: the tombstone set takes an
 // RWMutex, and HNSW insertion is internally thread-safe.
 
-// dynamicState is lazily attached to an Engine on first update.
+// dynamicState holds the mutable update state attached to every
+// Engine. The pointer is set at construction and never reassigned;
+// the embedded mutex guards the contents.
 type dynamicState struct {
 	mu        sync.RWMutex
 	tombstone map[int64]bool
 	inserted  int64
 }
 
-func (e *Engine) dyn() *dynamicState {
-	e.dynOnce.Do(func() {
-		e.dynamic = &dynamicState{tombstone: make(map[int64]bool)}
-	})
-	return e.dynamic
+func newDynamicState() *dynamicState {
+	return &dynamicState{tombstone: make(map[int64]bool)}
 }
+
+func (e *Engine) dyn() *dynamicState { return e.dynamic }
 
 // Add inserts a vector with the given global ID into its home
 // partition. Only engines with HNSW local indexes support insertion.
 func (e *Engine) Add(v []float32, id int64) error {
+	home, err := e.Home(v)
+	if err != nil {
+		return err
+	}
+	level, err := e.DrawLevel(home)
+	if err != nil {
+		return err
+	}
+	return e.AddAt(home, v, id, level)
+}
+
+// Home returns the partition a vector routes to on insertion.
+func (e *Engine) Home(v []float32) (int, error) {
+	if len(v) != e.dim {
+		return 0, fmt.Errorf("core: vector dim %d, index dim %d", len(v), e.dim)
+	}
+	tree, _ := e.view()
+	return tree.Home(v), nil
+}
+
+// DrawLevel draws the HNSW level the next insert into partition p will
+// be assigned, consuming the partition's level generator. Durable
+// ingestion draws the level, logs (p, level, vector) to its WAL, and
+// then applies with AddAt, so replaying the log rebuilds an identical
+// graph.
+func (e *Engine) DrawLevel(p int) (int, error) {
+	g, err := e.insertGraph(p)
+	if err != nil {
+		return 0, err
+	}
+	return g.NextLevel(), nil
+}
+
+// AddAt inserts a vector into partition p at a predetermined HNSW
+// level — the replay half of the DrawLevel/AddAt pair. Most callers
+// want Add, which routes and draws for them.
+func (e *Engine) AddAt(p int, v []float32, id int64, level int) error {
 	if len(v) != e.dim {
 		return fmt.Errorf("core: vector dim %d, index dim %d", len(v), e.dim)
 	}
-	home := e.tree.Home(v)
-	g, ok := index.HNSWGraph(e.parts[home])
-	if !ok {
-		return fmt.Errorf("core: local index %q does not support insertion", e.parts[home].Kind())
+	g, err := e.insertGraph(p)
+	if err != nil {
+		return err
 	}
-	if _, err := g.Add(v, id); err != nil {
+	if _, err := g.AddAtLevel(v, id, level); err != nil {
 		return err
 	}
 	d := e.dyn()
@@ -55,6 +93,28 @@ func (e *Engine) Add(v []float32, id int64) error {
 	delete(d.tombstone, id) // re-adding a deleted ID revives it
 	d.mu.Unlock()
 	return nil
+}
+
+// insertGraph resolves partition p's HNSW graph for mutation.
+func (e *Engine) insertGraph(p int) (*hnsw.Graph, error) {
+	_, parts := e.view()
+	if p < 0 || p >= len(parts) {
+		return nil, fmt.Errorf("core: partition %d out of range [0,%d)", p, len(parts))
+	}
+	g, ok := index.HNSWGraph(parts[p])
+	if !ok {
+		return nil, fmt.Errorf("core: local index %q does not support insertion", parts[p].Kind())
+	}
+	return g, nil
+}
+
+// Inserted returns the number of vectors added since construction (or
+// since the last Rebuild).
+func (e *Engine) Inserted() int64 {
+	d := e.dyn()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.inserted
 }
 
 // Delete tombstones an ID: it stops appearing in results immediately.
@@ -68,35 +128,55 @@ func (e *Engine) Delete(id int64) {
 
 // Deleted reports whether id is tombstoned.
 func (e *Engine) Deleted(id int64) bool {
-	if e.dynamic == nil {
-		return false
-	}
-	d := e.dynamic
+	d := e.dyn()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.tombstone[id]
 }
 
+// TombstoneIDs returns a copy of the current tombstone set. The
+// durability layer's compactor uses it to find the partitions carrying
+// the most dead weight.
+func (e *Engine) TombstoneIDs() []int64 {
+	d := e.dyn()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]int64, 0, len(d.tombstone))
+	for id := range d.tombstone {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// RestoreDynamic reinstates update state that lives outside the engine
+// file: the tombstone set and the inserted counter. Save captures the
+// graphs but not this state, so the durable store persists it alongside
+// each snapshot and calls RestoreDynamic after LoadEngine during
+// recovery — otherwise a checkpoint would silently resurrect every ID
+// deleted before it.
+func (e *Engine) RestoreDynamic(tombstones []int64, inserted int64) {
+	d := e.dyn()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tombstone = make(map[int64]bool, len(tombstones))
+	for _, id := range tombstones {
+		d.tombstone[id] = true
+	}
+	d.inserted = inserted
+}
+
 // Tombstones returns the number of tombstoned IDs.
 func (e *Engine) Tombstones() int {
-	if e.dynamic == nil {
-		return 0
-	}
-	e.dynamic.mu.RLock()
-	defer e.dynamic.mu.RUnlock()
-	return len(e.dynamic.tombstone)
+	d := e.dyn()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.tombstone)
 }
 
 // filterDeleted strips tombstoned IDs from rs. To keep k results in the
 // presence of tombstones, callers over-fetch (see SearchStats).
 func (e *Engine) filterDeleted(rs []topk.Result, k int) []topk.Result {
-	if e.dynamic == nil {
-		if len(rs) > k {
-			rs = rs[:k]
-		}
-		return rs
-	}
-	d := e.dynamic
+	d := e.dyn()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if len(d.tombstone) == 0 {
@@ -119,12 +199,10 @@ func (e *Engine) filterDeleted(rs []topk.Result, k int) []topk.Result {
 
 // overfetch widens k to survive tombstone filtering.
 func (e *Engine) overfetch(k int) int {
-	if e.dynamic == nil {
-		return k
-	}
-	e.dynamic.mu.RLock()
-	nt := len(e.dynamic.tombstone)
-	e.dynamic.mu.RUnlock()
+	d := e.dyn()
+	d.mu.RLock()
+	nt := len(d.tombstone)
+	d.mu.RUnlock()
 	if nt == 0 {
 		return k
 	}
@@ -140,8 +218,9 @@ func (e *Engine) overfetch(k int) int {
 // clearing all tombstones. The paper rebuilds offline between batch
 // windows; this is that operation in-process.
 func (e *Engine) Rebuild() error {
+	_, parts := e.view()
 	live := vec.NewDataset(e.dim, e.Len())
-	for _, p := range e.parts {
+	for _, p := range parts {
 		g, ok := index.HNSWGraph(p)
 		if !ok {
 			return fmt.Errorf("core: Rebuild requires HNSW local indexes, have %q", p.Kind())
@@ -157,9 +236,14 @@ func (e *Engine) Rebuild() error {
 	if err != nil {
 		return err
 	}
+	e.swapMu.Lock()
 	e.tree = fresh.tree
 	e.parts = fresh.parts
-	e.dynamic = nil
-	e.dynOnce = sync.Once{}
+	e.swapMu.Unlock()
+	d := e.dyn()
+	d.mu.Lock()
+	d.tombstone = make(map[int64]bool)
+	d.inserted = 0
+	d.mu.Unlock()
 	return nil
 }

@@ -24,13 +24,30 @@ import (
 // (see examples/) and the reference implementation the distributed
 // engine is tested against.
 type Engine struct {
-	cfg   Config
-	tree  *vptree.PartitionTree
-	parts []index.Local
-	dim   int
+	cfg Config
+	dim int
 
-	dynOnce sync.Once
-	dynamic *dynamicState // lazily created by Add/Delete
+	// swapMu guards the tree and parts headers. Readers snapshot both
+	// under RLock (see view) and then work lock-free against the
+	// snapshot: elements are never mutated in place — SwapPartition and
+	// Rebuild install fresh slices/trees under the write lock, so a
+	// search that started before a swap keeps searching the old graph
+	// and one that starts after sees the new one, both valid.
+	swapMu sync.RWMutex
+	tree   *vptree.PartitionTree
+	parts  []index.Local
+
+	// dynamic is set at construction and never reassigned, so it can be
+	// read without holding swapMu; its own mutex guards the contents.
+	dynamic *dynamicState
+}
+
+// view snapshots the routing tree and partition set for one operation.
+func (e *Engine) view() (*vptree.PartitionTree, []index.Local) {
+	e.swapMu.RLock()
+	t, p := e.tree, e.parts
+	e.swapMu.RUnlock()
+	return t, p
 }
 
 // NewEngine partitions and indexes ds. The dataset is copied into the
@@ -46,7 +63,7 @@ func NewEngine(ds *vec.Dataset, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim}
+	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim, dynamic: newDynamicState()}
 
 	// Build the partition indexes in parallel, one builder goroutine per
 	// CPU (each build itself is single-threaded for reproducibility).
@@ -101,15 +118,22 @@ func NewEngine(ds *vec.Dataset, cfg Config) (*Engine, error) {
 func (e *Engine) Dim() int { return e.dim }
 
 // Partitions returns the partition count.
-func (e *Engine) Partitions() int { return len(e.parts) }
+func (e *Engine) Partitions() int {
+	_, parts := e.view()
+	return len(parts)
+}
 
 // Tree exposes the routing tree.
-func (e *Engine) Tree() *vptree.PartitionTree { return e.tree }
+func (e *Engine) Tree() *vptree.PartitionTree {
+	t, _ := e.view()
+	return t
+}
 
 // Len returns the total number of indexed vectors.
 func (e *Engine) Len() int {
+	_, parts := e.view()
 	n := 0
-	for _, p := range e.parts {
+	for _, p := range parts {
 		n += p.Len()
 	}
 	return n
@@ -131,19 +155,20 @@ func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, er
 		k = e.cfg.K
 	}
 	fetch := e.overfetch(k)
+	tree, parts := e.view()
 	var routes []vptree.Route
 	if e.cfg.Routing == RouteAdaptive {
 		// search home first, then widen to the ball of the k-th distance
-		home := e.tree.Home(q)
-		first, st0, err := e.parts[home].Search(q, fetch)
+		home := tree.Home(q)
+		first, st0, err := parts[home].Search(q, fetch)
 		if err != nil {
 			return nil, st0, err
 		}
 		if len(first) > 0 {
 			tau := first[len(first)-1].Dist
-			routes = e.tree.RouteBall(q, tau)
+			routes = tree.RouteBall(q, tau)
 		} else {
-			routes = e.tree.RouteAll(q)
+			routes = tree.RouteAll(q)
 		}
 		lists := [][]topk.Result{first}
 		total := st0
@@ -151,7 +176,7 @@ func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, er
 			if rt.Partition == home {
 				continue
 			}
-			rs, st, err := e.parts[rt.Partition].Search(q, fetch)
+			rs, st, err := parts[rt.Partition].Search(q, fetch)
 			if err != nil {
 				return nil, total, err
 			}
@@ -161,11 +186,11 @@ func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, er
 		}
 		return e.filterDeleted(topk.Merge(fetch, lists...), k), total, nil
 	}
-	routes = e.tree.RouteTop(q, e.cfg.NProbe)
+	routes = tree.RouteTop(q, e.cfg.NProbe)
 	lists := make([][]topk.Result, 0, len(routes))
 	var total index.Stats
 	for _, rt := range routes {
-		rs, st, err := e.parts[rt.Partition].Search(q, fetch)
+		rs, st, err := parts[rt.Partition].Search(q, fetch)
 		if err != nil {
 			return nil, total, err
 		}
@@ -237,8 +262,8 @@ func (e *Engine) SearchBatchContext(ctx context.Context, queries *vec.Dataset, k
 // SetNProbe adjusts the number of partitions searched per query.
 func (e *Engine) SetNProbe(np int) {
 	if np > 0 {
-		if np > len(e.parts) {
-			np = len(e.parts)
+		if np > e.Partitions() {
+			np = e.Partitions()
 		}
 		e.cfg.NProbe = np
 	}
@@ -247,7 +272,8 @@ func (e *Engine) SetNProbe(np int) {
 // SetEfSearch adjusts the beam width of every HNSW partition index
 // (no-op for exact local indexes).
 func (e *Engine) SetEfSearch(ef int) {
-	for _, p := range e.parts {
+	_, parts := e.view()
+	for _, p := range parts {
 		if g, ok := index.HNSWGraph(p); ok {
 			g.SetEfSearch(ef)
 		}
@@ -256,24 +282,67 @@ func (e *Engine) SetEfSearch(ef int) {
 
 // LocalKind reports the local index algorithm in use.
 func (e *Engine) LocalKind() string {
-	if len(e.parts) == 0 {
+	_, parts := e.view()
+	if len(parts) == 0 {
 		return ""
 	}
-	return e.parts[0].Kind()
+	return parts[0].Kind()
+}
+
+// PartitionGraph exposes partition p's HNSW graph, or false when p is
+// out of range or the local index is not HNSW. The durability layer
+// uses it to snapshot a partition for offline compaction; callers must
+// not mutate the graph behind the engine's back.
+func (e *Engine) PartitionGraph(p int) (*hnsw.Graph, bool) {
+	_, parts := e.view()
+	if p < 0 || p >= len(parts) {
+		return nil, false
+	}
+	return index.HNSWGraph(parts[p])
+}
+
+// SwapPartition atomically replaces partition p's local index with l
+// and clears the tombstones in folded — the IDs the replacement index
+// was rebuilt without. Concurrent searches see either the old or the
+// new index, never a mix; the tombstone filter stays correct in both
+// orders because folded IDs are absent from l and still filtered from
+// the old index until the swap lands.
+func (e *Engine) SwapPartition(p int, l index.Local, folded []int64) error {
+	e.swapMu.Lock()
+	if p < 0 || p >= len(e.parts) {
+		e.swapMu.Unlock()
+		return fmt.Errorf("core: swap partition %d out of range [0,%d)", p, len(e.parts))
+	}
+	parts := append([]index.Local(nil), e.parts...)
+	parts[p] = l
+	e.parts = parts
+	e.swapMu.Unlock()
+	if len(folded) > 0 {
+		d := e.dyn()
+		d.mu.Lock()
+		for _, id := range folded {
+			delete(d.tombstone, id)
+		}
+		d.mu.Unlock()
+	}
+	return nil
 }
 
 // engineMagic identifies the engine container format.
 const engineMagic = "ANNE"
 
 // Save serialises the engine (routing tree + all partition indexes).
+// The partition graphs must not be mutated during the call; concurrent
+// searches are fine.
 func (e *Engine) Save(w io.Writer) error {
+	tree, parts := e.view()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(engineMagic); err != nil {
 		return err
 	}
 	hdr := make([]byte, 12)
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(e.dim))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(e.parts)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(parts)))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(e.cfg.NProbe))
 	if _, err := bw.Write(hdr); err != nil {
 		return err
@@ -281,7 +350,7 @@ func (e *Engine) Save(w io.Writer) error {
 	// Length-prefix the gob blob: gob decoders read ahead, so the tree
 	// must be framed to keep the following index streams intact.
 	var tbuf bytes.Buffer
-	if err := e.tree.Encode(&tbuf); err != nil {
+	if err := tree.Encode(&tbuf); err != nil {
 		return err
 	}
 	var lenb [4]byte
@@ -292,7 +361,7 @@ func (e *Engine) Save(w io.Writer) error {
 	if _, err := bw.Write(tbuf.Bytes()); err != nil {
 		return err
 	}
-	for i, p := range e.parts {
+	for i, p := range parts {
 		g, ok := index.HNSWGraph(p)
 		if !ok {
 			return fmt.Errorf("core: Save supports HNSW local indexes only (partition %d is %q)", i, p.Kind())
@@ -359,9 +428,10 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("core: decoding routing tree: %w", err)
 	}
 	e := &Engine{
-		tree:  tree,
-		parts: make([]index.Local, np),
-		dim:   dim,
+		tree:    tree,
+		parts:   make([]index.Local, np),
+		dim:     dim,
+		dynamic: newDynamicState(),
 	}
 	for i := range e.parts {
 		g, err := hnsw.ReadFrom(br)

@@ -249,10 +249,28 @@ func (g *Graph) snapshotLocked() snap {
 // Add inserts one vector with the given global ID and returns the work
 // performed. It is safe for concurrent use.
 func (g *Graph) Add(v []float32, id int64) (Stats, error) {
+	return g.AddAtLevel(v, id, g.NextLevel())
+}
+
+// NextLevel draws the level the next insert would be assigned from the
+// index's seeded generator, without inserting. Durable ingestion draws
+// the level first, logs it, and then calls AddAtLevel, so that replaying
+// the log reproduces a structurally identical graph.
+func (g *Graph) NextLevel() int { return g.randomLevel() }
+
+// AddAtLevel inserts one vector at a caller-chosen level. It is the
+// replay half of the NextLevel/AddAtLevel pair; levels recorded in a
+// write-ahead log feed back through here so recovery is deterministic.
+func (g *Graph) AddAtLevel(v []float32, id int64, level int) (Stats, error) {
 	if len(v) != g.data.Dim {
 		return Stats{}, fmt.Errorf("hnsw: vector dim %d, index dim %d", len(v), g.data.Dim)
 	}
-	level := g.randomLevel()
+	if level < 0 {
+		return Stats{}, fmt.Errorf("hnsw: negative level %d", level)
+	}
+	if g.cfg.Flat {
+		level = 0
+	}
 
 	// Claim a node slot and capture a snapshot that includes it.
 	g.epMu.Lock()

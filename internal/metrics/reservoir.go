@@ -1,0 +1,44 @@
+package metrics
+
+import "sync"
+
+// ReservoirSize bounds the samples a Reservoir keeps: enough for stable
+// percentiles, small enough to summarize on every scrape.
+const ReservoirSize = 4096
+
+// Reservoir is a fixed-capacity sample reservoir of the most recent
+// values, safe for concurrent use. The zero value is ready. The serving
+// gateway records per-request latencies and batch sizes in one; the
+// durability store records fsync latencies.
+type Reservoir struct {
+	mu   sync.Mutex
+	buf  [ReservoirSize]float64
+	n    int // total values ever pushed
+	fill int // values currently valid (min(n, ReservoirSize))
+}
+
+// Push records one sample, displacing the oldest past capacity.
+func (r *Reservoir) Push(v float64) {
+	r.mu.Lock()
+	r.buf[r.n%ReservoirSize] = v
+	r.n++
+	if r.fill < ReservoirSize {
+		r.fill++
+	}
+	r.mu.Unlock()
+}
+
+// Count returns the total number of samples ever pushed.
+func (r *Reservoir) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Summarize reduces the retained samples to summary statistics.
+func (r *Reservoir) Summarize() Summary {
+	r.mu.Lock()
+	s := append([]float64(nil), r.buf[:r.fill]...)
+	r.mu.Unlock()
+	return Summarize(s)
+}

@@ -94,6 +94,17 @@ func (c *resultCache) put(key uint64, res []topk.Result) {
 	}
 }
 
+// purge drops every cached entry. Mutations call it: any cached row may
+// now contain a deleted ID or miss a fresh insert. In-flight searches
+// (flights) are left alone — they resolve against whichever engine state
+// their batch ran on, which is always a valid snapshot.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[uint64]*list.Element)
+}
+
 // Len reports the number of cached entries.
 func (c *resultCache) Len() int {
 	c.mu.Lock()

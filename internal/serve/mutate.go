@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Write endpoints. POST /v1/upsert and /v1/delete route to the
+// backend's Mutator half when it has one (EngineBackend; the
+// distributed MasterBackend is read-only and answers 501). Every
+// successful mutation purges the result cache: a cached row may now
+// contain a deleted ID or miss the fresh insert.
+
+// upsertPoint is one (id, vector) pair.
+type upsertPoint struct {
+	ID     int64     `json:"id"`
+	Vector []float32 `json:"vector"`
+}
+
+// upsertRequest is the POST /v1/upsert body: either a single point
+// ({"id":..,"vector":[..]}) or a batch ({"points":[{..},..]}).
+type upsertRequest struct {
+	ID     *int64        `json:"id,omitempty"`
+	Vector []float32     `json:"vector,omitempty"`
+	Points []upsertPoint `json:"points,omitempty"`
+}
+
+// deleteRequest is the POST /v1/delete body: {"id":..} or
+// {"ids":[..]}.
+type deleteRequest struct {
+	ID  *int64  `json:"id,omitempty"`
+	IDs []int64 `json:"ids,omitempty"`
+}
+
+// mutateResponse is the 200 body of both write endpoints. Applied
+// counts how many mutations landed (on a mid-batch failure the error
+// response reports the count that made it in).
+type mutateResponse struct {
+	Upserted int `json:"upserted,omitempty"`
+	Deleted  int `json:"deleted,omitempty"`
+}
+
+// mutator resolves the backend's write half, answering 501 when the
+// backend is read-only.
+func (s *Server) mutator(w http.ResponseWriter) (Mutator, bool) {
+	m, ok := s.backend.(Mutator)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "backend does not support writes"})
+		return nil, false
+	}
+	return m, true
+}
+
+func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return false
+	}
+	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ErrDraining.Error()})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	mut, ok := s.mutator(w)
+	if !ok {
+		return
+	}
+	var req upsertRequest
+	if !s.decodeMutation(w, r, &req) {
+		return
+	}
+	points := req.Points
+	if req.Vector != nil {
+		if points != nil {
+			s.stats.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set vector or points, not both"})
+			return
+		}
+		if req.ID == nil {
+			s.stats.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "upsert needs an id"})
+			return
+		}
+		points = []upsertPoint{{ID: *req.ID, Vector: req.Vector}}
+	}
+	if len(points) == 0 {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no points"})
+		return
+	}
+	if len(points) > s.cfg.MaxQueries {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("%d points exceeds the per-request limit %d", len(points), s.cfg.MaxQueries)})
+		return
+	}
+	dim := s.backend.Dim()
+	for i, p := range points {
+		if len(p.Vector) != dim {
+			s.stats.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("point %d has dim %d, index dim %d", i, len(p.Vector), dim)})
+			return
+		}
+	}
+	for i, p := range points {
+		if err := mut.Upsert(p.Vector, p.ID); err != nil {
+			s.stats.Upserts.Add(int64(i))
+			if i > 0 {
+				s.cache.purge()
+			}
+			writeJSON(w, http.StatusInternalServerError, errorResponse{
+				Error: fmt.Sprintf("upsert of point %d (id %d) failed after %d applied: %v", i, p.ID, i, err)})
+			return
+		}
+	}
+	s.stats.Upserts.Add(int64(len(points)))
+	s.cache.purge()
+	writeJSON(w, http.StatusOK, mutateResponse{Upserted: len(points)})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	mut, ok := s.mutator(w)
+	if !ok {
+		return
+	}
+	var req deleteRequest
+	if !s.decodeMutation(w, r, &req) {
+		return
+	}
+	ids := req.IDs
+	if req.ID != nil {
+		if ids != nil {
+			s.stats.BadRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set id or ids, not both"})
+			return
+		}
+		ids = []int64{*req.ID}
+	}
+	if len(ids) == 0 {
+		s.stats.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no ids"})
+		return
+	}
+	for i, id := range ids {
+		if err := mut.Delete(id); err != nil {
+			s.stats.Deletes.Add(int64(i))
+			if i > 0 {
+				s.cache.purge()
+			}
+			writeJSON(w, http.StatusInternalServerError, errorResponse{
+				Error: fmt.Sprintf("delete of id %d failed after %d applied: %v", id, i, err)})
+			return
+		}
+	}
+	s.stats.Deletes.Add(int64(len(ids)))
+	s.cache.purge()
+	writeJSON(w, http.StatusOK, mutateResponse{Deleted: len(ids)})
+}

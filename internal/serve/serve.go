@@ -30,6 +30,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
@@ -50,11 +51,32 @@ type Backend interface {
 	SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error)
 }
 
-// EngineBackend adapts the single-process core.Engine.
+// Mutator is the optional write half of a backend. Backends that
+// implement it get POST /v1/upsert and /v1/delete; the gateway answers
+// 501 on those routes otherwise. Unlike SearchBatch, mutations are
+// called concurrently from handler goroutines — implementations must be
+// thread-safe.
+type Mutator interface {
+	Upsert(v []float32, id int64) error
+	Delete(id int64) error
+}
+
+// VarzProvider lets a backend contribute extra top-level sections to
+// /varz (e.g. engine occupancy, WAL and compaction counters).
+type VarzProvider interface {
+	Varz() map[string]any
+}
+
+// EngineBackend adapts the single-process core.Engine. With Store set,
+// mutations go through the durable write-ahead path; otherwise they
+// apply to the in-memory engine only and are lost on restart.
 type EngineBackend struct {
 	Engine *core.Engine
 	// Threads is the worker-pool width per batch (0 = GOMAXPROCS).
 	Threads int
+	// Store, when non-nil, is the durability layer mutations route
+	// through (WAL + snapshots + compaction).
+	Store *store.Durable
 }
 
 // Dim implements Backend.
@@ -66,6 +88,41 @@ func (b *EngineBackend) MaxK() int { return 0 }
 // SearchBatch implements Backend.
 func (b *EngineBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
 	return b.Engine.SearchBatchContext(ctx, queries, k, b.Threads)
+}
+
+// Upsert implements Mutator.
+func (b *EngineBackend) Upsert(v []float32, id int64) error {
+	if b.Store != nil {
+		return b.Store.Upsert(v, id)
+	}
+	return b.Engine.Add(v, id)
+}
+
+// Delete implements Mutator.
+func (b *EngineBackend) Delete(id int64) error {
+	if b.Store != nil {
+		return b.Store.Delete(id)
+	}
+	b.Engine.Delete(id)
+	return nil
+}
+
+// Varz implements VarzProvider: engine occupancy plus, when durable,
+// the store's WAL/compaction counters under "ingest".
+func (b *EngineBackend) Varz() map[string]any {
+	m := map[string]any{
+		"engine": map[string]any{
+			"points":     b.Engine.Len(),
+			"partitions": b.Engine.Partitions(),
+			"inserted":   b.Engine.Inserted(),
+			"tombstones": b.Engine.Tombstones(),
+			"local":      b.Engine.LocalKind(),
+		},
+	}
+	if b.Store != nil {
+		m["ingest"] = b.Store.Stats()
+	}
+	return m
 }
 
 // MasterBackend adapts the distributed core.Master driver handle. The

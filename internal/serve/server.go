@@ -76,6 +76,8 @@ func NewServer(backend Backend, cfg ServerConfig) *Server {
 	}
 	s.batcher = NewBatcher(backend, cfg.Batcher, s.stats)
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/upsert", s.handleUpsert)
+	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/varz", s.handleVarz)
 	return s
@@ -317,8 +319,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	// Flatten the traffic snapshot to a map so VarzProvider backends can
+	// add sibling sections (engine occupancy, WAL/compaction counters).
+	doc := map[string]any{}
+	if b, err := json.Marshal(s.stats.Snapshot()); err == nil {
+		json.Unmarshal(b, &doc)
+	}
+	if vp, ok := s.backend.(VarzProvider); ok {
+		for k, v := range vp.Varz() {
+			doc[k] = v
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.stats.Snapshot())
+	enc.Encode(doc)
 }

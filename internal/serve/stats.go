@@ -1,46 +1,15 @@
 package serve
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 )
 
-// ringSize bounds the samples kept for the /varz latency and batch-size
-// summaries: enough for stable percentiles, small enough to summarize on
-// every scrape.
-const ringSize = 4096
-
-// ring is a fixed-capacity sample reservoir of the most recent values.
-type ring struct {
-	mu   sync.Mutex
-	buf  [ringSize]float64
-	n    int // total values ever pushed
-	fill int // values currently valid (min(n, ringSize))
-}
-
-func (r *ring) push(v float64) {
-	r.mu.Lock()
-	r.buf[r.n%ringSize] = v
-	r.n++
-	if r.fill < ringSize {
-		r.fill++
-	}
-	r.mu.Unlock()
-}
-
-func (r *ring) summarize() metrics.Summary {
-	r.mu.Lock()
-	s := append([]float64(nil), r.buf[:r.fill]...)
-	r.mu.Unlock()
-	return metrics.Summarize(s)
-}
-
 // Stats aggregates the gateway's served-traffic counters. Counters are
 // atomics (hot path); the latency/batch-size reservoirs are mutex-backed
-// rings summarized only on /varz scrape.
+// rings (metrics.Reservoir) summarized only on /varz scrape.
 type Stats struct {
 	Requests      atomic.Int64 // queries received over HTTP (after parsing)
 	Batches       atomic.Int64 // backend rounds dispatched
@@ -52,11 +21,13 @@ type Stats struct {
 	Coalesced     atomic.Int64 // answered by another request's single-flight search
 	BackendErrors atomic.Int64 // backend rounds that failed
 	BadRequests   atomic.Int64 // malformed HTTP requests
+	Upserts       atomic.Int64 // vectors ingested via POST /v1/upsert
+	Deletes       atomic.Int64 // IDs tombstoned via POST /v1/delete
 
 	queueDepth atomic.Int64 // entries currently admitted but not collected
 
-	batchSizes ring // queries per dispatched round
-	latencies  ring // per-request end-to-end µs (HTTP handler view)
+	batchSizes metrics.Reservoir // queries per dispatched round
+	latencies  metrics.Reservoir // per-request end-to-end µs (HTTP handler view)
 }
 
 // NewStats returns an empty collector.
@@ -66,12 +37,12 @@ func NewStats() *Stats { return &Stats{} }
 func (s *Stats) recordBatch(size int) {
 	s.Batches.Add(1)
 	s.Queries.Add(int64(size))
-	s.batchSizes.push(float64(size))
+	s.batchSizes.Push(float64(size))
 }
 
 // RecordLatency accounts one served request's end-to-end latency.
 func (s *Stats) RecordLatency(d time.Duration) {
-	s.latencies.push(float64(d.Microseconds()))
+	s.latencies.Push(float64(d.Microseconds()))
 }
 
 // Snapshot is the JSON shape /varz exports.
@@ -86,6 +57,8 @@ type Snapshot struct {
 	Coalesced     int64 `json:"coalesced"`
 	BackendErrors int64 `json:"backend_errors"`
 	BadRequests   int64 `json:"bad_requests"`
+	Upserts       int64 `json:"upserts"`
+	Deletes       int64 `json:"deletes"`
 	QueueDepth    int64 `json:"queue_depth"`
 
 	// MeanBatchSize is Queries/Batches — the amortization the
@@ -110,9 +83,11 @@ func (s *Stats) Snapshot() Snapshot {
 		Coalesced:     s.Coalesced.Load(),
 		BackendErrors: s.BackendErrors.Load(),
 		BadRequests:   s.BadRequests.Load(),
+		Upserts:       s.Upserts.Load(),
+		Deletes:       s.Deletes.Load(),
 		QueueDepth:    s.queueDepth.Load(),
-		BatchSize:     s.batchSizes.summarize(),
-		LatencyUS:     s.latencies.summarize(),
+		BatchSize:     s.batchSizes.Summarize(),
+		LatencyUS:     s.latencies.Summarize(),
 		Runtime:       metrics.CaptureRuntime(),
 	}
 	if snap.Batches > 0 {

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hnsw"
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// Background compaction. Deletes are tombstones: the engine filters
+// them out of results and over-fetches to compensate, so a partition
+// that has absorbed heavy delete churn wastes memory and search effort
+// on dead rows. Past Options.CompactRatio the compactor rebuilds the
+// partition's HNSW graph offline from its live rows only, catches up
+// inserts that raced the rebuild from a sidelog, swaps the new graph
+// into the engine atomically (searches never block and never see a
+// half-swapped state), and checkpoints so the shrunken state is also
+// what recovery loads.
+
+// startCompactor launches the scan loop when auto-compaction is on.
+func (d *Durable) startCompactor() {
+	if d.opts.CompactRatio < 0 {
+		return
+	}
+	d.stopCompact = make(chan struct{})
+	d.compactDone = make(chan struct{})
+	go func() {
+		defer close(d.compactDone)
+		t := time.NewTicker(d.opts.CompactInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stopCompact:
+				return
+			case <-t.C:
+				if p := d.pickPartition(); p >= 0 {
+					if err := d.CompactPartition(p); err != nil {
+						d.opts.Logf("store: compaction of partition %d failed: %v", p, err)
+					}
+				}
+			}
+		}
+	}()
+}
+
+func (d *Durable) stopCompactor() {
+	if d.stopCompact != nil {
+		close(d.stopCompact)
+		<-d.compactDone
+		d.stopCompact = nil
+	}
+}
+
+// pickPartition returns the partition with the worst tombstone/live
+// ratio past the threshold, or -1.
+func (d *Durable) pickPartition() int {
+	dead := make(map[int64]struct{})
+	for _, id := range d.eng.TombstoneIDs() {
+		dead[id] = struct{}{}
+	}
+	if len(dead) == 0 {
+		return -1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.compacting != -1 {
+		return -1
+	}
+	best, bestRatio := -1, d.opts.CompactRatio
+	for p := 0; p < d.eng.Partitions(); p++ {
+		g, ok := d.eng.PartitionGraph(p)
+		if !ok {
+			continue
+		}
+		ds := g.Data() // no mutators run while d.mu is held
+		n, nd := ds.Len(), 0
+		for i := 0; i < n; i++ {
+			if _, gone := dead[ds.ID(i)]; gone {
+				nd++
+			}
+		}
+		if nd == 0 {
+			continue
+		}
+		ratio := float64(nd) / float64(max(1, n-nd))
+		if ratio >= bestRatio {
+			best, bestRatio = p, ratio
+		}
+	}
+	return best
+}
+
+// CompactPartition rebuilds partition p without its tombstoned rows and
+// swaps the result into the live engine. Searches continue against the
+// old graph until the swap lands; inserts routed to p during the
+// rebuild are recorded in a sidelog and re-applied to the new graph
+// before it goes live, so nothing is lost.
+func (d *Durable) CompactPartition(p int) error {
+	// Phase 1 (under mu): snapshot the partition's live rows and mark
+	// it compacting so concurrent upserts start feeding the sidelog.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errClosed
+	}
+	if d.compacting != -1 {
+		d.mu.Unlock()
+		return fmt.Errorf("store: partition %d is already compacting", d.compacting)
+	}
+	g, ok := d.eng.PartitionGraph(p)
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("store: partition %d has no HNSW graph", p)
+	}
+	ds := g.Data()
+	live := vec.NewDataset(ds.Dim, ds.Len())
+	var folded []int64
+	for i := 0; i < ds.Len(); i++ {
+		if id := ds.ID(i); d.eng.Deleted(id) {
+			folded = append(folded, id)
+		} else {
+			live.Append(ds.At(i), id)
+		}
+	}
+	cfg := g.Config()
+	d.compacting = p
+	d.sidelog = nil
+	d.mu.Unlock()
+
+	abort := func(err error) error {
+		d.mu.Lock()
+		d.compacting = -1
+		d.sidelog = nil
+		d.mu.Unlock()
+		return err
+	}
+
+	// Phase 2 (offline): rebuild from live rows only. Mutations and
+	// searches proceed against the old graph meanwhile.
+	t0 := time.Now()
+	ng, _, err := hnsw.Build(live, cfg, d.opts.Threads)
+	if err != nil {
+		return abort(err)
+	}
+
+	// Phase 3 (under mu): catch up sidelogged inserts, swap, clear the
+	// folded tombstones, and checkpoint so recovery sees the compacted
+	// state and the WAL can shed covered segments.
+	d.mu.Lock()
+	if d.closed {
+		d.compacting = -1
+		d.sidelog = nil
+		d.mu.Unlock()
+		return errClosed
+	}
+	for _, s := range d.sidelog {
+		if _, err := ng.AddAtLevel(s.v, s.id, s.level); err != nil {
+			d.compacting = -1
+			d.sidelog = nil
+			d.mu.Unlock()
+			return err
+		}
+	}
+	caught := len(d.sidelog)
+	if err := d.eng.SwapPartition(p, index.WrapHNSW(ng), folded); err != nil {
+		d.compacting = -1
+		d.sidelog = nil
+		d.mu.Unlock()
+		return err
+	}
+	d.compacting = -1
+	d.sidelog = nil
+	d.stats.Compactions.Add(1)
+	d.stats.Folded.Add(int64(len(folded)))
+	d.stats.CaughtUp.Add(int64(caught))
+	err = d.checkpointLocked()
+	d.mu.Unlock()
+	d.opts.Logf("store: compacted partition %d in %v: folded %d tombstones, caught up %d inserts, %d live rows",
+		p, time.Since(t0).Round(time.Millisecond), len(folded), caught, live.Len()+caught)
+	return err
+}

@@ -1,0 +1,455 @@
+// Package store makes dynamic engine updates durable. The paper serves
+// a static snapshot built once by distributed construction; the engine
+// grew dynamic Add/Delete (internal/core/dynamic.go) and an HTTP
+// gateway, but every mutation lived only in memory — a restart silently
+// lost all post-build inserts and resurrected tombstoned IDs. This
+// package is the missing persistence layer, the shard-local durability
+// primitive web-scale ANN systems (LANNS, HARMONY) build their serving
+// tiers on:
+//
+//   - a CRC-framed, length-prefixed write-ahead log with group-commit
+//     fsync batching (wal.go) records every upsert and delete before it
+//     is applied;
+//   - snapshot + replay recovery: startup loads the newest engine
+//     snapshot (core.Engine Save format plus a MANIFEST carrying the
+//     WAL sequence watermark) and replays only the WAL tail, truncating
+//     segments the snapshot covers;
+//   - a background compactor (compact.go) that rebuilds a partition's
+//     HNSW graph offline once tombstones pass a configurable ratio,
+//     atomically swaps it into the live engine, and writes a fresh
+//     snapshot.
+//
+// Upserts log the HNSW level the insert draws (Engine.DrawLevel), so
+// replay via Engine.AddAt rebuilds a structurally identical graph:
+// recovery restores the exact pre-crash search state, not merely an
+// equivalent dataset.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+var (
+	// ErrNoStore reports an Open on a directory with no snapshot.
+	ErrNoStore = errors.New("store: no snapshot in directory (use Create)")
+	// errClosed reports use after Close.
+	errClosed = errors.New("store: closed")
+)
+
+// Options tunes durability and compaction.
+type Options struct {
+	// SyncEvery fsyncs the WAL after this many records; 1 makes every
+	// mutation durable before its call returns, larger values group-
+	// commit (default 64). A crash loses at most the unsynced tail.
+	SyncEvery int
+	// SyncInterval bounds how long a record below the SyncEvery
+	// threshold may sit unsynced (default 50ms; negative disables the
+	// background fsync).
+	SyncInterval time.Duration
+	// SegmentBytes rotates the WAL past this size (default 64 MiB).
+	SegmentBytes int64
+	// CompactRatio triggers a partition rebuild once its
+	// tombstoned/live row ratio exceeds this (default 0.25; negative
+	// disables automatic compaction — CompactPartition still works).
+	CompactRatio float64
+	// CompactInterval is the compactor's scan period (default 2s).
+	CompactInterval time.Duration
+	// Threads is the rebuild parallelism (default GOMAXPROCS).
+	Threads int
+	// Logf, when non-nil, receives recovery and compaction progress.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.CompactRatio == 0 {
+		o.CompactRatio = 0.25
+	}
+	if o.CompactInterval <= 0 {
+		o.CompactInterval = 2 * time.Second
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// manifest is the store's root pointer: which snapshot is current and
+// the WAL sequence number it covers. Written atomically (tmp + rename +
+// dir fsync), so a crash mid-checkpoint leaves the previous manifest in
+// force and the previous snapshot intact.
+type manifest struct {
+	Snapshot  string `json:"snapshot"`  // snapshot file name within the store dir
+	Watermark uint64 `json:"watermark"` // last WAL seq folded into the snapshot
+
+	// Engine.Save captures the routing tree and graphs but not the
+	// dynamic update state, so the manifest carries it: IDs tombstoned
+	// as of the snapshot (their delete records are truncated with the
+	// WAL) and the engine's inserted counter.
+	Tombstones []int64 `json:"tombstones,omitempty"`
+	Inserted   int64   `json:"inserted,omitempty"`
+}
+
+const manifestName = "MANIFEST"
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%020d.ann", seq) }
+
+func writeManifest(dir string, m manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads the manifest; when it is missing but snapshots
+// exist (crash between snapshot rename and manifest write), the newest
+// snapshot wins.
+func readManifest(dir string) (manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err == nil {
+		var m manifest
+		if jerr := json.Unmarshal(b, &m); jerr != nil {
+			return manifest{}, fmt.Errorf("store: corrupt MANIFEST in %s: %w", dir, jerr)
+		}
+		return m, nil
+	}
+	if !os.IsNotExist(err) {
+		return manifest{}, err
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.ann"))
+	if len(snaps) == 0 {
+		return manifest{}, ErrNoStore
+	}
+	sort.Strings(snaps)
+	newest := filepath.Base(snaps[len(snaps)-1])
+	var seq uint64
+	if _, err := fmt.Sscanf(newest, "snap-%020d.ann", &seq); err != nil {
+		return manifest{}, fmt.Errorf("store: unparseable snapshot name %q", newest)
+	}
+	return manifest{Snapshot: newest, Watermark: seq}, nil
+}
+
+// sideRec is an insert that raced a compaction of its home partition;
+// it is re-applied to the rebuilt graph before the swap.
+type sideRec struct {
+	v     []float32
+	id    int64
+	level int
+}
+
+// Durable wraps a core.Engine with write-ahead logging, snapshot
+// recovery, and background compaction. All mutations must go through
+// it; searches go straight to Engine() and never block on the log.
+type Durable struct {
+	dir  string
+	opts Options
+
+	// mu serializes mutations, checkpointing, and compaction
+	// bookkeeping. Searches do not take it.
+	mu         sync.Mutex
+	eng        *core.Engine
+	wal        *wal
+	seq        uint64 // last sequence number appended
+	snapSeq    uint64 // watermark of the newest on-disk snapshot
+	compacting int    // partition being rebuilt, -1 when idle
+	sidelog    []sideRec
+	closed     bool
+
+	stats Stats
+
+	stopCompact chan struct{}
+	compactDone chan struct{}
+}
+
+// Create initialises dir as a durable store over a freshly built
+// engine: writes the initial snapshot, opens an empty WAL, and starts
+// the compactor. Fails if dir already holds a store (use Open).
+func Create(dir string, e *core.Engine, opts Options) (*Durable, error) {
+	opts.fill()
+	if e.LocalKind() != "hnsw" {
+		return nil, fmt.Errorf("store: engine local index %q does not support insertion (need hnsw)", e.LocalKind())
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := readManifest(dir); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a store (use Open)", dir)
+	} else if err != ErrNoStore {
+		return nil, err
+	}
+	d := &Durable{dir: dir, opts: opts, eng: e, compacting: -1}
+	if err := d.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, "wal"), 1, opts, &d.stats, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	d.wal = w
+	d.startCompactor()
+	return d, nil
+}
+
+// Open recovers a store: loads the manifest's snapshot, repairs a torn
+// WAL tail, replays records past the snapshot's watermark, and resumes.
+// The recovered engine answers searches exactly as the pre-crash one
+// did for every synced mutation.
+func Open(dir string, opts Options) (*Durable, error) {
+	opts.fill()
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, m.Snapshot))
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest names snapshot %s: %w", m.Snapshot, err)
+	}
+	e, err := core.LoadEngine(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: loading snapshot %s: %w", m.Snapshot, err)
+	}
+	// The snapshot file holds the graphs; the tombstone set and inserted
+	// counter as of the watermark ride in the manifest (their WAL
+	// records were truncated by the checkpoint that wrote it).
+	e.RestoreDynamic(m.Tombstones, m.Inserted)
+	d := &Durable{dir: dir, opts: opts, eng: e, compacting: -1, seq: m.Watermark, snapSeq: m.Watermark}
+
+	// Opening the WAL first repairs any torn tail, so replay below sees
+	// only whole records.
+	w, err := openWAL(filepath.Join(dir, "wal"), m.Watermark+1, opts, &d.stats, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	d.wal = w
+	replayed := 0
+	err = ScanWAL(dir, func(r Record) error {
+		if r.Seq <= m.Watermark {
+			return nil
+		}
+		if r.Seq != d.seq+1 {
+			return fmt.Errorf("store: WAL sequence gap: have %d, next record is %d", d.seq, r.Seq)
+		}
+		switch r.Type {
+		case RecordUpsert:
+			if err := e.AddAt(r.Part, r.Vec, r.ID, r.Level); err != nil {
+				return fmt.Errorf("store: replaying seq %d: %w", r.Seq, err)
+			}
+		case RecordDelete:
+			e.Delete(r.ID)
+		default:
+			return fmt.Errorf("store: replaying seq %d: unknown type %d", r.Seq, r.Type)
+		}
+		d.seq = r.Seq
+		replayed++
+		return nil
+	})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	d.stats.Replayed.Store(int64(replayed))
+	opts.Logf("store: recovered %s: snapshot %s (watermark %d) + %d replayed WAL records",
+		dir, m.Snapshot, m.Watermark, replayed)
+	d.startCompactor()
+	return d, nil
+}
+
+// OpenOrCreate opens dir if it holds a store, otherwise builds an
+// engine with build and Creates one.
+func OpenOrCreate(dir string, build func() (*core.Engine, error), opts Options) (*Durable, error) {
+	d, err := Open(dir, opts)
+	if err == nil {
+		return d, nil
+	}
+	if !errors.Is(err, ErrNoStore) {
+		return nil, err
+	}
+	e, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return Create(dir, e, opts)
+}
+
+// Engine returns the wrapped engine for searching. Do not mutate it
+// directly — Add/Delete calls that bypass the store are lost on
+// restart.
+func (d *Durable) Engine() *core.Engine { return d.eng }
+
+// Dir returns the store directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Upsert durably inserts a vector: the mutation is logged (with its
+// routed partition and drawn HNSW level) before it is applied.
+func (d *Durable) Upsert(v []float32, id int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	home, err := d.eng.Home(v)
+	if err != nil {
+		return err
+	}
+	level, err := d.eng.DrawLevel(home)
+	if err != nil {
+		return err
+	}
+	rec := Record{Seq: d.seq + 1, Type: RecordUpsert, Part: home, Level: level, ID: id, Vec: v}
+	if err := d.wal.append(rec); err != nil {
+		return err
+	}
+	d.seq++
+	if err := d.eng.AddAt(home, v, id, level); err != nil {
+		return err
+	}
+	d.stats.Upserts.Add(1)
+	if d.compacting == home {
+		d.sidelog = append(d.sidelog, sideRec{v: append([]float32(nil), v...), id: id, level: level})
+	}
+	return nil
+}
+
+// Delete durably tombstones an ID (idempotent, like Engine.Delete).
+func (d *Durable) Delete(id int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	if err := d.wal.append(Record{Seq: d.seq + 1, Type: RecordDelete, ID: id}); err != nil {
+		return err
+	}
+	d.seq++
+	d.eng.Delete(id)
+	d.stats.Deletes.Add(1)
+	return nil
+}
+
+// Sync forces every appended record to stable storage.
+func (d *Durable) Sync() error { return d.wal.sync() }
+
+// Checkpoint writes a fresh snapshot at the current watermark and
+// truncates WAL segments it covers. Mutations block for the duration
+// (searches do not).
+func (d *Durable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked writes snap-<seq>.ann atomically, repoints the
+// manifest, deletes superseded snapshots and WAL segments.
+func (d *Durable) checkpointLocked() error {
+	seq := d.seq
+	name := snapshotName(seq)
+	tmp := filepath.Join(d.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := d.eng.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		return err
+	}
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	tombs := d.eng.TombstoneIDs()
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
+	if err := writeManifest(d.dir, manifest{
+		Snapshot:   name,
+		Watermark:  seq,
+		Tombstones: tombs,
+		Inserted:   d.eng.Inserted(),
+	}); err != nil {
+		return err
+	}
+	// The manifest now points at the new snapshot; older snapshots and
+	// covered WAL segments are garbage.
+	if snaps, err := filepath.Glob(filepath.Join(d.dir, "snap-*.ann")); err == nil {
+		for _, s := range snaps {
+			if filepath.Base(s) != name {
+				os.Remove(s)
+			}
+		}
+	}
+	if d.wal != nil {
+		if err := d.wal.truncateThrough(seq); err != nil {
+			return err
+		}
+	}
+	d.snapSeq = seq
+	d.stats.Snapshots.Add(1)
+	d.opts.Logf("store: checkpoint %s (watermark %d)", name, seq)
+	return nil
+}
+
+// Close stops the compactor, syncs the WAL, and releases files. It does
+// not checkpoint; the next Open replays the WAL tail.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.stopCompactor()
+	return d.wal.close()
+}

@@ -1,0 +1,539 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Write-ahead log. Mutations are framed as CRC-guarded, length-prefixed
+// records and appended to segment files under <dir>/wal/. A segment is
+// named wal-<firstSeq>.log after the first sequence number it may
+// contain, which makes truncation a pure file-name computation: once a
+// snapshot holds everything through watermark W, every segment whose
+// successor starts at or before W+1 is garbage.
+//
+// Group commit: appends go to a buffered writer and are fsynced either
+// every SyncEvery records or by a background ticker every SyncInterval,
+// whichever comes first — the Kafka/Redis-AOF batching policy. With
+// SyncEvery=1 every record is durable before Append returns; larger
+// values trade a bounded tail of recent mutations for fsync amortization
+// under heavy ingest.
+//
+// Torn tails: a crash mid-append leaves a partial or CRC-broken final
+// record. Opening the WAL scans the last segment, truncates it at the
+// last whole record, and resumes appending there; corruption anywhere
+// except the tail of the final segment is reported as *CorruptError and
+// refuses to open (that is real data loss, not a torn tail).
+
+const (
+	walMagic   = "ANNW"
+	walVersion = 1
+	// walHeaderLen is magic + version.
+	walHeaderLen = 4 + 4
+	// maxRecordBytes bounds a record frame so a corrupt length field
+	// fails fast instead of driving a giant allocation.
+	maxRecordBytes = 1 << 30
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RecordType discriminates WAL records.
+type RecordType uint8
+
+const (
+	// RecordUpsert logs one vector insert: (partition, level, id, vector).
+	RecordUpsert RecordType = 1
+	// RecordDelete logs one tombstone: (id).
+	RecordDelete RecordType = 2
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecordUpsert:
+		return "upsert"
+	case RecordDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Record is one logged mutation. Upserts carry the home partition and
+// the HNSW level the insert was assigned, so replay rebuilds a
+// structurally identical graph without consulting the level generator.
+type Record struct {
+	Seq   uint64
+	Type  RecordType
+	Part  int // upsert: home partition
+	Level int // upsert: HNSW level
+	ID    int64
+	Vec   []float32 // upsert only
+}
+
+// CorruptError reports a WAL frame that failed its length or CRC check.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: corrupt WAL record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// encodeRecord frames r: u32 payload length, u32 CRC32-C of payload,
+// payload. Payload layout: type u8, seq u64, id i64, then for upserts
+// part u32, level u32, dim u32, dim float32s.
+func encodeRecord(r Record) []byte {
+	n := 1 + 8 + 8
+	if r.Type == RecordUpsert {
+		n += 4 + 4 + 4 + 4*len(r.Vec)
+	}
+	buf := make([]byte, 8+n)
+	p := buf[8:]
+	p[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(p[1:], r.Seq)
+	binary.LittleEndian.PutUint64(p[9:], uint64(r.ID))
+	if r.Type == RecordUpsert {
+		binary.LittleEndian.PutUint32(p[17:], uint32(r.Part))
+		binary.LittleEndian.PutUint32(p[21:], uint32(r.Level))
+		binary.LittleEndian.PutUint32(p[25:], uint32(len(r.Vec)))
+		for i, x := range r.Vec {
+			binary.LittleEndian.PutUint32(p[29+4*i:], math.Float32bits(x))
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[0:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(p, crcTable))
+	return buf
+}
+
+// decodePayload parses a CRC-verified payload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 17 {
+		return Record{}, fmt.Errorf("payload too short (%d bytes)", len(p))
+	}
+	r := Record{
+		Type: RecordType(p[0]),
+		Seq:  binary.LittleEndian.Uint64(p[1:]),
+		ID:   int64(binary.LittleEndian.Uint64(p[9:])),
+	}
+	switch r.Type {
+	case RecordDelete:
+		return r, nil
+	case RecordUpsert:
+		if len(p) < 29 {
+			return Record{}, fmt.Errorf("upsert payload too short (%d bytes)", len(p))
+		}
+		r.Part = int(binary.LittleEndian.Uint32(p[17:]))
+		r.Level = int(binary.LittleEndian.Uint32(p[21:]))
+		dim := int(binary.LittleEndian.Uint32(p[25:]))
+		if len(p) != 29+4*dim {
+			return Record{}, fmt.Errorf("upsert payload %d bytes, want %d for dim %d", len(p), 29+4*dim, dim)
+		}
+		r.Vec = make([]float32, dim)
+		for i := range r.Vec {
+			r.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[29+4*i:]))
+		}
+		return r, nil
+	}
+	return Record{}, fmt.Errorf("unknown record type %d", p[0])
+}
+
+// walSegment is one on-disk log file.
+type walSegment struct {
+	path     string
+	firstSeq uint64 // first sequence number the segment may contain
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%020d.log", firstSeq)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "wal-%020d.log", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the segments under walDir sorted by firstSeq.
+func listSegments(walDir string) ([]walSegment, error) {
+	ents, err := os.ReadDir(walDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []walSegment
+	for _, e := range ents {
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, walSegment{path: filepath.Join(walDir, e.Name()), firstSeq: seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// scanSegment streams the records of one segment file. It returns the
+// byte offset just past the last whole, CRC-clean record. A partial or
+// corrupt frame stops the scan with a *CorruptError at that offset; a
+// clean end-of-file returns nil.
+func scanSegment(path string, fn func(Record) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: "short segment header"}
+	}
+	if string(hdr[:4]) != walMagic {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: fmt.Sprintf("bad magic %q", hdr[:4])}
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	off := int64(walHeaderLen)
+	frame := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			if err == io.EOF {
+				return off, nil // clean end
+			}
+			return off, &CorruptError{Path: path, Offset: off, Reason: "torn frame header"}
+		}
+		n := binary.LittleEndian.Uint32(frame[0:])
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if n == 0 || n > maxRecordBytes {
+			return off, &CorruptError{Path: path, Offset: off, Reason: fmt.Sprintf("implausible record length %d", n)}
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, &CorruptError{Path: path, Offset: off, Reason: "torn payload"}
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return off, &CorruptError{Path: path, Offset: off, Reason: "CRC mismatch"}
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return off, &CorruptError{Path: path, Offset: off, Reason: err.Error()}
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off += 8 + int64(n)
+	}
+}
+
+// ScanWAL streams every record of every segment under dir (a store
+// directory) in sequence order. Corruption — including a torn tail —
+// stops the scan with a *CorruptError; annwal uses this for -verify and
+// -dump, the store itself repairs tails before replaying.
+func ScanWAL(dir string, fn func(Record) error) error {
+	segs, err := listSegments(filepath.Join(dir, "wal"))
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if _, err := scanSegment(s.path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wal is the append side of the log.
+type wal struct {
+	dir          string // <store>/wal
+	syncEvery    int
+	syncInterval time.Duration
+	segmentBytes int64
+	stats        *Stats
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64
+	segs     []walSegment // sorted; last is the active segment
+	unsynced int
+	dirty    bool
+	broken   error // a failed append poisons the log
+	closed   bool
+
+	stopTick chan struct{}
+	tickDone chan struct{}
+}
+
+// openWAL opens (creating if needed) the log under dir, repairing a
+// torn tail in the final segment by truncating it to the last whole
+// record. nextSeq names the first segment when none exist.
+func openWAL(dir string, nextSeq uint64, opts Options, stats *Stats, logf func(string, ...any)) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{
+		dir:          dir,
+		syncEvery:    opts.SyncEvery,
+		syncInterval: opts.SyncInterval,
+		segmentBytes: opts.SegmentBytes,
+		stats:        stats,
+		segs:         segs,
+	}
+	if len(segs) == 0 {
+		if err := w.createSegment(nextSeq); err != nil {
+			return nil, err
+		}
+	} else {
+		// Repair: truncate the last segment past its last whole record.
+		last := segs[len(segs)-1]
+		end, err := scanSegment(last.path, nil)
+		if cerr, ok := err.(*CorruptError); ok {
+			logf("wal: truncating torn tail of %s at offset %d (%s)", filepath.Base(last.path), end, cerr.Reason)
+			if terr := os.Truncate(last.path, end); terr != nil {
+				return nil, terr
+			}
+		} else if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.f = f
+		w.size = end
+		w.bw = bufio.NewWriterSize(f, 1<<20)
+	}
+	if w.syncInterval > 0 {
+		w.stopTick = make(chan struct{})
+		w.tickDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// createSegment starts a fresh active segment (caller holds mu or is
+// the constructor).
+func (w *wal) createSegment(firstSeq uint64) error {
+	path := filepath.Join(w.dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, walHeaderLen)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<20)
+	w.size = walHeaderLen
+	w.segs = append(w.segs, walSegment{path: path, firstSeq: firstSeq})
+	return nil
+}
+
+// append logs one record under the group-commit policy. On return the
+// record is in the OS page cache at minimum; it is on stable storage if
+// the sync policy fired (SyncEvery<=1 forces that every time).
+func (w *wal) append(r Record) error {
+	buf := encodeRecord(r)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("store: WAL unusable after earlier write error: %w", w.broken)
+	}
+	if w.closed {
+		return errClosed
+	}
+	if w.size > walHeaderLen && w.size+int64(len(buf)) > w.segmentBytes {
+		if err := w.rotateLocked(r.Seq); err != nil {
+			w.broken = err
+			return err
+		}
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		w.broken = err
+		return err
+	}
+	w.size += int64(len(buf))
+	w.dirty = true
+	w.unsynced++
+	if w.stats != nil {
+		w.stats.WALAppends.Add(1)
+		w.stats.WALBytes.Add(int64(len(buf)))
+	}
+	if w.syncEvery <= 1 || w.unsynced >= w.syncEvery {
+		if err := w.syncLocked(); err != nil {
+			w.broken = err
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens a new one whose name
+// is the sequence number of the record about to be written.
+func (w *wal) rotateLocked(nextSeq uint64) error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if w.stats != nil {
+		w.stats.WALRotations.Add(1)
+	}
+	return w.createSegment(nextSeq)
+}
+
+func (w *wal) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if w.stats != nil {
+		w.stats.WALFsyncs.Add(1)
+		w.stats.fsyncUS.Push(float64(time.Since(t0).Microseconds()))
+	}
+	w.dirty = false
+	w.unsynced = 0
+	return nil
+}
+
+// sync forces buffered records to stable storage.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// flushLoop is the straggler fsync: without it, a trickle of writes
+// below SyncEvery would sit in the buffer indefinitely.
+func (w *wal) flushLoop() {
+	defer close(w.tickDone)
+	t := time.NewTicker(w.syncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopTick:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.broken == nil {
+				if err := w.syncLocked(); err != nil {
+					w.broken = err
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// truncateThrough deletes every sealed segment whose records all have
+// seq <= watermark (they are covered by a snapshot). The active segment
+// is never removed.
+func (w *wal) truncateThrough(watermark uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.segs) >= 2 && w.segs[1].firstSeq <= watermark+1 {
+		if err := os.Remove(w.segs[0].path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if w.stats != nil {
+			w.stats.WALTruncated.Add(1)
+		}
+		w.segs = w.segs[1:]
+	}
+	return nil
+}
+
+// diskBytes sums the on-disk segment sizes.
+func (w *wal) diskBytes() (int64, int) {
+	w.mu.Lock()
+	segs := append([]walSegment(nil), w.segs...)
+	w.mu.Unlock()
+	var total int64
+	for _, s := range segs {
+		if fi, err := os.Stat(s.path); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total, len(segs)
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	err := w.syncLocked()
+	w.closed = true
+	cerr := w.f.Close()
+	w.mu.Unlock()
+	if w.stopTick != nil {
+		close(w.stopTick)
+		<-w.tickDone
+	}
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}

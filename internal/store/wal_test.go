@@ -1,0 +1,233 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func walOpts() Options {
+	o := Options{SyncEvery: 1, SyncInterval: -1, SegmentBytes: 1 << 20, CompactRatio: -1}
+	o.fill()
+	return o
+}
+
+func testLogf(t *testing.T) func(string, ...any) {
+	return func(f string, args ...any) { t.Logf(f, args...) }
+}
+
+func appendN(t *testing.T, w *wal, from, n int, dim int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(from+i) + float32(j)/10
+		}
+		rec := Record{Seq: uint64(from + i), Type: RecordUpsert, Part: i % 3, Level: i % 2, ID: int64(1000 + from + i), Vec: v}
+		if i%4 == 3 {
+			rec = Record{Seq: uint64(from + i), Type: RecordDelete, ID: int64(from + i)}
+		}
+		if err := w.append(rec); err != nil {
+			t.Fatalf("append seq %d: %v", from+i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, dir string) []Record {
+	t.Helper()
+	var recs []Record
+	if err := ScanWAL(dir, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return recs
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, "wal"), 1, walOpts(), nil, testLogf(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 20, 4)
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, dir)
+	if len(recs) != 20 {
+		t.Fatalf("got %d records, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	// spot-check an upsert payload
+	r := recs[0]
+	if r.Type != RecordUpsert || r.ID != 1001 || len(r.Vec) != 4 || r.Vec[1] != 1.1 {
+		t.Fatalf("bad upsert roundtrip: %+v", r)
+	}
+	if recs[3].Type != RecordDelete || recs[3].ID != 4 {
+		t.Fatalf("bad delete roundtrip: %+v", recs[3])
+	}
+}
+
+func TestWALTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	w, err := openWAL(walDir, 1, walOpts(), nil, testLogf(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 10, 8)
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(walDir)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	// Tear the final record: chop a few bytes off the tail.
+	fi, err := os.Stat(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0].path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	// A raw scan reports the tear...
+	err = ScanWAL(dir, func(Record) error { return nil })
+	if _, ok := err.(*CorruptError); !ok {
+		t.Fatalf("want CorruptError from torn scan, got %v", err)
+	}
+	// ...and reopening repairs it: 9 whole records survive, appends resume.
+	w2, err := openWAL(walDir, 11, walOpts(), nil, testLogf(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w2, 10, 1, 8) // reuse seq 10 for the retried record
+	if err := w2.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, dir)
+	if len(recs) != 10 {
+		t.Fatalf("after repair+append want 10 records, got %d", len(recs))
+	}
+	if recs[9].Seq != 10 {
+		t.Fatalf("resumed record has seq %d", recs[9].Seq)
+	}
+}
+
+func TestWALCRCCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	w, err := openWAL(walDir, 1, walOpts(), nil, testLogf(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 5, 4)
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(walDir)
+	// Flip one payload byte in the middle of the file.
+	b, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(segs[0].path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ScanWAL(dir, func(Record) error { return nil })
+	ce, ok := err.(*CorruptError)
+	if !ok {
+		t.Fatalf("want CorruptError, got %v", err)
+	}
+	if ce.Offset == 0 {
+		t.Error("corruption offset should be past the header")
+	}
+}
+
+func TestWALRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	opts := walOpts()
+	opts.SegmentBytes = 256 // force rotation every few records
+	var stats Stats
+	w, err := openWAL(walDir, 1, opts, &stats, testLogf(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 40, 8)
+	segs, _ := listSegments(walDir)
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments after rotation, got %d", len(segs))
+	}
+	if stats.WALRotations.Load() == 0 {
+		t.Error("rotations not counted")
+	}
+	recs := collect(t, dir)
+	if len(recs) != 40 {
+		t.Fatalf("got %d records across segments, want 40", len(recs))
+	}
+
+	// Truncating through the middle drops fully covered segments only:
+	// every record past the watermark must survive.
+	mid := segs[len(segs)/2].firstSeq - 1
+	if err := w.truncateThrough(mid); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := listSegments(walDir)
+	if len(left) >= len(segs) {
+		t.Fatalf("truncation removed nothing: %d -> %d segments", len(segs), len(left))
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range collect(t, dir) {
+		seen[r.Seq] = true
+	}
+	for s := mid + 1; s <= 40; s++ {
+		if !seen[s] {
+			t.Fatalf("record seq %d (past watermark %d) lost by truncation", s, mid)
+		}
+	}
+
+	// The active segment never goes away.
+	if err := w.truncateThrough(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	left, _ = listSegments(walDir)
+	if len(left) != 1 {
+		t.Fatalf("want only the active segment, got %d", len(left))
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALGroupCommitTicker(t *testing.T) {
+	dir := t.TempDir()
+	opts := walOpts()
+	opts.SyncEvery = 1000 // never hit the count threshold
+	opts.SyncInterval = 5 * time.Millisecond
+	var stats Stats
+	w, err := openWAL(filepath.Join(dir, "wal"), 1, opts, &stats, testLogf(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 1, 3, 4)
+	deadline := time.Now().Add(2 * time.Second)
+	for stats.WALFsyncs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if stats.WALFsyncs.Load() == 0 {
+		t.Error("background ticker never fsynced")
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, dir)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+}

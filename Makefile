@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build bin test tier1 tier1-race fast vet race bench clean
+.PHONY: all build bin test tier1 tier1-race fast vet race bench fuzz-smoke clean
 
 all: build
 
@@ -44,6 +44,12 @@ tier1-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Short native-fuzzing pass over the WAL record scanner: no input may
+# panic it or deliver a record whose CRC does not verify. CI runs this
+# on every push; run without -fuzztime locally to dig deeper.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadRecord -fuzztime=10s -run '^$$' ./internal/store
 
 clean:
 	$(GO) clean ./...

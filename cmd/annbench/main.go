@@ -5,9 +5,15 @@
 //
 //	annbench -experiment table3
 //	annbench -experiment all -points 50000 -queries 1000
+//
+// The serving benchmark also emits a machine-readable result file for
+// regression tracking (recall, QPS, latency percentiles):
+//
+//	annbench -json BENCH_results.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +33,7 @@ func main() {
 		k       = flag.Int("k", 10, "neighbors per query")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		jsonOut = flag.String("json", "", "run the serving benchmark and write its results (recall, QPS, p50/p99) to this file as JSON")
 	)
 	flag.Parse()
 
@@ -43,6 +50,21 @@ func main() {
 		Seed:    *seed,
 		Out:     os.Stdout,
 		Quick:   *quick,
+	}
+	if *jsonOut != "" {
+		res, err := exp.ServingBench(opts)
+		if err != nil {
+			log.Fatalf("serving bench: %v", err)
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+		return
 	}
 	run := func(e exp.Experiment) {
 		t0 := time.Now()

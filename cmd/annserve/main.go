@@ -24,8 +24,15 @@
 //
 //	POST /v1/search   {"query":[...]} or {"queries":[[...],...]},
 //	                  optional "k" and "timeout_ms"
-//	GET  /healthz     liveness (503 while draining)
+//	GET  /healthz     liveness (503 while draining); add ?ready=1 for
+//	                  readiness, which also fails once the write path
+//	                  has tripped the circuit breaker
 //	GET  /varz        served-traffic counters + runtime snapshot (JSON)
+//
+// Storage chaos drills: -chaos 'sync:fail-after@100/wal' routes every
+// store I/O call through a deterministic fault injector (internal/fsx)
+// so operators can rehearse disk failure: the WAL poisons itself,
+// mutations 503, searches keep serving.
 //
 // Concurrent requests are coalesced into batched search rounds; a full
 // admission queue sheds load with 429 + Retry-After; SIGTERM/SIGINT
@@ -48,6 +55,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fsx"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -63,6 +71,8 @@ func main() {
 		walSyncEvery = flag.Int("wal-sync-every", 64, "fsync after this many WAL records (1 = every record)")
 		walSyncInt   = flag.Duration("wal-sync-interval", 50*time.Millisecond, "group-commit fsync interval (0 = default, negative disables the ticker)")
 		compactRatio = flag.Float64("compact-ratio", 0.25, "tombstone/live ratio that triggers partition compaction (negative disables)")
+		chaosSpec    = flag.String("chaos", "", "DRILLS ONLY: inject storage faults, comma-separated op:kind[@nth][~rate][/pathsub] clauses (e.g. 'sync:fail-after@100/wal', 'write:enospc~0.001'); see internal/fsx")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "deterministic seed for -chaos rate-based rules")
 
 		clusterAddrs = flag.String("cluster", "", "comma-separated rank addresses for distributed mode; this process is rank 0")
 		data         = flag.String("data", "", "dataset fvecs file (distributed mode, unless -resume)")
@@ -123,12 +133,24 @@ func main() {
 			err error
 		)
 		if *walDir != "" {
-			d, err = store.OpenOrCreate(*walDir, loadIndex, store.Options{
+			opts := store.Options{
 				SyncEvery:    *walSyncEvery,
 				SyncInterval: *walSyncInt,
 				CompactRatio: *compactRatio,
 				Logf:         log.Printf,
-			})
+			}
+			if *chaosSpec != "" {
+				rules, cerr := fsx.ParseFaults(*chaosSpec)
+				if cerr != nil {
+					log.Fatal(cerr)
+				}
+				// Chaos drills: every store I/O call goes through the fault
+				// injector. A tripped fault poisons the WAL and opens the
+				// gateway's write breaker exactly as a real disk would.
+				opts.FS = fsx.NewFaulty(fsx.OS{}, *chaosSeed, rules...)
+				log.Printf("CHAOS: injecting storage faults %q (seed %d) — drill mode, not for production", *chaosSpec, *chaosSeed)
+			}
+			d, err = store.OpenOrCreate(*walDir, loadIndex, opts)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -23,10 +23,10 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"log"
 	"os"
 	"path/filepath"
@@ -62,20 +62,18 @@ func main() {
 	}
 }
 
-// manifestInfo mirrors the store's MANIFEST file.
-type manifestInfo struct {
-	Snapshot  string `json:"snapshot"`
-	Watermark uint64 `json:"watermark"`
-}
-
 func doScan(dir string, dump bool) {
-	if b, err := os.ReadFile(filepath.Join(dir, "MANIFEST")); err == nil {
-		var m manifestInfo
-		if json.Unmarshal(b, &m) == nil {
-			fmt.Printf("manifest: snapshot %s, watermark %d\n", m.Snapshot, m.Watermark)
+	if gens, err := store.Manifest(dir); err == nil {
+		for i, g := range gens {
+			role := "current"
+			if i > 0 {
+				role = "previous"
+			}
+			fmt.Printf("manifest: %s snapshot %s, watermark %d, crc32c %08x, %d bytes\n",
+				role, g.Snapshot, g.Watermark, g.CRC, g.Bytes)
 		}
 	} else {
-		fmt.Println("manifest: missing")
+		fmt.Printf("manifest: %v\n", err)
 	}
 	var (
 		total, upserts, deletes int
@@ -123,13 +121,58 @@ func doScan(dir string, dump bool) {
 	}
 }
 
+// doVerify checks every checksummed artifact of the store — manifest
+// envelope, snapshot generations, WAL frames — and reports the first
+// corruption per artifact as a machine-checkable line:
+//
+//	BAD kind=<wal|manifest|snapshot> file=<path> offset=<n> want_crc=<hex> got_crc=<hex> reason=<...>
+//
+// Exit status 1 on any BAD line, 0 with a summary line otherwise.
 func doVerify(dir string) {
-	n := 0
-	err := store.ScanWAL(dir, func(store.Record) error { n++; return nil })
-	if err != nil {
-		log.Fatalf("FAIL after %d good records: %v", n, err)
+	crcTab := crc32.MakeTable(crc32.Castagnoli)
+	bad := 0
+	badf := func(kind, file string, offset int64, want, got uint32, reason string) {
+		bad++
+		fmt.Printf("BAD kind=%s file=%s offset=%d want_crc=%08x got_crc=%08x reason=%q\n",
+			kind, file, offset, want, got, reason)
 	}
-	fmt.Printf("OK: %d records, all frames and CRCs valid\n", n)
+
+	gens, err := store.Manifest(dir)
+	var ce *store.CorruptError
+	switch {
+	case err == nil:
+		for _, g := range gens {
+			path := filepath.Join(dir, g.Snapshot)
+			b, rerr := os.ReadFile(path)
+			if rerr != nil {
+				badf("snapshot", path, 0, g.CRC, 0, rerr.Error())
+				continue
+			}
+			if g.CRC != 0 {
+				if got := crc32.Checksum(b, crcTab); got != g.CRC {
+					badf("snapshot", path, 0, g.CRC, got, "snapshot CRC mismatch")
+				}
+			}
+		}
+	case errors.As(err, &ce):
+		badf("manifest", ce.Path, ce.Offset, ce.WantCRC, ce.GotCRC, ce.Reason)
+	default:
+		log.Fatal(err)
+	}
+
+	n := 0
+	if err := store.ScanWAL(dir, func(store.Record) error { n++; return nil }); err != nil {
+		ce = nil
+		if errors.As(err, &ce) {
+			badf("wal", ce.Path, ce.Offset, ce.WantCRC, ce.GotCRC, ce.Reason)
+		} else {
+			log.Fatal(err)
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("FAIL: %d corrupt artifacts (%d good WAL records before the first bad one)", bad, n)
+	}
+	fmt.Printf("OK: %d generations, %d WAL records, all frames and CRCs valid\n", len(gens), n)
 }
 
 func doReplay(dir string) {

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+)
+
+// ServingResult is the machine-readable output of ServingBench — the
+// numbers a CI job or regression tracker wants without parsing tables:
+// recall against brute-force ground truth, sustained throughput, and
+// the per-query latency tail. Written by annbench -json as
+// BENCH_results.json.
+type ServingResult struct {
+	Dataset    string  `json:"dataset"`
+	Points     int     `json:"points"`
+	Queries    int     `json:"queries"`
+	Dim        int     `json:"dim"`
+	K          int     `json:"k"`
+	Partitions int     `json:"partitions"`
+	NProbe     int     `json:"nprobe"`
+	Threads    int     `json:"threads"`
+	Seed       int64   `json:"seed"`
+	BuildSec   float64 `json:"build_sec"`
+
+	Recall     float64 `json:"recall"`
+	QPS        float64 `json:"qps"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MeanMicros float64 `json:"mean_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+// ServingBench builds a single-process engine over the SIFT stand-in and
+// drives every query through the serving path one at a time, the way the
+// gateway's micro-batcher sees them, measuring end-to-end per-query
+// latency. Recall is computed against exact brute-force ground truth.
+func ServingBench(o Options) (*ServingResult, error) {
+	o.fill()
+	w, err := descriptorWorkload("sift", o, true)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig(runtime.GOMAXPROCS(0))
+	cfg.K = o.K
+	cfg.Seed = o.Seed
+	t0 := time.Now()
+	e, err := core.NewEngine(w.data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buildSec := time.Since(t0).Seconds()
+
+	n := w.queries.Len()
+	results := make([][]topk.Result, n)
+	lats := make([]float64, n)
+	run0 := time.Now()
+	for i := 0; i < n; i++ {
+		q0 := time.Now()
+		rs, err := e.Search(w.queries.At(i), o.K)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		lats[i] = float64(time.Since(q0).Microseconds())
+		results[i] = rs
+	}
+	wall := time.Since(run0).Seconds()
+
+	sum := metrics.Summarize(lats)
+	res := &ServingResult{
+		Dataset:    w.name,
+		Points:     w.data.Len(),
+		Queries:    n,
+		Dim:        w.data.Dim,
+		K:          o.K,
+		Partitions: e.Partitions(),
+		NProbe:     cfg.NProbe,
+		Threads:    1,
+		Seed:       o.Seed,
+		BuildSec:   buildSec,
+		Recall:     metrics.MeanRecall(results, w.truth),
+		QPS:        float64(n) / wall,
+		P50Micros:  sum.P50,
+		P90Micros:  sum.P90,
+		P99Micros:  sum.P99,
+		MeanMicros: sum.Mean,
+		MaxMicros:  sum.Max,
+	}
+
+	header(o.Out, "Serving benchmark (single-process search path)")
+	fmt.Fprintf(o.Out, "%s: %d points dim %d, %d queries, k=%d, %d partitions\n",
+		w.name, res.Points, res.Dim, n, o.K, res.Partitions)
+	fmt.Fprintf(o.Out, "build %.2fs | recall %.4f | %.0f QPS | p50 %.0fµs p90 %.0fµs p99 %.0fµs\n",
+		buildSec, res.Recall, res.QPS, res.P50Micros, res.P90Micros, res.P99Micros)
+	return res, nil
+}

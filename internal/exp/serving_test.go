@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestServingBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := ServingBench(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall <= 0.5 || res.Recall > 1 {
+		t.Errorf("recall = %v, want (0.5, 1]", res.Recall)
+	}
+	if res.QPS <= 0 {
+		t.Errorf("QPS = %v", res.QPS)
+	}
+	if res.P50Micros <= 0 || res.P99Micros < res.P50Micros {
+		t.Errorf("latency percentiles inconsistent: p50=%v p99=%v", res.P50Micros, res.P99Micros)
+	}
+	if res.Queries != 100 || res.Dataset != "sift" {
+		t.Errorf("workload fields: %+v", res)
+	}
+	if buf.Len() == 0 {
+		t.Error("no human-readable output")
+	}
+}

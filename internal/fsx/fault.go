@@ -1,0 +1,537 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Deterministic fault injection. A Faulty wraps an inner FS and fires
+// scripted faults at exact operation sites ("the 3rd fsync", "the 7th
+// write under wal/") or at a seeded random rate. Five failure shapes
+// cover the storage-failure taxonomy the store must survive:
+//
+//   - Fail: the op returns an error having done nothing (EIO, ENOSPC);
+//   - Fail+After: the op COMPLETES, then returns an error — the
+//     fsyncgate shape, where a failed fsync leaves the page-cache state
+//     unknown and retrying is unsound;
+//   - ShortWrite: only a prefix of the buffer lands before the error, a
+//     torn write;
+//   - BitFlip: the op succeeds but one seeded-random bit of the data
+//     read is flipped — silent media corruption;
+//   - Crash: after the fault fires the FS enters a dead state and every
+//     later operation returns ErrCrashed, simulating process death at
+//     exactly that site. Recovery then reopens the directory with a
+//     clean OS FS, like a restarted process would.
+
+var (
+	// ErrInjected is the default error returned by injected faults.
+	ErrInjected = errors.New("fsx: injected fault")
+	// ErrCrashed is returned by every operation after a Crash fault
+	// fired: the simulated process is dead.
+	ErrCrashed = errors.New("fsx: filesystem crashed (simulated process death)")
+)
+
+// Op names one filesystem operation kind for fault matching.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	OpReadDir
+	OpStat
+	OpSyncDir
+	opCount
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpRead: "read", OpWrite: "write", OpSync: "sync",
+	OpRename: "rename", OpRemove: "remove", OpTruncate: "truncate",
+	OpMkdir: "mkdir", OpReadDir: "readdir", OpStat: "stat", OpSyncDir: "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Kind is the failure shape a rule injects.
+type Kind uint8
+
+const (
+	// Fail returns Err without performing the op (or, with After, after
+	// performing it).
+	Fail Kind = iota
+	// ShortWrite performs half the write, then returns Err.
+	ShortWrite
+	// BitFlip performs the read, then flips one seeded-random bit of
+	// the data returned. No error: the corruption is silent.
+	BitFlip
+)
+
+// Rule scripts one fault. A rule with Nth>0 fires on exactly the Nth
+// matching operation (1-based, counted per Op across the Faulty's
+// lifetime) and never again; a rule with Nth==0 and Rate>0 fires each
+// matching op with that probability from the seeded generator.
+type Rule struct {
+	Op   Op
+	Nth  int     // exact site: the Nth occurrence of Op
+	Rate float64 // probabilistic alternative to Nth
+	Path string  // optional substring the op's path must contain
+	Kind Kind
+	Err  error // returned error (default ErrInjected); e.g. syscall.ENOSPC
+	// After performs the operation first, then injects: the fsyncgate
+	// shape for Fail (op durable, caller told otherwise), or the
+	// crash-after-success site with Crash.
+	After bool
+	// Crash kills the FS once this rule fires: all later ops return
+	// ErrCrashed.
+	Crash bool
+}
+
+func (r Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Faulty is a fault-injecting FS. Safe for concurrent use; all
+// randomness comes from the seed, so a given (seed, rules, workload)
+// triple replays identically.
+type Faulty struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []Rule
+	fired    []bool // Nth-rules fire once
+	seen     []int  // per-rule count of matching ops (drives Nth)
+	counts   [opCount]int
+	crashed  bool
+	injected int
+}
+
+// NewFaulty wraps inner (nil means OS{}) with the scripted rules.
+func NewFaulty(inner FS, seed int64, rules ...Rule) *Faulty {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Faulty{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: append([]Rule(nil), rules...),
+		fired: make([]bool, len(rules)),
+		seen:  make([]int, len(rules)),
+	}
+}
+
+// Count returns how many operations of kind op have been issued.
+func (f *Faulty) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// Injected returns how many faults have fired.
+func (f *Faulty) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// hit counts the op and returns the rule that fires on it, if any.
+// ErrCrashed is returned once the FS is dead.
+func (f *Faulty) hit(op Op, path string) (*Rule, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	f.counts[op]++
+	var hit *Rule
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Op != op || f.fired[i] && r.Nth > 0 {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		// Every matching rule sees the op, even when an earlier rule
+		// fires on it — "the 2nd write" means the 2nd write issued, not
+		// the 2nd that no other rule touched.
+		f.seen[i]++
+		if hit != nil {
+			continue
+		}
+		switch {
+		case r.Nth > 0:
+			if f.seen[i] != r.Nth {
+				continue
+			}
+		case r.Rate > 0:
+			if f.rng.Float64() >= r.Rate {
+				continue
+			}
+		default:
+			continue
+		}
+		f.fired[i] = true
+		f.injected++
+		if r.Crash && !r.After {
+			f.crashed = true
+		}
+		hit = r
+	}
+	return hit, nil
+}
+
+// crashAfter marks the FS dead once an After rule's op has completed.
+func (f *Faulty) crashAfter(r *Rule) {
+	if r.Crash {
+		f.mu.Lock()
+		f.crashed = true
+		f.mu.Unlock()
+	}
+}
+
+// flipBit corrupts one seeded-random bit of b in place.
+func (f *Faulty) flipBit(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	f.mu.Lock()
+	i, bit := f.rng.Intn(len(b)), uint(f.rng.Intn(8))
+	f.mu.Unlock()
+	b[i] ^= 1 << bit
+}
+
+// do wraps a no-result operation with fault matching.
+func (f *Faulty) do(op Op, path string, fn func() error) error {
+	r, err := f.hit(op, path)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return fn()
+	}
+	if !r.After {
+		return r.err()
+	}
+	opErr := fn()
+	f.crashAfter(r)
+	if opErr != nil {
+		return opErr
+	}
+	return r.err()
+}
+
+// OpenFile implements FS.
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	r, err := f.hit(OpOpen, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && !r.After {
+		return nil, r.err()
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if r != nil {
+		f.crashAfter(r)
+		if err == nil {
+			inner.Close()
+			err = r.err()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: inner, fs: f, path: name}, nil
+}
+
+// Open implements FS.
+func (f *Faulty) Open(name string) (File, error) {
+	return f.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// ReadFile implements FS. A BitFlip rule on OpRead corrupts one bit of
+// the returned contents.
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	r, err := f.hit(OpRead, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && !r.After && r.Kind == Fail {
+		return nil, r.err()
+	}
+	b, err := f.inner.ReadFile(name)
+	if r != nil {
+		if r.Kind == BitFlip && err == nil {
+			f.flipBit(b)
+		}
+		f.crashAfter(r)
+		if r.Kind == Fail && err == nil {
+			return nil, r.err()
+		}
+	}
+	return b, err
+}
+
+// Rename implements FS. A plain Fail leaves oldpath in place (the torn
+// rename's stale-temp aftermath); Fail+After performs the rename and
+// still reports failure, the crash-between-rename-and-dirsync shape.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	return f.do(OpRename, newpath, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(name string) error {
+	return f.do(OpRemove, name, func() error { return f.inner.Remove(name) })
+}
+
+// Truncate implements FS.
+func (f *Faulty) Truncate(name string, size int64) error {
+	return f.do(OpTruncate, name, func() error { return f.inner.Truncate(name, size) })
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	return f.do(OpMkdir, path, func() error { return f.inner.MkdirAll(path, perm) })
+}
+
+// ReadDir implements FS.
+func (f *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	r, err := f.hit(OpReadDir, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && !r.After {
+		return nil, r.err()
+	}
+	ents, err := f.inner.ReadDir(name)
+	if r != nil {
+		f.crashAfter(r)
+		if err == nil {
+			return nil, r.err()
+		}
+	}
+	return ents, err
+}
+
+// Stat implements FS.
+func (f *Faulty) Stat(name string) (os.FileInfo, error) {
+	r, err := f.hit(OpStat, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && !r.After {
+		return nil, r.err()
+	}
+	fi, err := f.inner.Stat(name)
+	if r != nil {
+		f.crashAfter(r)
+		if err == nil {
+			return nil, r.err()
+		}
+	}
+	return fi, err
+}
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(dir string) error {
+	return f.do(OpSyncDir, dir, func() error { return f.inner.SyncDir(dir) })
+}
+
+// faultyFile threads per-file read/write/sync operations back through
+// the injector.
+type faultyFile struct {
+	f    File
+	fs   *Faulty
+	path string
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	r, err := ff.fs.hit(OpRead, ff.path)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil && !r.After && r.Kind == Fail {
+		return 0, r.err()
+	}
+	n, err := ff.f.Read(p)
+	if r != nil {
+		if r.Kind == BitFlip && n > 0 {
+			ff.fs.flipBit(p[:n])
+		}
+		ff.fs.crashAfter(r)
+		if r.Kind == Fail && err == nil {
+			return n, r.err()
+		}
+	}
+	return n, err
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	r, err := ff.fs.hit(OpWrite, ff.path)
+	if err != nil {
+		return 0, err
+	}
+	if r == nil {
+		return ff.f.Write(p)
+	}
+	switch r.Kind {
+	case ShortWrite:
+		n, werr := ff.f.Write(p[:len(p)/2])
+		ff.fs.crashAfter(r)
+		if werr != nil {
+			return n, werr
+		}
+		return n, r.err()
+	default: // Fail
+		if !r.After {
+			return 0, r.err()
+		}
+		n, werr := ff.f.Write(p)
+		ff.fs.crashAfter(r)
+		if werr != nil {
+			return n, werr
+		}
+		return n, r.err()
+	}
+}
+
+func (ff *faultyFile) Sync() error {
+	return ff.fs.do(OpSync, ff.path, ff.f.Sync)
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	if ff.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+// Close always releases the inner descriptor, crashed or not, so tests
+// do not leak file handles.
+func (ff *faultyFile) Close() error { return ff.f.Close() }
+
+func (ff *faultyFile) Name() string { return ff.path }
+
+// ParseFaults parses a comma-separated fault script, one rule per
+// clause:
+//
+//	op:kind[@nth][~rate][/pathsub]
+//
+// op is one of open, read, write, sync, rename, remove, truncate,
+// mkdir, readdir, stat, syncdir. kind is one of fail, enospc, short,
+// bitflip, crash (fail + process death), crash-after (op succeeds,
+// then death), fail-after (the fsyncgate shape). @nth defaults to 1
+// when no ~rate is given.
+//
+//	"sync:fail@3"            — the 3rd fsync returns EIO
+//	"write:enospc@5"         — the 5th write returns ENOSPC
+//	"read:bitflip@2"         — the 2nd read flips one bit
+//	"rename:crash@1/MANIFEST" — die at the first manifest rename
+//	"sync:fail~0.01"         — 1% of fsyncs fail (seeded)
+func ParseFaults(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		opName, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("fsx: fault %q: want op:kind[@nth]", clause)
+		}
+		var r Rule
+		op := -1
+		for i, n := range opNames {
+			if n == opName {
+				op = i
+			}
+		}
+		if op < 0 {
+			return nil, fmt.Errorf("fsx: fault %q: unknown op %q", clause, opName)
+		}
+		r.Op = Op(op)
+		if rest, ok = cutSuffixArg(rest, "/", &r.Path); !ok {
+			return nil, fmt.Errorf("fsx: fault %q: bad path filter", clause)
+		}
+		var rateStr, nthStr string
+		rest, _ = cutSuffixArg(rest, "~", &rateStr)
+		rest, _ = cutSuffixArg(rest, "@", &nthStr)
+		switch rest {
+		case "fail":
+			r.Kind = Fail
+		case "fail-after":
+			r.Kind, r.After = Fail, true
+		case "enospc":
+			r.Kind, r.Err = Fail, error(syscall.ENOSPC)
+		case "short":
+			r.Kind = ShortWrite
+		case "bitflip":
+			r.Kind = BitFlip
+		case "crash":
+			r.Kind, r.Crash = Fail, true
+		case "crash-after":
+			r.Kind, r.After, r.Crash = Fail, true, true
+		default:
+			return nil, fmt.Errorf("fsx: fault %q: unknown kind %q", clause, rest)
+		}
+		if rateStr != "" {
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil || rate <= 0 || rate > 1 {
+				return nil, fmt.Errorf("fsx: fault %q: bad rate %q", clause, rateStr)
+			}
+			r.Rate = rate
+		}
+		if nthStr != "" {
+			nth, err := strconv.Atoi(nthStr)
+			if err != nil || nth <= 0 {
+				return nil, fmt.Errorf("fsx: fault %q: bad occurrence %q", clause, nthStr)
+			}
+			r.Nth = nth
+		}
+		if r.Nth == 0 && r.Rate == 0 {
+			r.Nth = 1
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// cutSuffixArg splits "base<sep>arg" into base and arg when sep is
+// present; reports false when the arg would be empty.
+func cutSuffixArg(s, sep string, out *string) (string, bool) {
+	base, arg, ok := strings.Cut(s, sep)
+	if !ok {
+		return s, true
+	}
+	if arg == "" {
+		return base, false
+	}
+	*out = arg
+	return base, true
+}

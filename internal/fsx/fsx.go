@@ -1,0 +1,133 @@
+// Package fsx abstracts the filesystem operations of the durable store
+// behind a narrow interface with two implementations: OS, a direct
+// passthrough, and Faulty (fault.go), a deterministic, seeded fault
+// injector that can fail the Nth fsync, tear writes, break renames,
+// return ENOSPC, flip bits on reads, and simulate process death at any
+// of those sites.
+//
+// Every byte the store reads or writes — WAL segments, snapshots, the
+// manifest — moves through an FS, so the crash-point harness
+// (internal/store) can systematically kill the store at every I/O
+// operation and prove recovery is exact or fails loudly. Production
+// code pays one interface call per operation; the hot append path
+// buffers above the FS, so the overhead is per-flush, not per-record.
+package fsx
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the store uses. Writers must call
+// Sync before relying on durability, exactly as with the real thing.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface of the durable store. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens with the given flags (os.O_CREATE, ...).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens for reading.
+	Open(name string) (File, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate resizes the named file.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Glob returns the names in the directory of pattern that match its
+// base, like filepath.Glob but routed through fs so fault injection
+// covers directory listings too.
+func Glob(fs FS, pattern string) ([]string, error) {
+	dir, base := filepath.Split(pattern)
+	if dir == "" {
+		dir = "."
+	}
+	ents, err := fs.ReadDir(filepath.Clean(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		ok, err := filepath.Match(base, e.Name())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, filepath.Join(filepath.Clean(dir), e.Name()))
+		}
+	}
+	return out, nil
+}

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/store"
 )
 
 // Write endpoints. POST /v1/upsert and /v1/delete route to the
@@ -42,14 +45,33 @@ type mutateResponse struct {
 }
 
 // mutator resolves the backend's write half, answering 501 when the
-// backend is read-only.
+// backend is read-only and 503 when the write circuit breaker is open
+// (the storage layer failed; mutations are refused until a restart
+// while searches keep serving).
 func (s *Server) mutator(w http.ResponseWriter) (Mutator, bool) {
 	m, ok := s.backend.(Mutator)
 	if !ok {
 		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "backend does not support writes"})
 		return nil, false
 	}
+	if err := s.writeBroken(); err != nil {
+		s.stats.WritesRejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "write path failed, mutations rejected until restart: " + err.Error()})
+		return nil, false
+	}
 	return m, true
+}
+
+// mutationStatus maps a mid-batch mutation error to an HTTP status: a
+// storage failure that tripped the breaker is 503 (the replica is
+// degraded, not the request), anything else 500.
+func (s *Server) mutationStatus(err error) int {
+	if errors.Is(err, store.ErrWALFailed) {
+		s.stats.WritesRejected.Add(1)
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -121,7 +143,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 			if i > 0 {
 				s.cache.purge()
 			}
-			writeJSON(w, http.StatusInternalServerError, errorResponse{
+			writeJSON(w, s.mutationStatus(err), errorResponse{
 				Error: fmt.Sprintf("upsert of point %d (id %d) failed after %d applied: %v", i, p.ID, i, err)})
 			return
 		}
@@ -160,7 +182,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			if i > 0 {
 				s.cache.purge()
 			}
-			writeJSON(w, http.StatusInternalServerError, errorResponse{
+			writeJSON(w, s.mutationStatus(err), errorResponse{
 				Error: fmt.Sprintf("delete of id %d failed after %d applied: %v", id, i, err)})
 			return
 		}

@@ -67,6 +67,16 @@ type VarzProvider interface {
 	Varz() map[string]any
 }
 
+// WriteHealth is the optional storage-health probe of a backend's write
+// path. WriteFailed returns nil while the path is healthy, or the error
+// that poisoned it (e.g. a failed WAL fsync). The gateway's circuit
+// breaker checks it before every mutation: a failed write path turns
+// /v1/upsert and /v1/delete into 503s and flips /healthz?ready=1 to
+// not-ready, while searches — which never touch storage — keep serving.
+type WriteHealth interface {
+	WriteFailed() error
+}
+
 // EngineBackend adapts the single-process core.Engine. With Store set,
 // mutations go through the durable write-ahead path; otherwise they
 // apply to the in-memory engine only and are lost on restart.
@@ -104,6 +114,16 @@ func (b *EngineBackend) Delete(id int64) error {
 		return b.Store.Delete(id)
 	}
 	b.Engine.Delete(id)
+	return nil
+}
+
+// WriteFailed implements WriteHealth. A memory-only backend cannot
+// fail durably; with a store, a poisoned WAL (failed fsync, ENOSPC)
+// breaks the write path until a restart re-reads the log.
+func (b *EngineBackend) WriteFailed() error {
+	if b.Store != nil {
+		return b.Store.Failed()
+	}
 	return nil
 }
 

@@ -309,10 +309,35 @@ func toSearchResult(res []topk.Result, cached bool) searchResult {
 	return sr
 }
 
+// writeBroken returns the error that tripped the write circuit
+// breaker, or nil while the backend's write path is healthy.
+func (s *Server) writeBroken() error {
+	if wh, ok := s.backend.(WriteHealth); ok {
+		return wh.WriteFailed()
+	}
+	return nil
+}
+
+// handleHealthz is both probes. Liveness (the default) answers whether
+// the process should keep running: 200 unless it is draining away.
+// Readiness (?ready=1) answers whether it should receive NEW traffic
+// and additionally goes not-ready when the write circuit breaker is
+// open — a storage-degraded replica can finish serving reads it already
+// has, but a load balancer should prefer healthy replicas for fresh
+// connections and an orchestrator should schedule a restart, not a
+// kill.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if r.URL.Query().Get("ready") != "" {
+		if err := s.writeBroken(); err != nil {
+			http.Error(w, "not-ready: write path failed: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
 		return
 	}
 	w.Write([]byte("ok\n"))
@@ -329,6 +354,17 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		for k, v := range vp.Varz() {
 			doc[k] = v
 		}
+	}
+	if wh, ok := s.backend.(WriteHealth); ok {
+		breaker := map[string]any{
+			"writes_tripped":  false,
+			"writes_rejected": s.stats.WritesRejected.Load(),
+		}
+		if err := wh.WriteFailed(); err != nil {
+			breaker["writes_tripped"] = true
+			breaker["reason"] = err.Error()
+		}
+		doc["breaker"] = breaker
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

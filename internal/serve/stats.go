@@ -11,18 +11,19 @@ import (
 // atomics (hot path); the latency/batch-size reservoirs are mutex-backed
 // rings (metrics.Reservoir) summarized only on /varz scrape.
 type Stats struct {
-	Requests      atomic.Int64 // queries received over HTTP (after parsing)
-	Batches       atomic.Int64 // backend rounds dispatched
-	Queries       atomic.Int64 // queries that reached the backend
-	Shed          atomic.Int64 // admissions refused with 429
-	DeadlineDrops atomic.Int64 // queued entries expired before dispatch
-	CacheHits     atomic.Int64 // answered from the result cache
-	CacheMisses   atomic.Int64 // had to search (cache enabled only)
-	Coalesced     atomic.Int64 // answered by another request's single-flight search
-	BackendErrors atomic.Int64 // backend rounds that failed
-	BadRequests   atomic.Int64 // malformed HTTP requests
-	Upserts       atomic.Int64 // vectors ingested via POST /v1/upsert
-	Deletes       atomic.Int64 // IDs tombstoned via POST /v1/delete
+	Requests       atomic.Int64 // queries received over HTTP (after parsing)
+	Batches        atomic.Int64 // backend rounds dispatched
+	Queries        atomic.Int64 // queries that reached the backend
+	Shed           atomic.Int64 // admissions refused with 429
+	DeadlineDrops  atomic.Int64 // queued entries expired before dispatch
+	CacheHits      atomic.Int64 // answered from the result cache
+	CacheMisses    atomic.Int64 // had to search (cache enabled only)
+	Coalesced      atomic.Int64 // answered by another request's single-flight search
+	BackendErrors  atomic.Int64 // backend rounds that failed
+	BadRequests    atomic.Int64 // malformed HTTP requests
+	Upserts        atomic.Int64 // vectors ingested via POST /v1/upsert
+	Deletes        atomic.Int64 // IDs tombstoned via POST /v1/delete
+	WritesRejected atomic.Int64 // mutations refused by the open write circuit breaker
 
 	queueDepth atomic.Int64 // entries currently admitted but not collected
 
@@ -47,19 +48,20 @@ func (s *Stats) RecordLatency(d time.Duration) {
 
 // Snapshot is the JSON shape /varz exports.
 type Snapshot struct {
-	Requests      int64 `json:"requests"`
-	Batches       int64 `json:"batches"`
-	Queries       int64 `json:"queries"`
-	Shed          int64 `json:"shed"`
-	DeadlineDrops int64 `json:"deadline_drops"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	Coalesced     int64 `json:"coalesced"`
-	BackendErrors int64 `json:"backend_errors"`
-	BadRequests   int64 `json:"bad_requests"`
-	Upserts       int64 `json:"upserts"`
-	Deletes       int64 `json:"deletes"`
-	QueueDepth    int64 `json:"queue_depth"`
+	Requests       int64 `json:"requests"`
+	Batches        int64 `json:"batches"`
+	Queries        int64 `json:"queries"`
+	Shed           int64 `json:"shed"`
+	DeadlineDrops  int64 `json:"deadline_drops"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	Coalesced      int64 `json:"coalesced"`
+	BackendErrors  int64 `json:"backend_errors"`
+	BadRequests    int64 `json:"bad_requests"`
+	Upserts        int64 `json:"upserts"`
+	Deletes        int64 `json:"deletes"`
+	WritesRejected int64 `json:"writes_rejected"`
+	QueueDepth     int64 `json:"queue_depth"`
 
 	// MeanBatchSize is Queries/Batches — the amortization the
 	// micro-batcher is buying.
@@ -73,22 +75,23 @@ type Snapshot struct {
 // Snapshot captures every counter plus a process runtime snapshot.
 func (s *Stats) Snapshot() Snapshot {
 	snap := Snapshot{
-		Requests:      s.Requests.Load(),
-		Batches:       s.Batches.Load(),
-		Queries:       s.Queries.Load(),
-		Shed:          s.Shed.Load(),
-		DeadlineDrops: s.DeadlineDrops.Load(),
-		CacheHits:     s.CacheHits.Load(),
-		CacheMisses:   s.CacheMisses.Load(),
-		Coalesced:     s.Coalesced.Load(),
-		BackendErrors: s.BackendErrors.Load(),
-		BadRequests:   s.BadRequests.Load(),
-		Upserts:       s.Upserts.Load(),
-		Deletes:       s.Deletes.Load(),
-		QueueDepth:    s.queueDepth.Load(),
-		BatchSize:     s.batchSizes.Summarize(),
-		LatencyUS:     s.latencies.Summarize(),
-		Runtime:       metrics.CaptureRuntime(),
+		Requests:       s.Requests.Load(),
+		Batches:        s.Batches.Load(),
+		Queries:        s.Queries.Load(),
+		Shed:           s.Shed.Load(),
+		DeadlineDrops:  s.DeadlineDrops.Load(),
+		CacheHits:      s.CacheHits.Load(),
+		CacheMisses:    s.CacheMisses.Load(),
+		Coalesced:      s.Coalesced.Load(),
+		BackendErrors:  s.BackendErrors.Load(),
+		BadRequests:    s.BadRequests.Load(),
+		Upserts:        s.Upserts.Load(),
+		Deletes:        s.Deletes.Load(),
+		WritesRejected: s.WritesRejected.Load(),
+		QueueDepth:     s.queueDepth.Load(),
+		BatchSize:      s.batchSizes.Summarize(),
+		LatencyUS:      s.latencies.Summarize(),
+		Runtime:        metrics.CaptureRuntime(),
 	}
 	if snap.Batches > 0 {
 		snap.MeanBatchSize = float64(snap.Queries) / float64(snap.Batches)

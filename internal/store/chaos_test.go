@@ -1,0 +1,644 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsx"
+)
+
+// Storage chaos tests: the store under injected I/O failure. The
+// crash-point harness at the bottom is the centerpiece — it kills the
+// store at every filesystem operation the workload issues and proves
+// recovery is exact.
+
+// engineBytes builds a small engine once and returns its Save image, so
+// per-crash-point runs reload it instead of re-running the HNSW build.
+func engineBytes(t testing.TB, n int, seed int64) []byte {
+	t.Helper()
+	e, _ := smallEngine(t, n, seed)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func loadEngineBytes(t testing.TB, b []byte) *core.Engine {
+	t.Helper()
+	e, err := core.LoadEngine(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func chaosOpts(fs fsx.FS) Options {
+	return Options{SyncEvery: 1, SyncInterval: -1, CompactRatio: -1, FS: fs}
+}
+
+// fixedVec derives a deterministic unit-ish vector from an integer so
+// chaos runs are replayable without sharing an RNG across runs.
+func fixedVec(i int, dim int) []float32 {
+	v := make([]float32, dim)
+	for j := range v {
+		v[j] = float32((i*31+j*7)%17) / 8.5
+	}
+	return v
+}
+
+// TestWALPoisonedPermanently drives the fsyncgate and ENOSPC shapes:
+// the first WAL I/O failure must poison the writer for good — typed
+// error, no silent retry — while searches and checkpoints keep working.
+func TestWALPoisonedPermanently(t *testing.T) {
+	base := engineBytes(t, 300, 41)
+	cases := []struct {
+		name string
+		rule fsx.Rule
+		is   error // additionally expected in the chain
+	}{
+		{"fsync-fail-after", fsx.Rule{Op: fsx.OpSync, Nth: 4, After: true, Path: "wal"}, fsx.ErrInjected},
+		{"write-enospc", fsx.Rule{Op: fsx.OpWrite, Nth: 4, Err: syscall.ENOSPC, Path: "wal"}, syscall.ENOSPC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := fsx.NewFaulty(fsx.OS{}, 1, tc.rule)
+			d, err := Create(dir, loadEngineBytes(t, base), chaosOpts(fs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var failErr error
+			acked := 0
+			for i := 0; i < 12; i++ {
+				if err := d.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+					failErr = err
+					break
+				}
+				acked++
+			}
+			if failErr == nil {
+				t.Fatal("injected fault never surfaced")
+			}
+			if !errors.Is(failErr, ErrWALFailed) {
+				t.Fatalf("failure not typed ErrWALFailed: %v", failErr)
+			}
+			if !errors.Is(failErr, tc.is) {
+				t.Fatalf("cause %v missing from chain: %v", tc.is, failErr)
+			}
+			// Poisoned means poisoned: mutations and syncs fail with the
+			// typed error, and nothing retried the failed fsync behind our
+			// back (exactly one fault consumed).
+			if err := d.Upsert(fixedVec(99, 8), 999999); !errors.Is(err, ErrWALFailed) {
+				t.Fatalf("upsert after poison: %v", err)
+			}
+			if err := d.Delete(5); !errors.Is(err, ErrWALFailed) {
+				t.Fatalf("delete after poison: %v", err)
+			}
+			if err := d.Sync(); !errors.Is(err, ErrWALFailed) {
+				t.Fatalf("sync after poison: %v", err)
+			}
+			if fs.Injected() != 1 {
+				t.Fatalf("injected %d faults, want exactly 1 (no retries)", fs.Injected())
+			}
+			if d.Failed() == nil {
+				t.Fatal("Failed() nil on a poisoned store")
+			}
+			st := d.Stats()
+			if !st.WALFailed || st.WALFailures != 1 || st.WALFailReason == "" {
+				t.Fatalf("stats don't report the failure: %+v", st)
+			}
+			// Reads are unaffected...
+			if _, err := d.Engine().Search(fixedVec(1, 8), 5); err != nil {
+				t.Fatalf("search on poisoned store: %v", err)
+			}
+			// ...and checkpointing still works: it is the escape hatch that
+			// makes the in-memory state durable when the log's disk dies.
+			if err := d.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint on poisoned store: %v", err)
+			}
+			d.Close()
+
+			d2, err := Open(dir, chaosOpts(nil))
+			if err != nil {
+				t.Fatalf("reopen after poisoned run: %v", err)
+			}
+			defer d2.Close()
+			// Every acked record survived; the in-flight one may have too
+			// (durable in the WAL even though its ack never arrived).
+			if got := d2.Stats().LastSeq; got < uint64(acked) || got > uint64(acked)+1 {
+				t.Fatalf("recovered seq %d, want %d acked (+at most 1 in-flight)", got, acked)
+			}
+		})
+	}
+}
+
+// TestSnapshotQuarantineFallback corrupts the newest snapshot on disk
+// and expects Open to quarantine it (*.corrupt) and recover from the
+// previous generation plus a longer WAL replay, bit-for-bit.
+func TestSnapshotQuarantineFallback(t *testing.T) {
+	dir := t.TempDir()
+	base := engineBytes(t, 300, 43)
+	d, err := Create(dir, loadEngineBytes(t, base), chaosOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := d.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil { // generations: [seq 20, seq 0]
+		t.Fatal(err)
+	}
+	for i := 20; i < 25; i++ {
+		if err := d.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := make([][]float32, 8)
+	for i := range qs {
+		qs[i] = fixedVec(1000+i, 8)
+	}
+	want := queryResults(t, d.Engine(), qs, 10)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the newest snapshot.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.ann"))
+	sort.Strings(snaps)
+	newest := snaps[len(snaps)-1]
+	corruptByte(t, newest, 1000)
+
+	d2, err := Open(dir, chaosOpts(nil))
+	if err != nil {
+		t.Fatalf("open with corrupt newest snapshot should fall back: %v", err)
+	}
+	defer d2.Close()
+	st := d2.Stats()
+	if st.Quarantined != 1 || st.Fallbacks != 1 {
+		t.Fatalf("quarantined=%d fallbacks=%d, want 1/1", st.Quarantined, st.Fallbacks)
+	}
+	if st.Replayed != 25 {
+		t.Fatalf("replayed %d records from the fallback watermark, want 25", st.Replayed)
+	}
+	if _, err := os.Stat(newest + corruptSuffix); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(newest); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still in place: %v", err)
+	}
+	if got := queryResults(t, d2.Engine(), qs, 10); !sameResults(want, got) {
+		t.Fatal("fallback recovery diverged from pre-crash results")
+	}
+	// The store recovers its redundancy: the next checkpoint writes a
+	// fresh generation.
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllGenerationsCorruptFailsLoudly: with every snapshot generation
+// corrupt there is nothing safe to serve; Open must refuse.
+func TestAllGenerationsCorruptFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	base := engineBytes(t, 300, 47)
+	d, err := Create(dir, loadEngineBytes(t, base), chaosOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.ann"))
+	for _, s := range snaps {
+		corruptByte(t, s, 500)
+	}
+	_, err = Open(dir, chaosOpts(nil))
+	if err == nil {
+		t.Fatal("Open succeeded with every generation corrupt")
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want a *CorruptError in the chain, got %v", err)
+	}
+}
+
+// TestManifestCorruptionLoud: a manifest that fails its checksum (or is
+// not JSON at all) is unrecoverable metadata loss and must fail Open
+// with a typed error, never limp onward.
+func TestManifestCorruptionLoud(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		d, err := Create(dir, loadEngineBytes(t, engineBytes(t, 300, 53)), chaosOpts(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Upsert(fixedVec(1, 8), 100001); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		return dir
+	}
+	t.Run("crc-mismatch", func(t *testing.T) {
+		dir := build(t)
+		path := filepath.Join(dir, manifestName)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tweak a byte inside the payload, keeping the JSON valid: the
+		// envelope parses, the checksum does not.
+		mutated := bytes.Replace(b, []byte(`"watermark"`), []byte(`"waterMark"`), 1)
+		if bytes.Equal(mutated, b) {
+			t.Fatal("test setup: payload key not found")
+		}
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		assertCorruptOpen(t, dir, "CRC mismatch")
+	})
+	t.Run("not-json", func(t *testing.T) {
+		dir := build(t)
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("@@torn@@"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		assertCorruptOpen(t, dir, "not JSON")
+	})
+}
+
+func assertCorruptOpen(t *testing.T, dir, label string) {
+	t.Helper()
+	_, err := Open(dir, chaosOpts(nil))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("%s: want *CorruptError, got %v", label, err)
+	}
+	if ce.Path != filepath.Join(dir, manifestName) {
+		t.Fatalf("%s: error blames %s", label, ce.Path)
+	}
+}
+
+// TestOpenSweepsStaleTemps: *.tmp files from an interrupted atomic
+// rename must be removed on Open and counted.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, loadEngineBytes(t, engineBytes(t, 300, 59)), chaosOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	stale := []string{
+		filepath.Join(dir, manifestName+".tmp"),
+		filepath.Join(dir, "snap-00000000000000000099.ann.tmp"),
+	}
+	for _, p := range stale {
+		if err := os.WriteFile(p, []byte("interrupted"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2, err := Open(dir, chaosOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Stats().TmpSwept; got != 2 {
+		t.Fatalf("TmpSwept = %d, want 2", got)
+	}
+	for _, p := range stale {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("stale temp %s survived Open", p)
+		}
+	}
+}
+
+// TestMidWALCorruptionLoud distinguishes the two CRC-failure shapes:
+// bitrot in an acked record with valid records after it must refuse to
+// open (truncating there would silently drop the rest of the log),
+// while a genuinely torn tail — garbage suffix, nothing valid after —
+// is repaired by truncation as before.
+func TestMidWALCorruptionLoud(t *testing.T) {
+	build := func(t *testing.T) (string, string) {
+		dir := t.TempDir()
+		d, err := Create(dir, loadEngineBytes(t, engineBytes(t, 200, 61)), chaosOpts(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := d.Upsert(fixedVec(i, 8), int64(100_000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := listSegments(fsx.OS{}, filepath.Join(dir, "wal"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
+		}
+		return dir, segs[len(segs)-1].path
+	}
+
+	t.Run("bitrot-mid-log", func(t *testing.T) {
+		dir, seg := build(t)
+		// Flip a byte inside the first record's payload: nine acked
+		// records follow it.
+		corruptByte(t, seg, walHeaderLen+8+4)
+		_, err := Open(dir, chaosOpts(nil))
+		if err == nil {
+			t.Fatal("Open repaired mid-log bitrot by truncation, dropping acked records")
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Open error does not carry the CorruptError: %v", err)
+		}
+		if !strings.Contains(err.Error(), "refusing to repair") {
+			t.Fatalf("error does not explain the refusal: %v", err)
+		}
+	})
+
+	t.Run("torn-tail-still-repaired", func(t *testing.T) {
+		dir, seg := build(t)
+		// Tear the final record: chop the last 5 bytes off the segment.
+		st, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, st.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Open(dir, chaosOpts(nil))
+		if err != nil {
+			t.Fatalf("torn tail no longer repaired: %v", err)
+		}
+		defer d.Close()
+		// The torn record (the 10th upsert) is gone; the 9 before it
+		// replayed.
+		if got := d.Stats().Replayed; got != 9 {
+			t.Fatalf("replayed %d records after tail repair, want 9", got)
+		}
+	})
+}
+
+func corruptByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Crash-point harness -------------------------------------------------
+//
+// chaosRun replays one fixed workload against a store whose filesystem
+// dies at a scripted operation, then recovers with a clean FS and
+// checks exactness. The workload: open an existing store (4 records
+// deep), 6 upserts, 2 deletes, a checkpoint, 4 more upserts.
+//
+// Exactness contract: every acknowledged mutation survives recovery,
+// and at most the single unacknowledged in-flight mutation may
+// additionally survive (it can be durable in the WAL even though its
+// ack never arrived — the fsyncgate shape). Anything else — a lost ack,
+// a phantom record, a diverged graph — fails the test.
+
+type chaosOutcome struct {
+	openFailed bool
+	crashed    bool
+}
+
+func chaosRun(t *testing.T, base []byte, rule *fsx.Rule) chaosOutcome {
+	t.Helper()
+	dir := t.TempDir()
+
+	// Setup with a clean FS: Create + 4 acknowledged records, closed
+	// cleanly. preEng stays live as the oracle for the acked state.
+	preEng := loadEngineBytes(t, base)
+	d0, err := Create(dir, preEng, chaosOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := d0.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ackSeq := uint64(4)
+
+	// Chaos phase: the scripted fault fires somewhere in here.
+	var rules []fsx.Rule
+	if rule != nil {
+		rules = append(rules, *rule)
+	}
+	fs := fsx.NewFaulty(fsx.OS{}, 1, rules...)
+	out := chaosOutcome{}
+	d, err := Open(dir, chaosOpts(fs))
+	if err != nil {
+		out.openFailed, out.crashed = true, true
+	} else {
+		preEng = d.Engine()
+		step := func(fn func() error) bool {
+			if out.crashed {
+				return false
+			}
+			if err := fn(); err != nil {
+				out.crashed = true
+				return false
+			}
+			return true
+		}
+		mut := func(fn func() error) {
+			if step(fn) {
+				ackSeq++
+			}
+		}
+		for i := 4; i < 10; i++ {
+			i := i
+			mut(func() error { return d.Upsert(fixedVec(i, 8), int64(100000+i)) })
+		}
+		mut(func() error { return d.Delete(100001) })
+		mut(func() error { return d.Delete(7) })
+		step(d.Checkpoint)
+		for i := 10; i < 14; i++ {
+			i := i
+			mut(func() error { return d.Upsert(fixedVec(i, 8), int64(100000+i)) })
+		}
+		d.Close() // may error on a dead FS; the files are closed regardless
+	}
+
+	qs := make([][]float32, 6)
+	for i := range qs {
+		qs[i] = fixedVec(2000+i, 8)
+	}
+	want := queryResults(t, preEng, qs, 5)
+
+	// Recovery with a clean FS, as a restarted process would see it. The
+	// simulated crash left the directory in some prefix of the
+	// workload's I/O; recovery must always succeed from it.
+	d2, err := Open(dir, chaosOpts(nil))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer d2.Close()
+
+	// At most one unacknowledged record may have landed durably.
+	var extras []Record
+	err = ScanWAL(dir, func(r Record) error {
+		if r.Seq > ackSeq {
+			extras = append(extras, r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning recovered WAL: %v", err)
+	}
+	if len(extras) > 1 {
+		t.Fatalf("%d unacknowledged records survived, want at most the in-flight one", len(extras))
+	}
+	if got := d2.Stats().LastSeq; got != ackSeq+uint64(len(extras)) {
+		t.Fatalf("recovered seq %d, want %d acked + %d in-flight", got, ackSeq, len(extras))
+	}
+	got := queryResults(t, d2.Engine(), qs, 5)
+	if !sameResults(want, got) {
+		// Fold the in-flight record into the oracle; after that the match
+		// must be exact.
+		for _, r := range extras {
+			switch r.Type {
+			case RecordUpsert:
+				if err := preEng.AddAt(r.Part, r.Vec, r.ID, r.Level); err != nil {
+					t.Fatalf("applying in-flight record to oracle: %v", err)
+				}
+			case RecordDelete:
+				preEng.Delete(r.ID)
+			}
+		}
+		want = queryResults(t, preEng, qs, 5)
+		if !sameResults(want, got) {
+			t.Fatalf("recovered state diverges from acked state (+%d in-flight)", len(extras))
+		}
+	}
+	return out
+}
+
+// TestCrashPointHarness discovers every filesystem operation the chaos
+// workload issues, then re-runs it once per site with a simulated
+// process death there — crash-before for every op kind, crash-after
+// additionally for the completed-but-unacked sites (write, sync,
+// rename). Recovery after each death must be exact.
+func TestCrashPointHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep is slow; skipping under -short")
+	}
+	base := engineBytes(t, 300, 61)
+
+	// Discovery: fault-free run counts the ops.
+	counter := fsx.NewFaulty(fsx.OS{}, 1)
+	if out := chaosRun(t, base, nil); out.crashed || out.openFailed {
+		t.Fatal("discovery run crashed without any fault")
+	}
+	// Re-run under the counter to tally sites (chaosRun builds its own
+	// FS when given a rule; for counting we pass the ops through one).
+	discover := func() map[fsx.Op]int {
+		dir := t.TempDir()
+		preEng := loadEngineBytes(t, base)
+		d0, err := Create(dir, preEng, chaosOpts(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := d0.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d0.Close()
+		d, err := Open(dir, chaosOpts(counter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 4; i < 10; i++ {
+			if err := d.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Delete(100001); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Delete(7); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 10; i < 14; i++ {
+			if err := d.Upsert(fixedVec(i, 8), int64(100000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Close()
+		counts := map[fsx.Op]int{}
+		for op := fsx.OpOpen; op <= fsx.OpSyncDir; op++ {
+			counts[op] = counter.Count(op)
+		}
+		return counts
+	}
+	counts := discover()
+
+	afterOps := map[fsx.Op]bool{fsx.OpWrite: true, fsx.OpSync: true, fsx.OpRename: true}
+	sites, crashedSomewhere := 0, 0
+	var names []string
+	for op, n := range counts {
+		if n == 0 {
+			continue
+		}
+		names = append(names, fmt.Sprintf("%v×%d", op, n))
+		for nth := 1; nth <= n; nth++ {
+			variants := []bool{false}
+			if afterOps[op] {
+				variants = append(variants, true)
+			}
+			for _, after := range variants {
+				rule := fsx.Rule{Op: op, Nth: nth, After: after, Crash: true}
+				out := chaosRun(t, base, &rule)
+				sites++
+				if out.crashed {
+					crashedSomewhere++
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	t.Logf("crash sweep: %d sites over ops {%s}; %d observed the crash in-workload",
+		sites, strings.Join(names, " "), crashedSomewhere)
+	if sites < 30 {
+		t.Fatalf("only %d crash sites discovered; the workload should issue far more I/O", sites)
+	}
+	if crashedSomewhere == 0 {
+		t.Fatal("no run observed its injected crash")
+	}
+}

@@ -56,6 +56,12 @@ func (d *Durable) stopCompactor() {
 // pickPartition returns the partition with the worst tombstone/live
 // ratio past the threshold, or -1.
 func (d *Durable) pickPartition() int {
+	// A poisoned WAL means the storage stack is suspect; background
+	// rewrites of the manifest and snapshots would only churn a failing
+	// disk. Explicit CompactPartition calls still work.
+	if d.Failed() != nil {
+		return -1
+	}
 	dead := make(map[int64]struct{})
 	for _, id := range d.eng.TombstoneIDs() {
 		dead[id] = struct{}{}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bruteforce"
+	"repro/internal/fsx"
 	"repro/internal/metrics"
 	"repro/internal/vec"
 )
@@ -123,7 +124,7 @@ func TestCompactionRecallAndFootprint(t *testing.T) {
 	if st.Compactions != int64(passes) || st.Folded != int64(len(dead)) {
 		t.Errorf("stats compactions=%d folded=%d, want %d/%d", st.Compactions, st.Folded, passes, len(dead))
 	}
-	segs, _ := listSegments(filepath.Join(dir, "wal"))
+	segs, _ := listSegments(fsx.OS{}, filepath.Join(dir, "wal"))
 	if len(segs) != 1 {
 		t.Errorf("on disk: %d segments, want 1", len(segs))
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fsx"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
@@ -162,7 +163,7 @@ func TestCrashRecoveryTornTail(t *testing.T) {
 	}
 
 	// Tear the last record mid-frame.
-	segs, err := listSegments(filepath.Join(dir, "wal"))
+	segs, err := listSegments(fsx.OS{}, filepath.Join(dir, "wal"))
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("segments: %v %d", err, len(segs))
 	}
@@ -225,9 +226,17 @@ func TestRecoveryAfterCheckpoint(t *testing.T) {
 	if err := d.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	segsAfter, _ := listSegments(filepath.Join(dir, "wal"))
+	// Two-generation retention: the first checkpoint keeps the WAL back
+	// to the previous generation's watermark (the empty initial
+	// snapshot), so nothing is shed yet — that tail is what a corrupt-
+	// snapshot fallback would replay. A second checkpoint retires the
+	// initial generation and sheds the segments it was holding.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := listSegments(fsx.OS{}, filepath.Join(dir, "wal"))
 	if len(segsAfter) != 1 {
-		t.Errorf("checkpoint left %d WAL segments, want 1", len(segsAfter))
+		t.Errorf("second checkpoint left %d WAL segments, want 1", len(segsAfter))
 	}
 	for i := 0; i < 10; i++ {
 		if err := d.Upsert(randVec(rng, 8), int64(400000+i)); err != nil {

@@ -16,11 +16,15 @@ type Stats struct {
 	WALFsyncs    atomic.Int64 // fsync calls (group commit batches)
 	WALRotations atomic.Int64 // segment rotations
 	WALTruncated atomic.Int64 // segments deleted by checkpoint truncation
+	WALFailures  atomic.Int64 // I/O errors that poisoned the WAL writer
 	Replayed     atomic.Int64 // records replayed at the last Open
 	Snapshots    atomic.Int64 // checkpoints written
 	Compactions  atomic.Int64 // partition rebuilds swapped in
 	Folded       atomic.Int64 // tombstones folded out by compaction
 	CaughtUp     atomic.Int64 // sidelog inserts re-applied during swaps
+	TmpSwept     atomic.Int64 // stale *.tmp files removed at Open
+	Quarantined  atomic.Int64 // corrupt snapshots renamed *.corrupt at Open
+	Fallbacks    atomic.Int64 // Opens that recovered from a previous generation
 
 	fsyncUS metrics.Reservoir
 }
@@ -40,6 +44,16 @@ type Snapshot struct {
 	Folded       int64 `json:"folded_tombstones"`
 	CaughtUp     int64 `json:"sidelog_caught_up"`
 
+	// Storage-failure state: once WALFailed flips true the write path is
+	// permanently poisoned (restart to recover) and the gateway's
+	// circuit breaker rejects mutations.
+	WALFailed     bool   `json:"wal_failed"`
+	WALFailReason string `json:"wal_fail_reason,omitempty"`
+	WALFailures   int64  `json:"wal_failures"`
+	TmpSwept      int64  `json:"tmp_swept"`
+	Quarantined   int64  `json:"snapshots_quarantined"`
+	Fallbacks     int64  `json:"snapshot_fallbacks"`
+
 	LastSeq      uint64 `json:"last_seq"`     // newest appended record
 	Watermark    uint64 `json:"watermark"`    // covered by the newest snapshot
 	WALSegments  int    `json:"wal_segments"` // live segment files
@@ -58,11 +72,16 @@ type Snapshot struct {
 // state.
 func (d *Durable) Stats() Snapshot {
 	d.mu.Lock()
-	lastSeq, watermark := d.seq, d.snapSeq
+	lastSeq := d.seq
+	var watermark uint64
+	if len(d.gens) > 0 {
+		watermark = d.gens[0].Watermark
+	}
 	d.mu.Unlock()
 	disk, nseg := d.wal.diskBytes()
+	failed := d.Failed()
 	s := &d.stats
-	return Snapshot{
+	snap := Snapshot{
 		Upserts:      s.Upserts.Load(),
 		Deletes:      s.Deletes.Load(),
 		WALAppends:   s.WALAppends.Load(),
@@ -76,6 +95,12 @@ func (d *Durable) Stats() Snapshot {
 		Folded:       s.Folded.Load(),
 		CaughtUp:     s.CaughtUp.Load(),
 
+		WALFailed:   failed != nil,
+		WALFailures: s.WALFailures.Load(),
+		TmpSwept:    s.TmpSwept.Load(),
+		Quarantined: s.Quarantined.Load(),
+		Fallbacks:   s.Fallbacks.Load(),
+
 		LastSeq:      lastSeq,
 		Watermark:    watermark,
 		WALSegments:  nseg,
@@ -87,4 +112,8 @@ func (d *Durable) Stats() Snapshot {
 
 		FsyncUS: s.fsyncUS.Summarize(),
 	}
+	if failed != nil {
+		snap.WALFailReason = failed.Error()
+	}
+	return snap
 }

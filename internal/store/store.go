@@ -23,12 +23,33 @@
 // replay via Engine.AddAt rebuilds a structurally identical graph:
 // recovery restores the exact pre-crash search state, not merely an
 // equivalent dataset.
+//
+// The store assumes the disk FAILS. Every I/O operation goes through an
+// fsx.FS (fault-injectable in tests), and the failure semantics are
+// explicit:
+//
+//   - a failed WAL fsync permanently poisons the writer — all further
+//     writes return ErrWALFailed, never a silent retry (wal.go);
+//   - the manifest and snapshots are CRC32-C checksummed; a corrupt
+//     snapshot generation is quarantined (renamed *.corrupt) and
+//     recovery falls back to the previous generation plus a longer WAL
+//     replay — the store retains two snapshot generations and the WAL
+//     back to the older one's watermark for exactly this;
+//   - a corrupt manifest or mid-WAL corruption fails Open loudly with
+//     a typed *CorruptError: that is real data loss and must page an
+//     operator, not limp onward;
+//   - stale *.tmp files from interrupted atomic renames are swept on
+//     Open.
 package store
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsx"
 )
 
 var (
@@ -66,6 +88,9 @@ type Options struct {
 	CompactInterval time.Duration
 	// Threads is the rebuild parallelism (default GOMAXPROCS).
 	Threads int
+	// FS is the filesystem all store I/O goes through (default the
+	// real OS). Tests and chaos drills inject fsx.Faulty here.
+	FS fsx.FS
 	// Logf, when non-nil, receives recovery and compaction progress.
 	Logf func(format string, args ...any)
 }
@@ -89,38 +114,80 @@ func (o *Options) fill() {
 	if o.Threads <= 0 {
 		o.Threads = runtime.GOMAXPROCS(0)
 	}
+	if o.FS == nil {
+		o.FS = fsx.OS{}
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
 }
 
-// manifest is the store's root pointer: which snapshot is current and
-// the WAL sequence number it covers. Written atomically (tmp + rename +
-// dir fsync), so a crash mid-checkpoint leaves the previous manifest in
-// force and the previous snapshot intact.
-type manifest struct {
-	Snapshot  string `json:"snapshot"`  // snapshot file name within the store dir
-	Watermark uint64 `json:"watermark"` // last WAL seq folded into the snapshot
+// generation is one recoverable snapshot: the engine image plus the
+// dynamic state (tombstones, inserted counter) as of its watermark,
+// which Engine.Save does not capture and whose WAL records are
+// truncated once covered.
+type generation struct {
+	Snapshot  string `json:"snapshot"`         // snapshot file name within the store dir
+	Watermark uint64 `json:"watermark"`        // last WAL seq folded into the snapshot
+	CRC       uint32 `json:"crc32c,omitempty"` // CRC32-C of the snapshot file (0 = legacy, unverifiable)
+	Bytes     int64  `json:"bytes,omitempty"`  // snapshot file size
 
-	// Engine.Save captures the routing tree and graphs but not the
-	// dynamic update state, so the manifest carries it: IDs tombstoned
-	// as of the snapshot (their delete records are truncated with the
-	// WAL) and the engine's inserted counter.
 	Tombstones []int64 `json:"tombstones,omitempty"`
 	Inserted   int64   `json:"inserted,omitempty"`
 }
 
-const manifestName = "MANIFEST"
+// manifest is the store's root pointer. Generations are ordered newest
+// first; the store retains two (current + previous) so a corrupt
+// current snapshot can fall back to the previous one plus a longer WAL
+// replay. Written atomically (tmp + rename + dir fsync) inside a
+// checksummed envelope, so a crash mid-checkpoint leaves the previous
+// manifest in force and torn manifest writes are detected, not parsed.
+type manifest struct {
+	Generations []generation `json:"generations"`
+}
+
+// manifestEnvelope is the on-disk MANIFEST format: the manifest JSON as
+// an opaque payload plus its CRC32-C. Legacy stores (no envelope) are
+// still readable; they simply cannot be checksum-verified.
+type manifestEnvelope struct {
+	Payload json.RawMessage `json:"payload"`
+	CRC     uint32          `json:"crc32c"`
+}
+
+// legacyManifest is the pre-envelope single-generation MANIFEST shape.
+type legacyManifest struct {
+	Snapshot   string  `json:"snapshot"`
+	Watermark  uint64  `json:"watermark"`
+	Tombstones []int64 `json:"tombstones,omitempty"`
+	Inserted   int64   `json:"inserted,omitempty"`
+}
+
+const (
+	manifestName = "MANIFEST"
+	// corruptSuffix marks quarantined files: renamed aside so recovery
+	// stops tripping over them but an operator can still inspect.
+	corruptSuffix = ".corrupt"
+	// maxGenerations bounds how many snapshot generations the store
+	// retains (and how far back the WAL reaches).
+	maxGenerations = 2
+)
 
 func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%020d.ann", seq) }
 
-func writeManifest(dir string, m manifest) error {
-	b, err := json.Marshal(m)
+func writeManifest(fs fsx.FS, dir string, m manifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(manifestEnvelope{
+		Payload: payload,
+		CRC:     crc32.Checksum(payload, crcTable),
+	})
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -135,46 +202,134 @@ func writeManifest(dir string, m manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
-// readManifest loads the manifest; when it is missing but snapshots
-// exist (crash between snapshot rename and manifest write), the newest
-// snapshot wins.
-func readManifest(dir string) (manifest, error) {
-	b, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if err == nil {
-		var m manifest
-		if jerr := json.Unmarshal(b, &m); jerr != nil {
-			return manifest{}, fmt.Errorf("store: corrupt MANIFEST in %s: %w", dir, jerr)
+// readManifest loads and checksum-verifies the manifest. A corrupt
+// manifest is a typed *CorruptError — with both generations' metadata
+// gone there is nothing safe to fall back to, so this fails loudly
+// rather than guess. When the manifest is missing but snapshots exist
+// (crash between snapshot rename and the very first manifest write),
+// the newest snapshot wins, unverifiable.
+func readManifest(fs fsx.FS, dir string) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return manifest{}, err
 		}
-		return m, nil
+		snaps, gerr := fsx.Glob(fs, filepath.Join(dir, "snap-*.ann"))
+		if gerr != nil {
+			return manifest{}, gerr
+		}
+		if len(snaps) == 0 {
+			return manifest{}, ErrNoStore
+		}
+		sort.Strings(snaps)
+		newest := filepath.Base(snaps[len(snaps)-1])
+		var seq uint64
+		if _, err := fmt.Sscanf(newest, "snap-%020d.ann", &seq); err != nil {
+			return manifest{}, fmt.Errorf("store: unparseable snapshot name %q", newest)
+		}
+		return manifest{Generations: []generation{{Snapshot: newest, Watermark: seq}}}, nil
 	}
-	if !os.IsNotExist(err) {
-		return manifest{}, err
+	var env manifestEnvelope
+	if jerr := json.Unmarshal(b, &env); jerr != nil {
+		return manifest{}, &CorruptError{Path: path, Reason: "manifest is not JSON: " + jerr.Error()}
 	}
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.ann"))
-	if len(snaps) == 0 {
-		return manifest{}, ErrNoStore
+	if env.Payload == nil {
+		// Legacy plain-JSON manifest: single generation, no checksum.
+		var lm legacyManifest
+		if jerr := json.Unmarshal(b, &lm); jerr != nil || lm.Snapshot == "" {
+			return manifest{}, &CorruptError{Path: path, Reason: "manifest carries neither an envelope nor a legacy snapshot pointer"}
+		}
+		return manifest{Generations: []generation{{
+			Snapshot: lm.Snapshot, Watermark: lm.Watermark,
+			Tombstones: lm.Tombstones, Inserted: lm.Inserted,
+		}}}, nil
 	}
-	sort.Strings(snaps)
-	newest := filepath.Base(snaps[len(snaps)-1])
-	var seq uint64
-	if _, err := fmt.Sscanf(newest, "snap-%020d.ann", &seq); err != nil {
-		return manifest{}, fmt.Errorf("store: unparseable snapshot name %q", newest)
+	if got := crc32.Checksum(env.Payload, crcTable); got != env.CRC {
+		return manifest{}, &CorruptError{Path: path, Reason: "manifest CRC mismatch", WantCRC: env.CRC, GotCRC: got}
 	}
-	return manifest{Snapshot: newest, Watermark: seq}, nil
+	var m manifest
+	if jerr := json.Unmarshal(env.Payload, &m); jerr != nil {
+		return manifest{}, &CorruptError{Path: path, Reason: "manifest payload: " + jerr.Error()}
+	}
+	if len(m.Generations) == 0 {
+		return manifest{}, &CorruptError{Path: path, Reason: "manifest has no generations"}
+	}
+	return m, nil
 }
 
-// sideRec is an insert that raced a compaction of its home partition;
-// it is re-applied to the rebuilt graph before the swap.
-type sideRec struct {
-	v     []float32
-	id    int64
-	level int
+// GenerationInfo describes one retained snapshot generation, newest
+// first (tooling surface; annwal).
+type GenerationInfo struct {
+	Snapshot   string `json:"snapshot"`
+	Watermark  uint64 `json:"watermark"`
+	CRC        uint32 `json:"crc32c"`
+	Bytes      int64  `json:"bytes"`
+	Tombstones int    `json:"tombstones"`
+}
+
+// Manifest reads and checksum-verifies dir's manifest, returning the
+// retained generations. A corrupt manifest is a *CorruptError.
+func Manifest(dir string) ([]GenerationInfo, error) {
+	m, err := readManifest(fsx.OS{}, dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GenerationInfo, len(m.Generations))
+	for i, g := range m.Generations {
+		out[i] = GenerationInfo{
+			Snapshot: g.Snapshot, Watermark: g.Watermark,
+			CRC: g.CRC, Bytes: g.Bytes, Tombstones: len(g.Tombstones),
+		}
+	}
+	return out, nil
+}
+
+// sweepTemps removes stale *.tmp files a crashed atomic rename left in
+// the store directory, returning how many were removed.
+func sweepTemps(fs fsx.FS, dir string, logf func(string, ...any)) (int, error) {
+	stale, err := fsx.Glob(fs, filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range stale {
+		if err := fs.Remove(p); err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("store: sweeping stale temp %s: %w", p, err)
+		}
+		logf("store: swept stale temp file %s", filepath.Base(p))
+	}
+	return len(stale), nil
+}
+
+// loadGeneration reads, checksum-verifies, and decodes one snapshot
+// generation. A checksum mismatch or undecodable image is a
+// *CorruptError (wrapped), telling Open to quarantine and fall back.
+func loadGeneration(fs fsx.FS, dir string, g generation) (*core.Engine, error) {
+	path := filepath.Join(dir, g.Snapshot)
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot %s: %w", g.Snapshot, err)
+	}
+	if g.CRC != 0 {
+		if got := crc32.Checksum(b, crcTable); got != g.CRC {
+			return nil, &CorruptError{Path: path, Reason: "snapshot CRC mismatch", WantCRC: g.CRC, GotCRC: got}
+		}
+	}
+	e, err := core.LoadEngine(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot %s: %w", g.Snapshot, err)
+	}
+	// The snapshot file holds the graphs; the tombstone set and inserted
+	// counter as of the watermark ride in the manifest (their WAL
+	// records were truncated by the checkpoint that wrote them).
+	e.RestoreDynamic(g.Tombstones, g.Inserted)
+	return e, nil
 }
 
 // Durable wraps a core.Engine with write-ahead logging, snapshot
@@ -189,9 +344,9 @@ type Durable struct {
 	mu         sync.Mutex
 	eng        *core.Engine
 	wal        *wal
-	seq        uint64 // last sequence number appended
-	snapSeq    uint64 // watermark of the newest on-disk snapshot
-	compacting int    // partition being rebuilt, -1 when idle
+	seq        uint64       // last sequence number appended
+	gens       []generation // on-disk generations in force, newest first
+	compacting int          // partition being rebuilt, -1 when idle
 	sidelog    []sideRec
 	closed     bool
 
@@ -199,6 +354,14 @@ type Durable struct {
 
 	stopCompact chan struct{}
 	compactDone chan struct{}
+}
+
+// sideRec is an insert that raced a compaction of its home partition;
+// it is re-applied to the rebuilt graph before the swap.
+type sideRec struct {
+	v     []float32
+	id    int64
+	level int
 }
 
 // Create initialises dir as a durable store over a freshly built
@@ -209,10 +372,10 @@ func Create(dir string, e *core.Engine, opts Options) (*Durable, error) {
 	if e.LocalKind() != "hnsw" {
 		return nil, fmt.Errorf("store: engine local index %q does not support insertion (need hnsw)", e.LocalKind())
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	if _, err := readManifest(dir); err == nil {
+	if _, err := readManifest(opts.FS, dir); err == nil {
 		return nil, fmt.Errorf("store: %s already holds a store (use Open)", dir)
 	} else if err != ErrNoStore {
 		return nil, err
@@ -230,41 +393,66 @@ func Create(dir string, e *core.Engine, opts Options) (*Durable, error) {
 	return d, nil
 }
 
-// Open recovers a store: loads the manifest's snapshot, repairs a torn
-// WAL tail, replays records past the snapshot's watermark, and resumes.
-// The recovered engine answers searches exactly as the pre-crash one
-// did for every synced mutation.
+// Open recovers a store: loads the manifest's newest usable snapshot
+// generation (quarantining corrupt ones and falling back to the
+// previous), repairs a torn WAL tail, replays records past the loaded
+// generation's watermark, and resumes. The recovered engine answers
+// searches exactly as the pre-crash one did for every synced mutation;
+// unrecoverable corruption is a typed error, never a silent divergence.
 func Open(dir string, opts Options) (*Durable, error) {
 	opts.fill()
-	m, err := readManifest(dir)
+	fs := opts.FS
+	swept, err := sweepTemps(fs, dir, opts.Logf)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, m.Snapshot))
+	m, err := readManifest(fs, dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: manifest names snapshot %s: %w", m.Snapshot, err)
+		return nil, err
 	}
-	e, err := core.LoadEngine(f)
-	f.Close()
-	if err != nil {
-		return nil, fmt.Errorf("store: loading snapshot %s: %w", m.Snapshot, err)
+
+	// Walk the generations newest-first; quarantine what fails
+	// verification and fall back.
+	var (
+		e       *core.Engine
+		gen     generation
+		genErrs []error
+	)
+	for _, g := range m.Generations {
+		le, lerr := loadGeneration(fs, dir, g)
+		if lerr == nil {
+			e, gen = le, g
+			break
+		}
+		genErrs = append(genErrs, lerr)
+		opts.Logf("store: snapshot generation %s unusable (%v); quarantining and falling back", g.Snapshot, lerr)
+		bad := filepath.Join(dir, g.Snapshot)
+		if qerr := fs.Rename(bad, bad+corruptSuffix); qerr != nil && !os.IsNotExist(qerr) {
+			opts.Logf("store: quarantine of %s failed: %v", g.Snapshot, qerr)
+		}
 	}
-	// The snapshot file holds the graphs; the tombstone set and inserted
-	// counter as of the watermark ride in the manifest (their WAL
-	// records were truncated by the checkpoint that wrote it).
-	e.RestoreDynamic(m.Tombstones, m.Inserted)
-	d := &Durable{dir: dir, opts: opts, eng: e, compacting: -1, seq: m.Watermark, snapSeq: m.Watermark}
+	if e == nil {
+		return nil, fmt.Errorf("store: no usable snapshot generation in %s (all %d quarantined): %w",
+			dir, len(genErrs), errors.Join(genErrs...))
+	}
+
+	d := &Durable{dir: dir, opts: opts, eng: e, compacting: -1, seq: gen.Watermark, gens: []generation{gen}}
+	d.stats.TmpSwept.Store(int64(swept))
+	d.stats.Quarantined.Store(int64(len(genErrs)))
+	if len(genErrs) > 0 {
+		d.stats.Fallbacks.Store(1)
+	}
 
 	// Opening the WAL first repairs any torn tail, so replay below sees
 	// only whole records.
-	w, err := openWAL(filepath.Join(dir, "wal"), m.Watermark+1, opts, &d.stats, opts.Logf)
+	w, err := openWAL(filepath.Join(dir, "wal"), gen.Watermark+1, opts, &d.stats, opts.Logf)
 	if err != nil {
 		return nil, err
 	}
 	d.wal = w
 	replayed := 0
-	err = ScanWAL(dir, func(r Record) error {
-		if r.Seq <= m.Watermark {
+	err = scanWAL(fs, dir, func(r Record) error {
+		if r.Seq <= gen.Watermark {
 			return nil
 		}
 		if r.Seq != d.seq+1 {
@@ -290,7 +478,7 @@ func Open(dir string, opts Options) (*Durable, error) {
 	}
 	d.stats.Replayed.Store(int64(replayed))
 	opts.Logf("store: recovered %s: snapshot %s (watermark %d) + %d replayed WAL records",
-		dir, m.Snapshot, m.Watermark, replayed)
+		dir, gen.Snapshot, gen.Watermark, replayed)
 	d.startCompactor()
 	return d, nil
 }
@@ -320,8 +508,16 @@ func (d *Durable) Engine() *core.Engine { return d.eng }
 // Dir returns the store directory.
 func (d *Durable) Dir() string { return d.dir }
 
+// Failed returns the error that poisoned the write path, or nil while
+// it is healthy. Once non-nil it stays non-nil: recovery from a storage
+// failure requires a restart, which re-reads the log and trusts only
+// what is on disk. Searches are unaffected. The serving gateway's
+// circuit breaker keys off this.
+func (d *Durable) Failed() error { return d.wal.failure() }
+
 // Upsert durably inserts a vector: the mutation is logged (with its
-// routed partition and drawn HNSW level) before it is applied.
+// routed partition and drawn HNSW level) before it is applied. After a
+// storage failure every call returns ErrWALFailed.
 func (d *Durable) Upsert(v []float32, id int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -372,7 +568,9 @@ func (d *Durable) Sync() error { return d.wal.sync() }
 
 // Checkpoint writes a fresh snapshot at the current watermark and
 // truncates WAL segments it covers. Mutations block for the duration
-// (searches do not).
+// (searches do not). Checkpointing works even after the WAL has failed:
+// it is the escape hatch that preserves the in-memory state when the
+// log's disk dies.
 func (d *Durable) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -382,19 +580,43 @@ func (d *Durable) Checkpoint() error {
 	return d.checkpointLocked()
 }
 
+// crcCountWriter accumulates the CRC32-C and size of everything written
+// through it, so a snapshot's checksum is computed as it streams out.
+type crcCountWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcCountWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crcTable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
 // checkpointLocked writes snap-<seq>.ann atomically, repoints the
-// manifest, deletes superseded snapshots and WAL segments.
+// manifest at it (keeping the previous generation as the corruption
+// fallback), and deletes snapshots and WAL segments no retained
+// generation needs.
 func (d *Durable) checkpointLocked() error {
+	fs := d.opts.FS
 	seq := d.seq
 	name := snapshotName(seq)
 	tmp := filepath.Join(d.dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := d.eng.Save(f); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcCountWriter{w: bw}
+	if err := d.eng.Save(cw); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
@@ -404,39 +626,57 @@ func (d *Durable) checkpointLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
 		return err
 	}
-	if err := syncDir(d.dir); err != nil {
+	if err := fs.SyncDir(d.dir); err != nil {
 		return err
 	}
 	tombs := d.eng.TombstoneIDs()
 	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
-	if err := writeManifest(d.dir, manifest{
+	gens := append([]generation{{
 		Snapshot:   name,
 		Watermark:  seq,
+		CRC:        cw.crc,
+		Bytes:      cw.n,
 		Tombstones: tombs,
 		Inserted:   d.eng.Inserted(),
-	}); err != nil {
+	}}, d.gens...)
+	if len(gens) > maxGenerations {
+		gens = gens[:maxGenerations]
+	}
+	// Degenerate double-checkpoint at the same watermark: the new image
+	// replaced the old file of the same name, so retaining both entries
+	// would point twice at one file.
+	if len(gens) == 2 && gens[1].Snapshot == name {
+		gens = gens[:1]
+	}
+	if err := writeManifest(fs, d.dir, manifest{Generations: gens}); err != nil {
 		return err
 	}
-	// The manifest now points at the new snapshot; older snapshots and
-	// covered WAL segments are garbage.
-	if snaps, err := filepath.Glob(filepath.Join(d.dir, "snap-*.ann")); err == nil {
+	d.gens = gens
+	// The manifest now points at the new snapshot; snapshots outside the
+	// retained generations and WAL segments below the oldest retained
+	// watermark are garbage. (Quarantined *.corrupt files are kept for
+	// the operator.)
+	keep := make(map[string]bool, len(gens))
+	for _, g := range gens {
+		keep[g.Snapshot] = true
+	}
+	if snaps, err := fsx.Glob(fs, filepath.Join(d.dir, "snap-*.ann")); err == nil {
 		for _, s := range snaps {
-			if filepath.Base(s) != name {
-				os.Remove(s)
+			if !keep[filepath.Base(s)] {
+				fs.Remove(s)
 			}
 		}
 	}
 	if d.wal != nil {
-		if err := d.wal.truncateThrough(seq); err != nil {
+		if err := d.wal.truncateThrough(gens[len(gens)-1].Watermark); err != nil {
 			return err
 		}
 	}
-	d.snapSeq = seq
 	d.stats.Snapshots.Add(1)
-	d.opts.Logf("store: checkpoint %s (watermark %d)", name, seq)
+	d.opts.Logf("store: checkpoint %s (watermark %d, crc32c %08x, %d retained generations)", name, seq, cw.crc, len(gens))
 	return nil
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -12,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/fsx"
 )
 
 // Write-ahead log. Mutations are framed as CRC-guarded, length-prefixed
@@ -33,6 +36,17 @@ import (
 // last whole record, and resumes appending there; corruption anywhere
 // except the tail of the final segment is reported as *CorruptError and
 // refuses to open (that is real data loss, not a torn tail).
+//
+// Failed fsyncs POISON the log permanently. After a failed fsync the
+// page cache's relationship to the disk is unknown — dirty pages may
+// have been dropped — so retrying the fsync and reporting success would
+// acknowledge records that never reached stable storage (the
+// "fsyncgate" class of data loss). Every write after the first failure
+// returns ErrWALFailed; the only way back is a process restart, which
+// re-reads the log from disk and trusts only what is actually there.
+//
+// All I/O goes through an fsx.FS so the crash-point harness can fail
+// any single operation and kill the process there (see fsx.Faulty).
 
 const (
 	walMagic   = "ANNW"
@@ -40,13 +54,20 @@ const (
 	// walHeaderLen is magic + version.
 	walHeaderLen = 4 + 4
 	// maxRecordBytes bounds a record frame so a corrupt length field
-	// fails fast instead of driving a giant allocation.
-	maxRecordBytes = 1 << 30
+	// fails fast instead of driving a giant allocation. A record is
+	// ~29 bytes + 4 per dimension; 64 MiB allows ~16M dimensions.
+	maxRecordBytes = 64 << 20
 )
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on
 // amd64/arm64.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALFailed reports a write against a poisoned WAL: an earlier write
+// or fsync failed, so the log refuses all further appends rather than
+// risk acknowledging records whose durability is unknown. Check with
+// errors.Is; the wrapped cause describes the original failure.
+var ErrWALFailed = errors.New("store: WAL failed")
 
 // RecordType discriminates WAL records.
 type RecordType uint8
@@ -80,15 +101,23 @@ type Record struct {
 	Vec   []float32 // upsert only
 }
 
-// CorruptError reports a WAL frame that failed its length or CRC check.
+// CorruptError reports a WAL frame, snapshot, or manifest that failed
+// its length or checksum validation. WantCRC/GotCRC carry the stored
+// and computed CRC32-C when the failure is a checksum mismatch.
 type CorruptError struct {
-	Path   string
-	Offset int64
-	Reason string
+	Path    string
+	Offset  int64
+	Reason  string
+	WantCRC uint32 // checksum stored in the frame/manifest
+	GotCRC  uint32 // checksum computed over the bytes read
 }
 
 func (e *CorruptError) Error() string {
-	return fmt.Sprintf("store: corrupt WAL record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+	if e.WantCRC != e.GotCRC {
+		return fmt.Sprintf("store: corrupt record in %s at offset %d: %s (want crc32c %08x, got %08x)",
+			e.Path, e.Offset, e.Reason, e.WantCRC, e.GotCRC)
+	}
+	return fmt.Sprintf("store: corrupt record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
 }
 
 // encodeRecord frames r: u32 payload length, u32 CRC32-C of payload,
@@ -168,8 +197,8 @@ func parseSegmentName(name string) (uint64, bool) {
 }
 
 // listSegments returns the segments under walDir sorted by firstSeq.
-func listSegments(walDir string) ([]walSegment, error) {
-	ents, err := os.ReadDir(walDir)
+func listSegments(fs fsx.FS, walDir string) ([]walSegment, error) {
+	ents, err := fs.ReadDir(walDir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -186,17 +215,11 @@ func listSegments(walDir string) ([]walSegment, error) {
 	return segs, nil
 }
 
-// scanSegment streams the records of one segment file. It returns the
-// byte offset just past the last whole, CRC-clean record. A partial or
-// corrupt frame stops the scan with a *CorruptError at that offset; a
-// clean end-of-file returns nil.
-func scanSegment(path string, fn func(Record) error) (int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
+// scanRecords streams the CRC-clean records of one segment stream. It
+// returns the byte offset just past the last whole, valid record. A
+// partial or corrupt frame stops the scan with a *CorruptError at that
+// offset; a clean end-of-stream returns nil. path labels errors only.
+func scanRecords(br *bufio.Reader, path string, fn func(Record) error) (int64, error) {
 	hdr := make([]byte, walHeaderLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return 0, &CorruptError{Path: path, Offset: 0, Reason: "short segment header"}
@@ -225,8 +248,8 @@ func scanSegment(path string, fn func(Record) error) (int64, error) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return off, &CorruptError{Path: path, Offset: off, Reason: "torn payload"}
 		}
-		if crc32.Checksum(payload, crcTable) != crc {
-			return off, &CorruptError{Path: path, Offset: off, Reason: "CRC mismatch"}
+		if got := crc32.Checksum(payload, crcTable); got != crc {
+			return off, &CorruptError{Path: path, Offset: off, Reason: "CRC mismatch", WantCRC: crc, GotCRC: got}
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
@@ -241,17 +264,31 @@ func scanSegment(path string, fn func(Record) error) (int64, error) {
 	}
 }
 
+// scanSegment streams the records of one segment file (see scanRecords).
+func scanSegment(fs fsx.FS, path string, fn func(Record) error) (int64, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return scanRecords(bufio.NewReaderSize(f, 1<<20), path, fn)
+}
+
 // ScanWAL streams every record of every segment under dir (a store
 // directory) in sequence order. Corruption — including a torn tail —
 // stops the scan with a *CorruptError; annwal uses this for -verify and
 // -dump, the store itself repairs tails before replaying.
 func ScanWAL(dir string, fn func(Record) error) error {
-	segs, err := listSegments(filepath.Join(dir, "wal"))
+	return scanWAL(fsx.OS{}, dir, fn)
+}
+
+func scanWAL(fs fsx.FS, dir string, fn func(Record) error) error {
+	segs, err := listSegments(fs, filepath.Join(dir, "wal"))
 	if err != nil {
 		return err
 	}
 	for _, s := range segs {
-		if _, err := scanSegment(s.path, fn); err != nil {
+		if _, err := scanSegment(fs, s.path, fn); err != nil {
 			return err
 		}
 	}
@@ -260,6 +297,7 @@ func ScanWAL(dir string, fn func(Record) error) error {
 
 // wal is the append side of the log.
 type wal struct {
+	fs           fsx.FS
 	dir          string // <store>/wal
 	syncEvery    int
 	syncInterval time.Duration
@@ -267,13 +305,13 @@ type wal struct {
 	stats        *Stats
 
 	mu       sync.Mutex
-	f        *os.File
+	f        fsx.File
 	bw       *bufio.Writer
 	size     int64
 	segs     []walSegment // sorted; last is the active segment
 	unsynced int
 	dirty    bool
-	broken   error // a failed append poisons the log
+	broken   error // a failed write or fsync poisons the log
 	closed   bool
 
 	stopTick chan struct{}
@@ -284,14 +322,16 @@ type wal struct {
 // torn tail in the final segment by truncating it to the last whole
 // record. nextSeq names the first segment when none exist.
 func openWAL(dir string, nextSeq uint64, opts Options, stats *Stats, logf func(string, ...any)) (*wal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, err
 	}
 	w := &wal{
+		fs:           fs,
 		dir:          dir,
 		syncEvery:    opts.SyncEvery,
 		syncInterval: opts.SyncInterval,
@@ -304,18 +344,31 @@ func openWAL(dir string, nextSeq uint64, opts Options, stats *Stats, logf func(s
 			return nil, err
 		}
 	} else {
-		// Repair: truncate the last segment past its last whole record.
+		// Repair: truncate the last segment past its last whole record —
+		// but only if the corruption really is a torn tail. A crash tears
+		// appends, so garbage can only be a suffix; a valid record AFTER
+		// the corrupt frame means bitrot in acked data, and truncating
+		// there would silently drop every record that follows. That must
+		// fail loudly instead.
 		last := segs[len(segs)-1]
-		end, err := scanSegment(last.path, nil)
+		end, err := scanSegment(fs, last.path, nil)
 		if cerr, ok := err.(*CorruptError); ok {
+			torn, terr := tornTail(fs, last.path, end)
+			if terr != nil {
+				return nil, terr
+			}
+			if !torn {
+				return nil, fmt.Errorf("wal: %s has valid records after the corrupt frame at offset %d — mid-log corruption, refusing to repair by truncation (run annwal -verify): %w",
+					filepath.Base(last.path), end, cerr)
+			}
 			logf("wal: truncating torn tail of %s at offset %d (%s)", filepath.Base(last.path), end, cerr.Reason)
-			if terr := os.Truncate(last.path, end); terr != nil {
+			if terr := fs.Truncate(last.path, end); terr != nil {
 				return nil, terr
 			}
 		} else if err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
+		f, err := fs.OpenFile(last.path, os.O_WRONLY, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -335,11 +388,47 @@ func openWAL(dir string, nextSeq uint64, opts Options, stats *Stats, logf func(s
 	return w, nil
 }
 
+// tornTail reports whether the corruption at offset off in segment path
+// is consistent with a torn append: no whole, CRC-valid record anywhere
+// in the bytes past the corrupt frame. Sequential appends mean a crash
+// leaves garbage only as a suffix, so finding a valid record later in
+// the file proves mid-log bitrot instead.
+func tornTail(fs fsx.FS, path string, off int64) (bool, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, err
+	}
+	tail, err := io.ReadAll(f)
+	if err != nil {
+		return false, err
+	}
+	// Slide a candidate frame start past the corrupt one (a valid record
+	// cannot begin exactly where the scan already failed).
+	for i := 1; i+8 <= len(tail); i++ {
+		n := binary.LittleEndian.Uint32(tail[i:])
+		if n == 0 || n > maxRecordBytes || i+8+int(n) > len(tail) {
+			continue
+		}
+		payload := tail[i+8 : i+8+int(n)]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(tail[i+4:]) {
+			continue
+		}
+		if _, err := decodePayload(payload); err == nil {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // createSegment starts a fresh active segment (caller holds mu or is
 // the constructor).
 func (w *wal) createSegment(firstSeq uint64) error {
 	path := filepath.Join(w.dir, segmentName(firstSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -354,7 +443,7 @@ func (w *wal) createSegment(firstSeq uint64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := w.fs.SyncDir(w.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -365,6 +454,25 @@ func (w *wal) createSegment(firstSeq uint64) error {
 	return nil
 }
 
+// poisonLocked records the first failure and permanently disables the
+// log (caller holds mu). Returns the typed error writes will see.
+func (w *wal) poisonLocked(err error) error {
+	if w.broken == nil {
+		w.broken = err
+		if w.stats != nil {
+			w.stats.WALFailures.Add(1)
+		}
+	}
+	return fmt.Errorf("%w: %w", ErrWALFailed, w.broken)
+}
+
+// failure returns the poisoning error, or nil while the log is healthy.
+func (w *wal) failure() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
+
 // append logs one record under the group-commit policy. On return the
 // record is in the OS page cache at minimum; it is on stable storage if
 // the sync policy fired (SyncEvery<=1 forces that every time).
@@ -373,20 +481,18 @@ func (w *wal) append(r Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken != nil {
-		return fmt.Errorf("store: WAL unusable after earlier write error: %w", w.broken)
+		return fmt.Errorf("%w: %w", ErrWALFailed, w.broken)
 	}
 	if w.closed {
 		return errClosed
 	}
 	if w.size > walHeaderLen && w.size+int64(len(buf)) > w.segmentBytes {
 		if err := w.rotateLocked(r.Seq); err != nil {
-			w.broken = err
-			return err
+			return w.poisonLocked(err)
 		}
 	}
 	if _, err := w.bw.Write(buf); err != nil {
-		w.broken = err
-		return err
+		return w.poisonLocked(err)
 	}
 	w.size += int64(len(buf))
 	w.dirty = true
@@ -397,8 +503,7 @@ func (w *wal) append(r Record) error {
 	}
 	if w.syncEvery <= 1 || w.unsynced >= w.syncEvery {
 		if err := w.syncLocked(); err != nil {
-			w.broken = err
-			return err
+			return err // syncLocked already poisoned
 		}
 	}
 	return nil
@@ -419,16 +524,19 @@ func (w *wal) rotateLocked(nextSeq uint64) error {
 	return w.createSegment(nextSeq)
 }
 
+// syncLocked flushes and fsyncs the active segment. Failure poisons the
+// log: after a failed fsync the page cache may silently have dropped
+// the dirty data, so a "successful" retry would be a lie (fsyncgate).
 func (w *wal) syncLocked() error {
 	if !w.dirty {
 		return nil
 	}
 	if err := w.bw.Flush(); err != nil {
-		return err
+		return w.poisonLocked(err)
 	}
 	t0 := time.Now()
 	if err := w.f.Sync(); err != nil {
-		return err
+		return w.poisonLocked(err)
 	}
 	if w.stats != nil {
 		w.stats.WALFsyncs.Add(1)
@@ -446,6 +554,9 @@ func (w *wal) sync() error {
 	if w.closed {
 		return nil
 	}
+	if w.broken != nil {
+		return fmt.Errorf("%w: %w", ErrWALFailed, w.broken)
+	}
 	return w.syncLocked()
 }
 
@@ -462,9 +573,7 @@ func (w *wal) flushLoop() {
 		case <-t.C:
 			w.mu.Lock()
 			if !w.closed && w.broken == nil {
-				if err := w.syncLocked(); err != nil {
-					w.broken = err
-				}
+				w.syncLocked() // poisons on failure
 			}
 			w.mu.Unlock()
 		}
@@ -478,7 +587,7 @@ func (w *wal) truncateThrough(watermark uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for len(w.segs) >= 2 && w.segs[1].firstSeq <= watermark+1 {
-		if err := os.Remove(w.segs[0].path); err != nil && !os.IsNotExist(err) {
+		if err := w.fs.Remove(w.segs[0].path); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 		if w.stats != nil {
@@ -496,20 +605,26 @@ func (w *wal) diskBytes() (int64, int) {
 	w.mu.Unlock()
 	var total int64
 	for _, s := range segs {
-		if fi, err := os.Stat(s.path); err == nil {
+		if fi, err := w.fs.Stat(s.path); err == nil {
 			total += fi.Size()
 		}
 	}
 	return total, len(segs)
 }
 
+// close releases the log. A poisoned log is closed without a final
+// sync: retrying a failed fsync cannot make the data durable and must
+// not look like it did.
 func (w *wal) close() error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return nil
 	}
-	err := w.syncLocked()
+	var err error
+	if w.broken == nil {
+		err = w.syncLocked()
+	}
 	w.closed = true
 	cerr := w.f.Close()
 	w.mu.Unlock()
@@ -517,21 +632,6 @@ func (w *wal) close() error {
 		close(w.stopTick)
 		<-w.tickDone
 	}
-	if err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// syncDir fsyncs a directory so renames and creates within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	cerr := d.Close()
 	if err == nil {
 		err = cerr
 	}

@@ -3,6 +3,7 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"repro/internal/fsx"
 	"testing"
 	"time"
 )
@@ -83,7 +84,7 @@ func TestWALTornTailRepair(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(walDir)
+	segs, _ := listSegments(fsx.OS{}, walDir)
 	if len(segs) != 1 {
 		t.Fatalf("want 1 segment, got %d", len(segs))
 	}
@@ -129,7 +130,7 @@ func TestWALCRCCorruptionDetected(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(walDir)
+	segs, _ := listSegments(fsx.OS{}, walDir)
 	// Flip one payload byte in the middle of the file.
 	b, err := os.ReadFile(segs[0].path)
 	if err != nil {
@@ -160,7 +161,7 @@ func TestWALRotationAndTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendN(t, w, 1, 40, 8)
-	segs, _ := listSegments(walDir)
+	segs, _ := listSegments(fsx.OS{}, walDir)
 	if len(segs) < 3 {
 		t.Fatalf("want >=3 segments after rotation, got %d", len(segs))
 	}
@@ -178,7 +179,7 @@ func TestWALRotationAndTruncation(t *testing.T) {
 	if err := w.truncateThrough(mid); err != nil {
 		t.Fatal(err)
 	}
-	left, _ := listSegments(walDir)
+	left, _ := listSegments(fsx.OS{}, walDir)
 	if len(left) >= len(segs) {
 		t.Fatalf("truncation removed nothing: %d -> %d segments", len(segs), len(left))
 	}
@@ -196,7 +197,7 @@ func TestWALRotationAndTruncation(t *testing.T) {
 	if err := w.truncateThrough(1 << 60); err != nil {
 		t.Fatal(err)
 	}
-	left, _ = listSegments(walDir)
+	left, _ = listSegments(fsx.OS{}, walDir)
 	if len(left) != 1 {
 		t.Fatalf("want only the active segment, got %d", len(left))
 	}

@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build bin test tier1 tier1-race fast vet race bench fuzz-smoke clean
+.PHONY: all build bin test tier1 tier1-race tier1-cluster fast vet race bench fuzz-smoke clean
 
 all: build
 
@@ -41,6 +41,13 @@ tier1: build vet race
 # swaps). Much faster than the full race suite; CI runs both.
 tier1-race:
 	$(GO) test -race -count=1 -timeout 900s ./internal/store/... ./internal/serve/... ./internal/core/...
+
+# End-to-end multi-node serving gate: gateway + worker shards over real
+# loopback TCP (internal/serve/clustertest) plus the shard RPC layer,
+# under the race detector. Kill-a-shard-mid-query, replica takeover,
+# golden recall equivalence, and cache invalidation all run here.
+tier1-cluster:
+	$(GO) test -race -count=1 -timeout 300s ./internal/serve/clustertest/... ./internal/cluster/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -10,6 +10,14 @@
 // regression tracking (recall, QPS, latency percentiles):
 //
 //	annbench -json BENCH_results.json
+//
+// With -shards N it additionally runs the same workload through a
+// sharded deployment (N worker engines behind real loopback TCP, merged
+// by the gateway's scatter-gather router) and the JSON becomes
+// {"single": {...}, "sharded": {...}} so both paths are tracked side by
+// side:
+//
+//	annbench -json BENCH_results.json -shards 3
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		jsonOut = flag.String("json", "", "run the serving benchmark and write its results (recall, QPS, p50/p99) to this file as JSON")
+		shards  = flag.Int("shards", 0, "with -json: also benchmark a sharded deployment over this many TCP worker shards")
 	)
 	flag.Parse()
 
@@ -56,7 +65,15 @@ func main() {
 		if err != nil {
 			log.Fatalf("serving bench: %v", err)
 		}
-		b, err := json.MarshalIndent(res, "", "  ")
+		var doc any = res
+		if *shards > 0 {
+			sharded, err := exp.ServingBenchSharded(opts, *shards)
+			if err != nil {
+				log.Fatalf("sharded serving bench: %v", err)
+			}
+			doc = map[string]*exp.ServingResult{"single": res, "sharded": sharded}
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

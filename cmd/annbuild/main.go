@@ -2,6 +2,14 @@
 // single-node form) from an fvecs file and saves it:
 //
 //	annbuild -data sift.fvecs -partitions 16 -m 16 -out sift.ann
+//
+// -skip/-limit carve one shard out of a larger corpus while keeping
+// global IDs (row i of the file keeps ID i), so per-shard indexes for a
+// sharded deployment (annworker -serve + annserve -shards) merge
+// correctly at the gateway:
+//
+//	annbuild -data sift.fvecs -skip 0      -limit 500000 -out shard0.ann
+//	annbuild -data sift.fvecs -skip 500000 -limit 500000 -out shard1.ann
 package main
 
 import (
@@ -23,6 +31,7 @@ func main() {
 	var (
 		data   = flag.String("data", "", "input fvecs file (required)")
 		limit  = flag.Int("limit", 0, "load at most this many points (0 = all)")
+		skip   = flag.Int("skip", 0, "skip this many leading points; loaded rows keep their global IDs (sharded builds)")
 		parts  = flag.Int("partitions", 16, "number of VP-tree partitions")
 		m      = flag.Int("m", 16, "HNSW M parameter")
 		efc    = flag.Int("efc", 200, "HNSW efConstruction")
@@ -35,11 +44,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ds, err := dataset.LoadFvecsFile(*data, *limit)
+	loadN := *limit
+	if *skip > 0 && loadN > 0 {
+		loadN += *skip
+	}
+	ds, err := dataset.LoadFvecsFile(*data, loadN)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded %d x %d from %s\n", ds.Len(), ds.Dim, *data)
+	if *skip > 0 {
+		if *skip >= ds.Len() {
+			log.Fatalf("-skip %d leaves no points (file has %d)", *skip, ds.Len())
+		}
+		// Slice keeps the parallel ID slice, so row i of the file stays
+		// ID i in the shard index — the invariant gateway merging needs.
+		ds = ds.Slice(*skip, ds.Len())
+	}
+	fmt.Printf("loaded %d x %d from %s (skip %d)\n", ds.Len(), ds.Dim, *data, *skip)
 
 	cfg := core.DefaultConfig(*parts)
 	cfg.NProbe = *nprobe

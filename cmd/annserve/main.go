@@ -20,6 +20,17 @@
 //	annserve -cluster host0:7000,host1:7000,host2:7000 \
 //	         -data sift.fvecs -addr :8080
 //
+// Sharded (stateless router over annworker -serve shards; groups are
+// ';'-separated, replicas within a group ','-separated):
+//
+//	annserve -shards host1:7100,host1b:7100;host2:7100;host3:7100 \
+//	         -addr :8080
+//
+// The router scatter-gathers every query batch over one replica per
+// shard, hedges slow shards, fails over inside each replica group, and
+// answers with partial Degraded results (failed_partitions in the JSON
+// body, counters on /varz) when a whole group is down.
+//
 // Endpoints:
 //
 //	POST /v1/search   {"query":[...]} or {"queries":[[...],...]},
@@ -74,6 +85,12 @@ func main() {
 		chaosSpec    = flag.String("chaos", "", "DRILLS ONLY: inject storage faults, comma-separated op:kind[@nth][~rate][/pathsub] clauses (e.g. 'sync:fail-after@100/wal', 'write:enospc~0.001'); see internal/fsx")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "deterministic seed for -chaos rate-based rules")
 
+		shardSpec    = flag.String("shards", "", "shard map for router mode: groups ';'-separated, replica addresses ','-separated (e.g. 'h1:7100,h1b:7100;h2:7100')")
+		hedge        = flag.Duration("hedge", 50*time.Millisecond, "hedge a shard to its next replica after this long (router mode; negative disables)")
+		shardDial    = flag.Duration("shard-dial", 5*time.Second, "shard connect+handshake timeout (router mode)")
+		shardSearch  = flag.Duration("shard-timeout", 10*time.Second, "scatter deadline when a request has no timeout_ms (router mode)")
+		probeCooloff = flag.Duration("probe-cooloff", 500*time.Millisecond, "leave a down replica unprobed this long (router mode)")
+
 		clusterAddrs = flag.String("cluster", "", "comma-separated rank addresses for distributed mode; this process is rank 0")
 		data         = flag.String("data", "", "dataset fvecs file (distributed mode, unless -resume)")
 		resume       = flag.String("resume", "", "serve a checkpoint directory instead of building (distributed mode)")
@@ -99,8 +116,15 @@ func main() {
 
 	single := *index != "" || *walDir != ""
 	distributed := *clusterAddrs != ""
-	if single == distributed {
-		log.Print("exactly one of -index/-wal or -cluster is required")
+	sharded := *shardSpec != ""
+	modes := 0
+	for _, on := range []bool{single, distributed, sharded} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Print("exactly one of -index/-wal, -cluster, or -shards is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -185,6 +209,30 @@ func main() {
 			if err := d.Close(); err != nil {
 				log.Printf("store close: %v", err)
 			}
+		}
+		return
+	}
+
+	if sharded {
+		// Router mode: stateless scatter-gather gateway over annworker
+		// -serve shards. No data is loaded here; the shards hold it.
+		m, err := serve.ParseShardMap(*shardSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		router, err := serve.NewRouter(m, serve.RouterConfig{
+			DialTimeout:   *shardDial,
+			SearchTimeout: *shardSearch,
+			HedgeDelay:    *hedge,
+			ProbeCooloff:  *probeCooloff,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer router.Close()
+		log.Printf("routing %d shards, dim %d", router.Shards(), router.Dim())
+		if err := serveHTTP(*addr, router, srvCfg, *drainFor); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}

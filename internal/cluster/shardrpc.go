@@ -1,0 +1,614 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Shard RPC: the gateway-to-worker search protocol.
+//
+// The master/worker protocol above (Comm, tagQuery/tagResult) is a
+// rank-addressed collective world: every process knows every address and
+// joins one fixed communicator. The serving tier needs something
+// different — a stateless router opening point-to-point connections to
+// whichever shard workers its shard map names, with request/response
+// semantics, per-request deadlines, and fast failure detection. This
+// file is that protocol: a single TCP connection per (gateway, worker)
+// pair carrying multiplexed search requests, with the same
+// heartbeat-staleness liveness rule the rank transport uses (PR 1), so
+// a silent worker is declared down instead of hanging the scatter.
+//
+// Wire format, little-endian. Connection setup:
+//
+//	client -> server: "ANNS" | u16 version
+//	server -> client: "ANNR" | u16 version | u32 shard | u32 dim | u64 points
+//
+// then length-prefixed frames in both directions:
+//
+//	u8 type | u64 reqID | u32 payloadLen | payload
+//
+// Frame types: search request (k + query block), result (per-query
+// id/dist rows), error (utf-8 message), ping/pong (liveness probes,
+// reqID 0, never surfaced to callers).
+
+const (
+	shardMagicReq  = "ANNS"
+	shardMagicResp = "ANNR"
+	shardVersion   = 1
+
+	frameSearch  = 1 // client -> server: u32 k | u32 nq | nq*dim f32
+	frameResults = 2 // server -> client: u32 nq | nq * (u32 n | n*(u64 id, f32 dist))
+	frameError   = 3 // server -> client: utf-8 message
+	framePing    = 4 // client -> server: empty
+	framePong    = 5 // server -> client: empty
+
+	// maxShardFrame bounds one frame payload; anything larger means the
+	// stream is corrupt (same bound as the rank transport).
+	maxShardFrame = 1 << 30
+)
+
+// ErrShardDown reports that the shard connection died (EOF, write error,
+// or heartbeat staleness) while requests were outstanding.
+var ErrShardDown = errors.New("cluster: shard connection down")
+
+// ShardInfo is what a worker announces in its handshake: which shard of
+// the map it serves and the index behind it.
+type ShardInfo struct {
+	Shard  int
+	Dim    int
+	Points int64
+}
+
+// ShardHandler answers one search request. It is called from a
+// per-request goroutine (concurrent across requests and connections) and
+// must honor ctx, which is canceled when the requesting connection dies.
+type ShardHandler func(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error)
+
+// ShardServer serves shard searches on a listener. One server typically
+// fronts one engine; several servers may share an engine to act as
+// replicas of the same shard.
+type ShardServer struct {
+	ln      net.Listener
+	info    ShardInfo
+	handler ShardHandler
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	done    chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewShardServer starts serving immediately and returns. Close stops the
+// listener and every open connection.
+func NewShardServer(ln net.Listener, info ShardInfo, h ShardHandler) *ShardServer {
+	s := &ShardServer{
+		ln:      ln,
+		info:    info,
+		handler: h,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address (useful with ":0" ports).
+func (s *ShardServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, drops every connection, and waits for the
+// per-connection goroutines to exit. Safe to call more than once.
+func (s *ShardServer) Close() error {
+	var err error
+	s.closeMu.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return err
+}
+
+func (s *ShardServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // Close, or a listener error we cannot recover from
+		}
+		if t, ok := c.(*net.TCPConn); ok {
+			t.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			c.Close()
+			return
+		default:
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *ShardServer) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *ShardServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(c)
+
+	// Handshake: validate the client hello, announce the shard.
+	hello := make([]byte, 6)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, hello); err != nil {
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if string(hello[:4]) != shardMagicReq || binary.LittleEndian.Uint16(hello[4:]) != shardVersion {
+		return
+	}
+	resp := make([]byte, 6+16)
+	copy(resp, shardMagicResp)
+	binary.LittleEndian.PutUint16(resp[4:], shardVersion)
+	binary.LittleEndian.PutUint32(resp[6:], uint32(s.info.Shard))
+	binary.LittleEndian.PutUint32(resp[10:], uint32(s.info.Dim))
+	binary.LittleEndian.PutUint64(resp[14:], uint64(s.info.Points))
+	if _, err := c.Write(resp); err != nil {
+		return
+	}
+
+	// ctx scopes every in-flight handler to the connection: when the
+	// gateway goes away (or Close fires), handlers may stop early.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wmu sync.Mutex // serializes response frames from request goroutines
+
+	for {
+		typ, reqID, payload, err := readShardFrame(c)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case framePing:
+			wmu.Lock()
+			err := writeShardFrame(c, framePong, reqID, nil)
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+		case frameSearch:
+			queries, k, derr := decodeShardSearch(payload, s.info.Dim)
+			if derr != nil {
+				wmu.Lock()
+				writeShardFrame(c, frameError, reqID, []byte(derr.Error()))
+				wmu.Unlock()
+				continue
+			}
+			s.wg.Add(1)
+			go func(reqID uint64, queries *vec.Dataset, k int) {
+				defer s.wg.Done()
+				res, herr := s.handler(ctx, queries, k)
+				wmu.Lock()
+				defer wmu.Unlock()
+				if herr != nil {
+					writeShardFrame(c, frameError, reqID, []byte(herr.Error()))
+					return
+				}
+				writeShardFrame(c, frameResults, reqID, encodeShardResults(res))
+			}(reqID, queries, k)
+		default:
+			// Unknown frame type: protocol skew; drop the connection.
+			return
+		}
+	}
+}
+
+func readShardFrame(c net.Conn) (typ byte, reqID uint64, payload []byte, err error) {
+	hdr := make([]byte, 13)
+	if _, err = io.ReadFull(c, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	typ = hdr[0]
+	reqID = binary.LittleEndian.Uint64(hdr[1:9])
+	ln := binary.LittleEndian.Uint32(hdr[9:13])
+	if ln > maxShardFrame {
+		return 0, 0, nil, fmt.Errorf("cluster: implausible shard frame length %d", ln)
+	}
+	if ln > 0 {
+		payload = make([]byte, ln)
+		if _, err = io.ReadFull(c, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return typ, reqID, payload, nil
+}
+
+func writeShardFrame(c net.Conn, typ byte, reqID uint64, payload []byte) error {
+	buf := make([]byte, 13+len(payload))
+	buf[0] = typ
+	binary.LittleEndian.PutUint64(buf[1:9], reqID)
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(payload)))
+	copy(buf[13:], payload)
+	_, err := c.Write(buf)
+	return err
+}
+
+func encodeShardSearch(queries *vec.Dataset, k int) []byte {
+	nq := queries.Len()
+	dim := queries.Dim
+	buf := make([]byte, 8+4*nq*dim)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(k))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(nq))
+	off := 8
+	for i := 0; i < nq; i++ {
+		for _, x := range queries.At(i) {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(x))
+			off += 4
+		}
+	}
+	return buf
+}
+
+func decodeShardSearch(b []byte, dim int) (*vec.Dataset, int, error) {
+	if len(b) < 8 {
+		return nil, 0, fmt.Errorf("cluster: short shard search frame (%d bytes)", len(b))
+	}
+	k := int(binary.LittleEndian.Uint32(b[0:]))
+	nq := int(binary.LittleEndian.Uint32(b[4:]))
+	if k <= 0 || nq < 0 || len(b) != 8+4*nq*dim {
+		return nil, 0, fmt.Errorf("cluster: malformed shard search frame (k=%d nq=%d len=%d dim=%d)", k, nq, len(b), dim)
+	}
+	ds := vec.NewDataset(dim, nq)
+	row := make([]float32, dim)
+	off := 8
+	for i := 0; i < nq; i++ {
+		for j := 0; j < dim; j++ {
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+		}
+		ds.Append(row, int64(i))
+	}
+	return ds, k, nil
+}
+
+func encodeShardResults(res [][]topk.Result) []byte {
+	size := 4
+	for _, row := range res {
+		size += 4 + 12*len(row)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(res)))
+	off := 4
+	for _, row := range res {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(row)))
+		off += 4
+		for _, r := range row {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(r.ID))
+			binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(r.Dist))
+			off += 12
+		}
+	}
+	return buf
+}
+
+func decodeShardResults(b []byte) ([][]topk.Result, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("cluster: short shard result frame (%d bytes)", len(b))
+	}
+	nq := int(binary.LittleEndian.Uint32(b[0:]))
+	if nq < 0 || nq > maxShardFrame/4 {
+		return nil, fmt.Errorf("cluster: malformed shard result frame (nq=%d)", nq)
+	}
+	out := make([][]topk.Result, nq)
+	off := 4
+	for i := 0; i < nq; i++ {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("cluster: truncated shard result frame (query %d)", i)
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if n < 0 || off+12*n > len(b) {
+			return nil, fmt.Errorf("cluster: truncated shard result frame (query %d, n=%d)", i, n)
+		}
+		row := make([]topk.Result, n)
+		for j := 0; j < n; j++ {
+			row[j] = topk.Result{
+				ID:   int64(binary.LittleEndian.Uint64(b[off:])),
+				Dist: math.Float32frombits(binary.LittleEndian.Uint32(b[off+8:])),
+			}
+			off += 12
+		}
+		out[i] = row
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("cluster: trailing bytes in shard result frame")
+	}
+	return out, nil
+}
+
+// ShardClientOptions tune a gateway-side shard connection.
+type ShardClientOptions struct {
+	// DialTimeout bounds connect + handshake. Default 5s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is the ping period. 0 means the 1s default; a
+	// negative value disables pings (liveness then relies on read-loop
+	// EOF only).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares the worker dead when nothing (pong or
+	// result) has been read for this long. 0 means the 10s default.
+	HeartbeatTimeout time.Duration
+}
+
+func (o ShardClientOptions) withDefaults() ShardClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// ShardClient is one gateway-side connection to a shard worker. Search
+// calls multiplex over it concurrently; the read loop routes responses
+// back by request ID. Once the connection dies the client is dead for
+// good (every call returns ErrShardDown) — the router layer decides
+// when to dial a replacement.
+type ShardClient struct {
+	c    net.Conn
+	info ShardInfo
+	opts ShardClientOptions
+
+	wmu sync.Mutex // frame writes
+
+	mu       sync.Mutex
+	pending  map[uint64]chan shardReply
+	nextID   uint64
+	down     bool
+	downC    chan struct{} // closed when the connection dies
+	lastSeen time.Time
+
+	done    chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type shardReply struct {
+	res [][]topk.Result
+	err error
+}
+
+// DialShard connects and handshakes with default options.
+func DialShard(addr string) (*ShardClient, error) {
+	return DialShardOpts(addr, ShardClientOptions{})
+}
+
+// DialShardOpts connects, handshakes, and starts the read and heartbeat
+// loops.
+func DialShardOpts(addr string, opts ShardClientOptions) (*ShardClient, error) {
+	opts = opts.withDefaults()
+	raw, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := raw.(*net.TCPConn); ok {
+		t.SetNoDelay(true)
+	}
+	hello := make([]byte, 6)
+	copy(hello, shardMagicReq)
+	binary.LittleEndian.PutUint16(hello[4:], shardVersion)
+	raw.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if _, err := raw.Write(hello); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("cluster: shard handshake write to %s: %w", addr, err)
+	}
+	resp := make([]byte, 6+16)
+	if _, err := io.ReadFull(raw, resp); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("cluster: shard handshake read from %s: %w", addr, err)
+	}
+	raw.SetDeadline(time.Time{})
+	if string(resp[:4]) != shardMagicResp {
+		raw.Close()
+		return nil, fmt.Errorf("cluster: %s is not a shard worker (bad magic %q)", addr, resp[:4])
+	}
+	if v := binary.LittleEndian.Uint16(resp[4:]); v != shardVersion {
+		raw.Close()
+		return nil, fmt.Errorf("cluster: shard %s speaks protocol v%d, want v%d", addr, v, shardVersion)
+	}
+	cl := &ShardClient{
+		c: raw,
+		info: ShardInfo{
+			Shard:  int(binary.LittleEndian.Uint32(resp[6:])),
+			Dim:    int(binary.LittleEndian.Uint32(resp[10:])),
+			Points: int64(binary.LittleEndian.Uint64(resp[14:])),
+		},
+		opts:     opts,
+		pending:  make(map[uint64]chan shardReply),
+		lastSeen: time.Now(),
+		downC:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	cl.wg.Add(1)
+	go cl.readLoop()
+	if opts.HeartbeatInterval > 0 {
+		cl.wg.Add(1)
+		go cl.heartbeatLoop()
+	}
+	return cl, nil
+}
+
+// Info returns the worker's handshake announcement.
+func (cl *ShardClient) Info() ShardInfo { return cl.info }
+
+// Down reports whether the connection has died.
+func (cl *ShardClient) Down() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.down
+}
+
+// DownChan is closed when the connection dies (EOF, write error, or
+// heartbeat staleness) — the router watches it to react to worker death
+// between queries, not just on the next search.
+func (cl *ShardClient) DownChan() <-chan struct{} { return cl.downC }
+
+// markDown fails every pending request with ErrShardDown, exactly once.
+func (cl *ShardClient) markDown() {
+	cl.mu.Lock()
+	if cl.down {
+		cl.mu.Unlock()
+		return
+	}
+	cl.down = true
+	close(cl.downC)
+	pend := cl.pending
+	cl.pending = make(map[uint64]chan shardReply)
+	cl.mu.Unlock()
+	cl.c.Close()
+	for _, ch := range pend {
+		ch <- shardReply{err: ErrShardDown}
+	}
+}
+
+func (cl *ShardClient) readLoop() {
+	defer cl.wg.Done()
+	for {
+		typ, reqID, payload, err := readShardFrame(cl.c)
+		if err != nil {
+			cl.markDown()
+			return
+		}
+		cl.mu.Lock()
+		cl.lastSeen = time.Now()
+		cl.mu.Unlock()
+		switch typ {
+		case framePong:
+			// liveness only
+		case frameResults, frameError:
+			cl.mu.Lock()
+			ch, ok := cl.pending[reqID]
+			delete(cl.pending, reqID)
+			cl.mu.Unlock()
+			if !ok {
+				continue // caller gave up (deadline) before the answer came
+			}
+			if typ == frameError {
+				ch <- shardReply{err: fmt.Errorf("cluster: shard %d: %s", cl.info.Shard, payload)}
+				continue
+			}
+			res, derr := decodeShardResults(payload)
+			if derr != nil {
+				ch <- shardReply{err: derr}
+				continue
+			}
+			ch <- shardReply{res: res}
+		default:
+			cl.markDown()
+			return
+		}
+	}
+}
+
+func (cl *ShardClient) heartbeatLoop() {
+	defer cl.wg.Done()
+	tick := time.NewTicker(cl.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-cl.done:
+			return
+		case now := <-tick.C:
+			cl.mu.Lock()
+			stale := now.Sub(cl.lastSeen) > cl.opts.HeartbeatTimeout
+			cl.mu.Unlock()
+			if stale {
+				cl.markDown()
+				return
+			}
+			cl.wmu.Lock()
+			cl.c.SetWriteDeadline(now.Add(cl.opts.HeartbeatTimeout))
+			err := writeShardFrame(cl.c, framePing, 0, nil)
+			cl.c.SetWriteDeadline(time.Time{})
+			cl.wmu.Unlock()
+			if err != nil {
+				cl.markDown()
+				return
+			}
+		}
+	}
+}
+
+// Search sends one batch and waits for the shard's answer, ctx expiry,
+// or connection death, whichever is first. Row IDs are the worker's
+// global vector IDs; rows align with queries.
+func (cl *ShardClient) Search(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+	if queries.Dim != cl.info.Dim {
+		return nil, fmt.Errorf("cluster: query dim %d, shard %d dim %d", queries.Dim, cl.info.Shard, cl.info.Dim)
+	}
+	ch := make(chan shardReply, 1)
+	cl.mu.Lock()
+	if cl.down {
+		cl.mu.Unlock()
+		return nil, ErrShardDown
+	}
+	cl.nextID++
+	id := cl.nextID
+	cl.pending[id] = ch
+	cl.mu.Unlock()
+
+	cl.wmu.Lock()
+	err := writeShardFrame(cl.c, frameSearch, id, encodeShardSearch(queries, k))
+	cl.wmu.Unlock()
+	if err != nil {
+		cl.mu.Lock()
+		delete(cl.pending, id)
+		cl.mu.Unlock()
+		cl.markDown()
+		return nil, ErrShardDown
+	}
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-ctx.Done():
+		cl.mu.Lock()
+		delete(cl.pending, id)
+		cl.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the connection down; pending requests fail with
+// ErrShardDown.
+func (cl *ShardClient) Close() error {
+	cl.closeMu.Do(func() { close(cl.done) })
+	cl.markDown()
+	cl.wg.Wait()
+	return nil
+}

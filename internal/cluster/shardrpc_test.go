@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// echoHandler answers each query with one result: (query index offset by
+// base, first coordinate as distance). Distinctive enough to verify
+// alignment and float fidelity across the wire.
+func echoHandler(base int64) ShardHandler {
+	return func(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+		out := make([][]topk.Result, queries.Len())
+		for i := range out {
+			out[i] = []topk.Result{{ID: base + int64(i), Dist: queries.At(i)[0]}}
+		}
+		return out, nil
+	}
+}
+
+func startShard(t *testing.T, info ShardInfo, h ShardHandler) *ShardServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShardServer(ln, info, h)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestShardRPCRoundTrip(t *testing.T) {
+	s := startShard(t, ShardInfo{Shard: 3, Dim: 4, Points: 99}, echoHandler(100))
+	cl, err := DialShard(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if got := cl.Info(); got.Shard != 3 || got.Dim != 4 || got.Points != 99 {
+		t.Fatalf("handshake info = %+v", got)
+	}
+	qs := vec.NewDataset(4, 2)
+	qs.Append([]float32{1.5, 0, 0, 0}, 0)
+	qs.Append([]float32{-2.25, 0, 0, 0}, 1)
+	res, err := cl.Search(context.Background(), qs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res))
+	}
+	if res[0][0].ID != 100 || res[0][0].Dist != 1.5 {
+		t.Fatalf("row 0 = %+v", res[0])
+	}
+	if res[1][0].ID != 101 || res[1][0].Dist != -2.25 {
+		t.Fatalf("row 1 = %+v", res[1])
+	}
+}
+
+func TestShardRPCConcurrentRequests(t *testing.T) {
+	s := startShard(t, ShardInfo{Shard: 0, Dim: 2}, echoHandler(0))
+	cl, err := DialShard(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qs := vec.NewDataset(2, 1)
+			qs.Append([]float32{float32(g), 0}, 0)
+			res, err := cl.Search(context.Background(), qs, 1)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if res[0][0].Dist != float32(g) {
+				errs[g] = fmt.Errorf("goroutine %d got dist %v", g, res[0][0].Dist)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestShardRPCHandlerError(t *testing.T) {
+	s := startShard(t, ShardInfo{Shard: 1, Dim: 2}, func(ctx context.Context, q *vec.Dataset, k int) ([][]topk.Result, error) {
+		return nil, errors.New("index exploded")
+	})
+	cl, err := DialShard(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	qs := vec.NewDataset(2, 1)
+	qs.Append([]float32{0, 0}, 0)
+	if _, err := cl.Search(context.Background(), qs, 1); err == nil {
+		t.Fatal("want handler error, got nil")
+	}
+}
+
+func TestShardRPCServerDeathFailsPending(t *testing.T) {
+	block := make(chan struct{})
+	s := startShard(t, ShardInfo{Shard: 2, Dim: 2}, func(ctx context.Context, q *vec.Dataset, k int) ([][]topk.Result, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	cl, err := DialShard(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	defer close(block)
+
+	done := make(chan error, 1)
+	go func() {
+		qs := vec.NewDataset(2, 1)
+		qs.Append([]float32{0, 0}, 0)
+		_, err := cl.Search(context.Background(), qs, 1)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the server
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrShardDown) {
+			t.Fatalf("want ErrShardDown, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending request hung after server death")
+	}
+	if !cl.Down() {
+		t.Fatal("client should be marked down")
+	}
+	qs := vec.NewDataset(2, 1)
+	qs.Append([]float32{0, 0}, 0)
+	if _, err := cl.Search(context.Background(), qs, 1); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("post-death search: want ErrShardDown, got %v", err)
+	}
+}
+
+func TestShardRPCDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	s := startShard(t, ShardInfo{Shard: 0, Dim: 2}, func(ctx context.Context, q *vec.Dataset, k int) ([][]topk.Result, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return [][]topk.Result{nil}, nil
+	})
+	cl, err := DialShard(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	qs := vec.NewDataset(2, 1)
+	qs.Append([]float32{0, 0}, 0)
+	if _, err := cl.Search(ctx, qs, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if cl.Down() {
+		t.Fatal("a caller deadline must not kill the connection")
+	}
+}
+
+func TestShardRPCHeartbeatDetectsSilentPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	// A "black hole" worker: accepts and handshakes, then never reads or
+	// writes again. Heartbeat staleness must declare it down.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		hello := make([]byte, 6)
+		if _, err := readFull(c, hello); err != nil {
+			return
+		}
+		resp := make([]byte, 22)
+		copy(resp, shardMagicResp)
+		resp[4] = shardVersion
+		c.Write(resp)
+		// now go silent, keeping the connection open
+		select {}
+	}()
+	cl, err := DialShardOpts(ln.Addr().String(), ShardClientOptions{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cl.Down() {
+		if time.Now().After(deadline) {
+			t.Fatal("silent peer never declared down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func readFull(c net.Conn, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := c.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -85,8 +85,11 @@ func (d *Distributed) replicaWorkers(part int) []int {
 	return out
 }
 
-// unionParts merges two sorted failed-partition lists.
-func unionParts(a, b []int) []int {
+// UnionPartitions merges two failed-partition lists into one
+// deduplicated, ascending list. Shared by the master's two-phase search
+// and the serving gateway's shard router, both of which accumulate
+// failed partitions across rounds.
+func UnionPartitions(a, b []int) []int {
 	if len(a) == 0 {
 		return b
 	}

@@ -362,7 +362,7 @@ func (m *Master) searchAdaptive(queries *vec.Dataset) (*BatchResult, error) {
 		Work:               first.Work.Add(second.Work),
 		Breakdown:          first.Breakdown.Add(second.Breakdown),
 		Degraded:           first.Degraded || second.Degraded,
-		FailedPartitions:   unionParts(first.FailedPartitions, second.FailedPartitions),
+		FailedPartitions:   UnionPartitions(first.FailedPartitions, second.FailedPartitions),
 		Failovers:          first.Failovers + second.Failovers,
 		Retries:            first.Retries + second.Retries,
 	}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// ShardHandler adapts the engine to the gateway's shard RPC: one
+// annworker in -serve mode is exactly an Engine over its shard of the
+// corpus answering batched searches. threads bounds the searcher pool
+// per batch (<=0 uses GOMAXPROCS, matching Engine.SearchBatch).
+func (e *Engine) ShardHandler(threads int) cluster.ShardHandler {
+	return func(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+		return e.SearchBatchContext(ctx, queries, k, threads)
+	}
+}

@@ -24,6 +24,7 @@ type ServingResult struct {
 	Partitions int     `json:"partitions"`
 	NProbe     int     `json:"nprobe"`
 	Threads    int     `json:"threads"`
+	Shards     int     `json:"shards,omitempty"` // 0 = single-process; >0 = scatter-gather over TCP workers
 	Seed       int64   `json:"seed"`
 	BuildSec   float64 `json:"build_sec"`
 

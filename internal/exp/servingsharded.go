@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/topk"
+)
+
+// ServingBenchSharded is ServingBench's multi-node counterpart: the
+// same workload split across `shards` worker engines, each served on
+// loopback TCP by the shard RPC, queried one at a time through the
+// gateway's scatter-gather router. The numbers therefore include real
+// framing, socket, and merge costs — what an annserve -shards
+// deployment pays on one machine. Recall is against the same
+// brute-force ground truth as the single-node run, so the two results
+// are directly comparable in BENCH_results.json.
+func ServingBenchSharded(o Options, shards int) (*ServingResult, error) {
+	o.fill()
+	if shards < 1 {
+		return nil, fmt.Errorf("sharded serving bench needs shards >= 1, got %d", shards)
+	}
+	w, err := descriptorWorkload("sift", o, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Keep total partition count comparable to the single-node bench:
+	// each shard gets its proportional slice of the machine.
+	perShardParts := runtime.GOMAXPROCS(0) / shards
+	if perShardParts < 1 {
+		perShardParts = 1
+	}
+
+	t0 := time.Now()
+	groups := make([][]string, shards)
+	per := (w.data.Len() + shards - 1) / shards
+	var servers []*cluster.ShardServer
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	totalParts := 0
+	for s := 0; s < shards; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > w.data.Len() {
+			hi = w.data.Len()
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("shard %d is empty: %d points over %d shards", s, w.data.Len(), shards)
+		}
+		cfg := core.DefaultConfig(perShardParts)
+		cfg.K = o.K
+		cfg.Seed = o.Seed + int64(s)
+		eng, err := core.NewEngine(w.data.Slice(lo, hi).Clone(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		totalParts += eng.Partitions()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := cluster.NewShardServer(ln, cluster.ShardInfo{
+			Shard:  s,
+			Dim:    eng.Dim(),
+			Points: int64(eng.Len()),
+		}, eng.ShardHandler(0))
+		servers = append(servers, srv)
+		groups[s] = []string{srv.Addr()}
+	}
+	buildSec := time.Since(t0).Seconds()
+
+	router, err := serve.NewRouter(serve.ShardMap{Groups: groups}, serve.RouterConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+
+	n := w.queries.Len()
+	results := make([][]topk.Result, n)
+	lats := make([]float64, n)
+	ctx := context.Background()
+	run0 := time.Now()
+	for i := 0; i < n; i++ {
+		q0 := time.Now()
+		out, err := router.SearchBatch(ctx, w.queries.Slice(i, i+1), o.K)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		if out.Degraded {
+			return nil, fmt.Errorf("query %d: degraded answer on a healthy loopback cluster (failed partitions %v)",
+				i, out.FailedPartitions)
+		}
+		lats[i] = float64(time.Since(q0).Microseconds())
+		results[i] = out.Results[0]
+	}
+	wall := time.Since(run0).Seconds()
+
+	sum := metrics.Summarize(lats)
+	res := &ServingResult{
+		Dataset:    w.name,
+		Points:     w.data.Len(),
+		Queries:    n,
+		Dim:        w.data.Dim,
+		K:          o.K,
+		Partitions: totalParts,
+		NProbe:     core.DefaultConfig(perShardParts).NProbe,
+		Threads:    1,
+		Shards:     shards,
+		Seed:       o.Seed,
+		BuildSec:   buildSec,
+		Recall:     metrics.MeanRecall(results, w.truth),
+		QPS:        float64(n) / wall,
+		P50Micros:  sum.P50,
+		P90Micros:  sum.P90,
+		P99Micros:  sum.P99,
+		MeanMicros: sum.Mean,
+		MaxMicros:  sum.Max,
+	}
+
+	header(o.Out, fmt.Sprintf("Serving benchmark (sharded: %d TCP workers, scatter-gather gateway)", shards))
+	fmt.Fprintf(o.Out, "%s: %d points dim %d over %d shards, %d queries, k=%d\n",
+		w.name, res.Points, res.Dim, shards, n, o.K)
+	fmt.Fprintf(o.Out, "build %.2fs | recall %.4f | %.0f QPS | p50 %.0fµs p90 %.0fµs p99 %.0fµs\n",
+		buildSec, res.Recall, res.QPS, res.P50Micros, res.P90Micros, res.P99Micros)
+	return res, nil
+}

@@ -49,9 +49,19 @@ func (c *BatcherConfig) fill() {
 	}
 }
 
+// BatchMeta is the per-round health metadata every member of a
+// dispatched round shares: whether the round was degraded and which
+// partitions failed. The HTTP layer surfaces it to clients; the cache
+// refuses to store degraded rows.
+type BatchMeta struct {
+	Degraded         bool
+	FailedPartitions []int
+}
+
 // answer is what a pending request eventually receives.
 type answer struct {
 	results []topk.Result
+	meta    BatchMeta
 	err     error
 }
 
@@ -129,18 +139,18 @@ func (b *Batcher) Draining() bool {
 // Do submits q and waits for the answer or ctx expiry, whichever comes
 // first. This is the call sites' one-stop entry; the single-flight cache
 // layers on top of it.
-func (b *Batcher) Do(ctx context.Context, q []float32, k int) ([]topk.Result, error) {
+func (b *Batcher) Do(ctx context.Context, q []float32, k int) ([]topk.Result, BatchMeta, error) {
 	ch, err := b.Submit(ctx, q, k)
 	if err != nil {
-		return nil, err
+		return nil, BatchMeta{}, err
 	}
 	select {
 	case a := <-ch:
-		return a.results, a.err
+		return a.results, a.meta, a.err
 	case <-ctx.Done():
 		// The dispatcher will notice the dead context and drop the entry
 		// before dispatch (or waste one slot if it already went out).
-		return nil, ctx.Err()
+		return nil, BatchMeta{}, ctx.Err()
 	}
 }
 
@@ -249,7 +259,7 @@ func (b *Batcher) dispatch(batch []*pending) {
 		defer cancel()
 	}
 
-	res, err := b.backend.SearchBatch(ctx, qs, maxK)
+	out, err := b.backend.SearchBatch(ctx, qs, maxK)
 	b.stats.recordBatch(len(live))
 	if err != nil {
 		b.stats.BackendErrors.Add(1)
@@ -258,11 +268,15 @@ func (b *Batcher) dispatch(batch []*pending) {
 		}
 		return
 	}
+	meta := BatchMeta{Degraded: out.Degraded, FailedPartitions: out.FailedPartitions}
+	if meta.Degraded {
+		b.stats.DegradedBatches.Add(1)
+	}
 	for i, p := range live {
-		row := res[i]
+		row := out.Results[i]
 		if len(row) > p.k {
 			row = row[:p.k]
 		}
-		p.done <- answer{results: row}
+		p.done <- answer{results: row, meta: meta}
 	}
 }

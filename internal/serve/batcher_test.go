@@ -20,6 +20,9 @@ type fakeBackend struct {
 	block   chan struct{} // when non-nil, SearchBatch waits for close
 	entered chan struct{} // when non-nil, receives one token per SearchBatch call
 
+	degraded    bool  // when set, every batch reports a partial answer
+	failedParts []int // partitions reported as failed alongside degraded
+
 	mu      sync.Mutex
 	batches []int
 	queries int
@@ -28,7 +31,7 @@ type fakeBackend struct {
 func (f *fakeBackend) Dim() int  { return f.dim }
 func (f *fakeBackend) MaxK() int { return 0 }
 
-func (f *fakeBackend) SearchBatch(ctx context.Context, qs *vec.Dataset, k int) ([][]topk.Result, error) {
+func (f *fakeBackend) SearchBatch(ctx context.Context, qs *vec.Dataset, k int) (BatchOutput, error) {
 	if f.entered != nil {
 		f.entered <- struct{}{}
 	}
@@ -43,7 +46,7 @@ func (f *fakeBackend) SearchBatch(ctx context.Context, qs *vec.Dataset, k int) (
 	f.queries += qs.Len()
 	f.mu.Unlock()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return BatchOutput{}, err
 	}
 	out := make([][]topk.Result, qs.Len())
 	for i := range out {
@@ -54,7 +57,7 @@ func (f *fakeBackend) SearchBatch(ctx context.Context, qs *vec.Dataset, k int) (
 		}
 		out[i] = row
 	}
-	return out, nil
+	return BatchOutput{Results: out, Degraded: f.degraded, FailedPartitions: f.failedParts}, nil
 }
 
 func (f *fakeBackend) snapshot() (batches []int, queries int) {
@@ -85,7 +88,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rows[i], errs[i] = b.Do(context.Background(), query(4, float32(i)), 3)
+			rows[i], _, errs[i] = b.Do(context.Background(), query(4, float32(i)), 3)
 		}(i)
 	}
 	wg.Wait()

@@ -29,8 +29,9 @@ func cacheKey(q []float32, k int) uint64 {
 // flight is one in-progress search that duplicate concurrent requests
 // wait on instead of searching again.
 type flight struct {
-	done chan struct{} // closed when res/err are set
+	done chan struct{} // closed when res/meta/err are set
 	res  []topk.Result
+	meta BatchMeta
 	err  error
 }
 
@@ -127,24 +128,26 @@ func (c *resultCache) startFlight(key uint64) (f *flight, leader bool) {
 }
 
 // finishFlight publishes the leader's outcome to all waiters and, on
-// success, stores the row in the LRU.
-func (c *resultCache) finishFlight(key uint64, f *flight, res []topk.Result, err error) {
-	f.res, f.err = res, err
+// success, stores the row in the LRU. Degraded rows are never stored:
+// they are missing neighbors from failed partitions, and serving them
+// after the cluster recovers would silently pin the outage's results.
+func (c *resultCache) finishFlight(key uint64, f *flight, res []topk.Result, meta BatchMeta, err error) {
+	f.res, f.meta, f.err = res, meta, err
 	c.mu.Lock()
 	delete(c.flights, key)
 	c.mu.Unlock()
 	close(f.done)
-	if err == nil {
+	if err == nil && !meta.Degraded {
 		c.put(key, res)
 	}
 }
 
 // wait blocks until the flight resolves or ctx expires.
-func (f *flight) wait(ctx context.Context) ([]topk.Result, error) {
+func (f *flight) wait(ctx context.Context) ([]topk.Result, BatchMeta, error) {
 	select {
 	case <-f.done:
-		return f.res, f.err
+		return f.res, f.meta, f.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, BatchMeta{}, ctx.Err()
 	}
 }

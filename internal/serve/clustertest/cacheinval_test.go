@@ -1,0 +1,88 @@
+package clustertest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestCacheInvalidatedOnTopologyChange is the regression test for the
+// stale-cache bug: the gateway's result cache must not serve rows
+// computed against a topology that no longer exists. Marking a shard
+// unhealthy and swapping the shard map must both purge it, and degraded
+// rows must never enter it.
+func TestCacheInvalidatedOnTopologyChange(t *testing.T) {
+	c := Start(t, Options{
+		Shards: 2,
+		Dim:    8,
+		N:      600,
+		Seed:   11,
+		Router: serve.RouterConfig{ProbeCooloff: time.Hour},
+		Server: serve.ServerConfig{CacheSize: 1024},
+	})
+	q := Rows(RandomQueries(8, 1, 12))
+	const k = 5
+
+	// Warm the cache: second identical query is a hit.
+	first := c.Search(t, q, k)
+	if first.Degraded {
+		t.Fatalf("healthy cluster answered degraded: %+v", first)
+	}
+	warm := c.Search(t, q, k)
+	if !warm.Results[0].Cached {
+		t.Fatal("identical repeat query was not served from cache")
+	}
+
+	// Shard 1 dies; the connection watcher marks it unhealthy and the
+	// topology purge must evict the cached full-topology row. The next
+	// identical query re-searches and comes back degraded — if it were
+	// still served from cache it would be a stale, silently-complete
+	// answer.
+	v := c.Router.TopologyVersion()
+	c.Workers[1][0].Kill()
+	c.WaitTopologyVersion(t, v+1, 5*time.Second)
+	after := c.Search(t, q, k)
+	if after.Results[0].Cached {
+		t.Fatal("cache served a row computed before the shard died")
+	}
+	if !after.Degraded || len(after.FailedPartitions) != 1 || after.FailedPartitions[0] != 1 {
+		t.Fatalf("post-death answer not degraded on shard 1: %+v", after)
+	}
+
+	// Degraded rows must not have been cached either: the same query
+	// again still misses.
+	again := c.Search(t, q, k)
+	if again.Results[0].Cached {
+		t.Fatal("a degraded row was cached")
+	}
+
+	// Recovery via shard-map swap: purge again, then the first full
+	// answer is a miss and the second a hit — on post-recovery data.
+	spare := StartWorker(t, 1, c.Workers[1][0].Engine)
+	if err := c.Router.SetShardMap(serve.ShardMap{Groups: [][]string{
+		{c.Workers[0][0].Addr}, {spare.Addr},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Search(t, q, k)
+	if rec.Degraded {
+		t.Fatalf("still degraded after recovery: %+v", rec)
+	}
+	if rec.Results[0].Cached {
+		t.Fatal("cache survived the shard-map swap")
+	}
+	rewarm := c.Search(t, q, k)
+	if !rewarm.Results[0].Cached {
+		t.Fatal("recovered topology's answer was not cached")
+	}
+	if rewarm.Degraded {
+		t.Fatalf("cached recovered answer is degraded: %+v", rewarm)
+	}
+
+	// The purges are accounted on /varz.
+	varz := c.Varz(t)
+	if n, _ := varz["topology_purges"].(float64); n < 2 {
+		t.Fatalf("varz topology_purges = %v, want >= 2", varz["topology_purges"])
+	}
+}

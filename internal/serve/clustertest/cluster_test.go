@@ -1,0 +1,147 @@
+package clustertest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/topk"
+)
+
+// TestClusterEndToEnd is the multi-node acceptance scenario: a gateway
+// scatter-gathering over three worker shards (two replicas each) on
+// real loopback TCP.
+//
+//  1. a merged top-k answer matches the per-shard engines' results
+//     merged locally;
+//  2. killing one replica of a shard mid-traffic is absorbed by
+//     failover — no 500s, no hangs, service stays undegraded;
+//  3. killing the whole workgroup yields HTTP 200 Degraded partial
+//     results naming exactly the dead shard in failed_partitions;
+//  4. installing a replacement worker via a shard-map swap restores
+//     full, undegraded service.
+func TestClusterEndToEnd(t *testing.T) {
+	c := Start(t, Options{
+		Shards:   3,
+		Replicas: 2,
+		Dim:      8,
+		N:        900,
+		Seed:     7,
+		Router:   serve.RouterConfig{ProbeCooloff: time.Hour},
+	})
+	queries := RandomQueries(8, 8, 99)
+	const k = 10
+
+	// Phase 1: merged result correctness against a local merge of the
+	// same shard engines.
+	resp := c.Search(t, Rows(queries), k)
+	if resp.Degraded {
+		t.Fatalf("healthy cluster answered degraded: %+v", resp)
+	}
+	for qi := 0; qi < queries.Len(); qi++ {
+		lists := make([][]topk.Result, len(c.Workers))
+		for s, reps := range c.Workers {
+			rows, err := reps[0].Engine.Search(queries.At(qi), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lists[s] = rows
+		}
+		want := topk.Merge(k, lists...)
+		got := resp.Results[qi]
+		if len(got.IDs) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got.IDs), len(want))
+		}
+		for j, w := range want {
+			if got.IDs[j] != w.ID || got.Dists[j] != w.Dist {
+				t.Fatalf("query %d result %d: got (%d,%g), want (%d,%g)",
+					qi, j, got.IDs[j], got.Dists[j], w.ID, w.Dist)
+			}
+		}
+	}
+
+	// Phase 2: kill shard 1's primary replica while queries stream.
+	// Failover to the second replica must keep every response 200 and
+	// the post-kill steady state undegraded.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := RandomQueries(8, 1, int64(1000+i))
+			resp, body := c.SearchRaw(t, Rows(q), k)
+			if resp.StatusCode != 200 {
+				t.Errorf("during replica kill: HTTP %d: %s", resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	v := c.Router.TopologyVersion()
+	c.Workers[1][0].Kill()
+	c.WaitTopologyVersion(t, v+1, 5*time.Second)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	after := c.Search(t, Rows(RandomQueries(8, 2, 555)), k)
+	if after.Degraded {
+		t.Fatalf("replica takeover left the service degraded: %+v", after)
+	}
+
+	// Phase 3: kill the surviving replica — shard 1's workgroup is gone.
+	// The gateway must answer 200 with a partial, Degraded result naming
+	// shard 1, not hang and not 500.
+	v = c.Router.TopologyVersion()
+	c.Workers[1][1].Kill()
+	c.WaitTopologyVersion(t, v+1, 5*time.Second)
+	deg := c.Search(t, Rows(RandomQueries(8, 2, 777)), k)
+	if !deg.Degraded {
+		t.Fatalf("whole-workgroup death not surfaced: %+v", deg)
+	}
+	if len(deg.FailedPartitions) != 1 || deg.FailedPartitions[0] != 1 {
+		t.Fatalf("failed_partitions = %v, want [1]", deg.FailedPartitions)
+	}
+	for _, r := range deg.Results {
+		if len(r.IDs) == 0 {
+			t.Fatal("degraded response carried an empty row; survivors should still answer")
+		}
+	}
+
+	// The degraded state is visible on /varz too.
+	varz := c.Varz(t)
+	if n, _ := varz["degraded_responses"].(float64); n < 1 {
+		t.Fatalf("varz degraded_responses = %v, want >= 1", varz["degraded_responses"])
+	}
+	router, _ := varz["router"].(map[string]any)
+	if router == nil {
+		t.Fatal("varz has no router section")
+	}
+	if n, _ := router["shard_failures"].(float64); n < 1 {
+		t.Fatalf("varz router.shard_failures = %v, want >= 1", router["shard_failures"])
+	}
+
+	// Phase 4: recovery — a replacement worker for shard 1 joins via a
+	// shard-map swap and service returns to full answers.
+	spare := StartWorker(t, 1, c.Workers[1][0].Engine)
+	groups := [][]string{
+		{c.Workers[0][0].Addr, c.Workers[0][1].Addr},
+		{spare.Addr},
+		{c.Workers[2][0].Addr, c.Workers[2][1].Addr},
+	}
+	if err := c.Router.SetShardMap(serve.ShardMap{Groups: groups}); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Search(t, Rows(RandomQueries(8, 2, 888)), k)
+	if rec.Degraded {
+		t.Fatalf("service still degraded after replacement joined: %+v", rec)
+	}
+}

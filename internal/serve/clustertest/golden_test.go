@@ -1,0 +1,169 @@
+package clustertest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// respRows converts a gateway response to result rows for recall math.
+func respRows(resp SearchResponse) [][]topk.Result {
+	rows := make([][]topk.Result, len(resp.Results))
+	for i, r := range resp.Results {
+		row := make([]topk.Result, len(r.IDs))
+		for j := range r.IDs {
+			row[j] = topk.Result{ID: r.IDs[j], Dist: r.Dists[j]}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestShardedGoldenEquivalence is the recall-regression gate for the
+// sharded path: across k, efSearch, and shard-count settings, the
+// gateway's merged answer must be bit-identical to merging the same
+// shard engines locally, and its recall against brute-force truth must
+// not trail an equivalently configured single-node engine by more than
+// epsilon. A merge bug (dropped shard, bad dedup, wrong ordering) fails
+// the exact check; a routing/quality regression fails the recall check.
+func TestShardedGoldenEquivalence(t *testing.T) {
+	const (
+		dim     = 8
+		n       = 900
+		nq      = 25
+		epsilon = 0.05
+	)
+	queries := RandomQueries(dim, nq, 4242)
+
+	cases := []struct {
+		shards, k, ef int
+	}{
+		{shards: 2, k: 1, ef: 0},
+		{shards: 2, k: 10, ef: 0},
+		{shards: 3, k: 10, ef: 0},
+		{shards: 3, k: 10, ef: 128},
+		{shards: 4, k: 25, ef: 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("shards=%d/k=%d/ef=%d", tc.shards, tc.k, tc.ef)
+		t.Run(name, func(t *testing.T) {
+			c := Start(t, Options{Shards: tc.shards, Dim: dim, N: n, Seed: 31})
+			if tc.ef > 0 {
+				for _, reps := range c.Workers {
+					reps[0].Engine.SetEfSearch(tc.ef)
+				}
+			}
+			resp := c.Search(t, Rows(queries), tc.k)
+			if resp.Degraded {
+				t.Fatalf("healthy cluster answered degraded: %+v", resp)
+			}
+			got := respRows(resp)
+
+			// Exact gate: the gateway must reproduce a local merge of the
+			// very same shard engines — distances cross the wire as raw
+			// float32 bits, so equality is exact, not approximate.
+			for qi := 0; qi < nq; qi++ {
+				lists := make([][]topk.Result, len(c.Workers))
+				for s, reps := range c.Workers {
+					rows, err := reps[0].Engine.Search(queries.At(qi), tc.k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lists[s] = rows
+				}
+				want := topk.Merge(tc.k, lists...)
+				if len(got[qi]) != len(want) {
+					t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want))
+				}
+				for j := range want {
+					if got[qi][j] != want[j] {
+						t.Fatalf("query %d result %d: got %+v, want %+v",
+							qi, j, got[qi][j], want[j])
+					}
+				}
+			}
+
+			// Recall gate vs an independent single-node engine over the
+			// full corpus.
+			cfg := core.Config{Partitions: 2, Seed: 32}
+			single, err := core.NewEngine(c.Corpus.Clone(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.ef > 0 {
+				single.SetEfSearch(tc.ef)
+			}
+			singleRows, err := single.SearchBatch(queries, tc.k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := bruteforce.GroundTruth(c.Corpus, queries, tc.k, vec.L2)
+			shardedRecall := metrics.MeanRecall(got, truth)
+			singleRecall := metrics.MeanRecall(singleRows, truth)
+			t.Logf("recall: sharded %.4f, single-node %.4f", shardedRecall, singleRecall)
+			if shardedRecall < singleRecall-epsilon {
+				t.Fatalf("sharded recall %.4f trails single-node %.4f by more than %.2f",
+					shardedRecall, singleRecall, epsilon)
+			}
+		})
+	}
+}
+
+// TestShardedDuplicateIDMerge stages shards whose contents overlap —
+// the same global ID served by two workers, as happens mid-resharding
+// or with replicated boundary rows. The merged answer must contain each
+// ID at most once, at its best distance, in sorted order.
+func TestShardedDuplicateIDMerge(t *testing.T) {
+	const dim = 8
+	base := RandomDataset(dim, 300, 17)
+	// Shard 0: rows [0,200); shard 1: rows [100,300) — IDs 100..199
+	// live on both shards with identical vectors.
+	shard0 := base.Slice(0, 200)
+	shard1 := base.Slice(100, 300)
+	c := Start(t, Options{ShardData: []*vec.Dataset{shard0, shard1}, Corpus: base})
+
+	queries := RandomQueries(dim, 20, 18)
+	const k = 15
+	resp := c.Search(t, Rows(queries), k)
+	if resp.Degraded {
+		t.Fatalf("healthy cluster answered degraded: %+v", resp)
+	}
+	for qi, r := range resp.Results {
+		if len(r.IDs) != k {
+			t.Fatalf("query %d: %d results, want %d", qi, len(r.IDs), k)
+		}
+		seen := make(map[int64]bool, k)
+		for j, id := range r.IDs {
+			if seen[id] {
+				t.Fatalf("query %d: duplicate ID %d survived the merge: %v", qi, id, r.IDs)
+			}
+			seen[id] = true
+			if j > 0 && r.Dists[j] < r.Dists[j-1] {
+				t.Fatalf("query %d: results out of order at %d: %v", qi, j, r.Dists)
+			}
+		}
+		// The overlap region must still be reachable: against the local
+		// merge of both shard engines the row is exact.
+		l0, err := c.Workers[0][0].Engine.Search(queries.At(qi), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, err := c.Workers[1][0].Engine.Search(queries.At(qi), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := topk.Merge(k, l0, l1)
+		for j := range want {
+			if r.IDs[j] != want[j].ID || r.Dists[j] != want[j].Dist {
+				t.Fatalf("query %d result %d: got (%d,%g), want (%d,%g)",
+					qi, j, r.IDs[j], r.Dists[j], want[j].ID, want[j].Dist)
+			}
+		}
+	}
+}

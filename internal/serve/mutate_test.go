@@ -170,8 +170,8 @@ type readOnlyBackend struct{}
 
 func (readOnlyBackend) Dim() int  { return 4 }
 func (readOnlyBackend) MaxK() int { return 0 }
-func (readOnlyBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
-	return make([][]topk.Result, queries.Len()), nil
+func (readOnlyBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error) {
+	return BatchOutput{Results: make([][]topk.Result, queries.Len())}, nil
 }
 
 func TestMutationNotImplemented(t *testing.T) {

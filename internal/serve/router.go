@@ -1,0 +1,598 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Router is the multi-node serving backend: a stateless scatter-gather
+// layer over sharded annworker processes reached via the shard RPC
+// (cluster.ShardClient). This is the LANNS deployment shape — the
+// dataset is split into shards, each shard is an independent engine
+// behind a TCP worker, and the gateway fans every query batch out to
+// one replica per shard and merges the per-shard top-k (duplicate IDs
+// resolved to their best distance).
+//
+// Availability machinery, reusing the failure model of the distributed
+// master (PR 1, Algorithm 5's replication workgroups):
+//
+//   - each shard has a workgroup of replica addresses; scatters rotate
+//     through them for read scaling;
+//   - replica health is tracked per address: a connection death (EOF,
+//     write failure, heartbeat staleness) marks the replica down, and a
+//     down replica is only re-dialed after a cooloff;
+//   - a scatter that has not answered within HedgeDelay is hedged to
+//     the next replica of the workgroup — first answer wins;
+//   - a replica that fails mid-flight is failed over to the next one;
+//     when a shard's whole workgroup is exhausted the batch completes
+//     anyway, Degraded, with the shard listed in FailedPartitions;
+//   - every topology transition (map swap, replica down, replica
+//     recovered) notifies the gateway, which purges its result cache.
+type Router struct {
+	cfg RouterConfig
+	dim int
+
+	mu     sync.Mutex
+	groups []*shardGroup
+	closed bool
+
+	version   atomic.Uint64 // topology version; bumped on every transition
+	notifyMu  sync.Mutex
+	onChange  []func()
+	watcherWG sync.WaitGroup
+
+	// counters for /varz
+	scatters      atomic.Int64 // backend rounds scattered
+	shardCalls    atomic.Int64 // per-(round, shard) RPCs issued (incl. hedges/failovers)
+	hedges        atomic.Int64 // speculative second requests fired by the hedge timer
+	failovers     atomic.Int64 // replicas retried after an error
+	shardFailures atomic.Int64 // (round, shard) pairs that exhausted their workgroup
+	degraded      atomic.Int64 // rounds that returned Degraded
+}
+
+// RouterConfig tunes the shard router.
+type RouterConfig struct {
+	// DialTimeout bounds connect+handshake per replica (default 5s).
+	DialTimeout time.Duration
+	// SearchTimeout bounds a scatter when the request context carries no
+	// deadline of its own (default 10s). Without it a black-holed worker
+	// would pin the batch until heartbeat staleness fires.
+	SearchTimeout time.Duration
+	// HedgeDelay is how long to wait for a shard's first replica before
+	// speculatively asking the next one (default 50ms; negative
+	// disables hedging).
+	HedgeDelay time.Duration
+	// ProbeCooloff is how long a down replica stays unprobed before a
+	// query is allowed to try re-dialing it (default 500ms).
+	ProbeCooloff time.Duration
+	// HeartbeatInterval/HeartbeatTimeout tune the per-connection
+	// liveness probes (see cluster.ShardClientOptions; zero values take
+	// that type's defaults).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.SearchTimeout <= 0 {
+		c.SearchTimeout = 10 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 50 * time.Millisecond
+	}
+	if c.ProbeCooloff <= 0 {
+		c.ProbeCooloff = 500 * time.Millisecond
+	}
+	return c
+}
+
+// ShardMap assigns each shard (partition of the corpus) its workgroup
+// of replica worker addresses. Groups[i] serves shard i; every address
+// in a group must hold the same shard data.
+type ShardMap struct {
+	Groups [][]string
+}
+
+// ParseShardMap parses the -shards flag syntax: shard groups separated
+// by ';', replica addresses within a group separated by ','.
+//
+//	"host1:7100;host2:7100;host3:7100"            three shards, no replicas
+//	"host1:7100,host1b:7100;host2:7100"           shard 0 has two replicas
+func ParseShardMap(spec string) (ShardMap, error) {
+	var m ShardMap
+	for gi, g := range strings.Split(spec, ";") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			return ShardMap{}, fmt.Errorf("serve: shard map group %d is empty", gi)
+		}
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return ShardMap{}, fmt.Errorf("serve: shard map group %d has an empty replica address", gi)
+			}
+			addrs = append(addrs, a)
+		}
+		m.Groups = append(m.Groups, addrs)
+	}
+	return m, nil
+}
+
+func (m ShardMap) validate() error {
+	if len(m.Groups) == 0 {
+		return errors.New("serve: shard map has no shards")
+	}
+	for i, g := range m.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("serve: shard %d has no replicas", i)
+		}
+	}
+	return nil
+}
+
+// shardGroup is one shard's replica workgroup.
+type shardGroup struct {
+	shard    int
+	replicas []*replica
+	next     atomic.Uint32 // rotation for read scaling
+}
+
+// replica is one worker address and its health state.
+type replica struct {
+	addr string
+
+	mu        sync.Mutex
+	client    *cluster.ShardClient // nil when not connected
+	down      bool
+	downSince time.Time
+}
+
+var errReplicaCooling = errors.New("serve: replica down, probe cooloff active")
+
+// NewRouter dials the shard map and returns the routing backend. Every
+// shard group must have at least one reachable replica at startup —
+// serving a map that is already degraded is a deployment error worth
+// failing loudly on. Replicas beyond the first are dialed lazily.
+func NewRouter(m ShardMap, cfg RouterConfig) (*Router, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg.withDefaults()}
+	r.groups = buildGroups(m)
+	for _, g := range r.groups {
+		cl, err := r.firstClient(g)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("serve: shard %d unreachable: %w", g.shard, err)
+		}
+		info := cl.Info()
+		if r.dim == 0 {
+			r.dim = info.Dim
+		} else if info.Dim != r.dim {
+			r.Close()
+			return nil, fmt.Errorf("serve: shard %d serves dim %d, shard 0 serves dim %d", g.shard, info.Dim, r.dim)
+		}
+	}
+	return r, nil
+}
+
+func buildGroups(m ShardMap) []*shardGroup {
+	groups := make([]*shardGroup, len(m.Groups))
+	for i, addrs := range m.Groups {
+		g := &shardGroup{shard: i, replicas: make([]*replica, len(addrs))}
+		for j, a := range addrs {
+			g.replicas[j] = &replica{addr: a}
+		}
+		groups[i] = g
+	}
+	return groups
+}
+
+// firstClient connects the first reachable replica of g.
+func (r *Router) firstClient(g *shardGroup) (*cluster.ShardClient, error) {
+	var lastErr error
+	for _, rep := range g.replicas {
+		cl, err := r.replicaClient(g, rep)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return cl, nil
+	}
+	return nil, lastErr
+}
+
+// Dim implements Backend.
+func (r *Router) Dim() int { return r.dim }
+
+// MaxK implements Backend; shards serve any k.
+func (r *Router) MaxK() int { return 0 }
+
+// OnTopologyChange implements TopologyNotifier.
+func (r *Router) OnTopologyChange(fn func()) {
+	r.notifyMu.Lock()
+	r.onChange = append(r.onChange, fn)
+	r.notifyMu.Unlock()
+}
+
+// Shards returns the current shard count.
+func (r *Router) Shards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.groups)
+}
+
+// TopologyVersion returns the number of topology transitions so far
+// (map swaps, replicas marked down, replicas recovered).
+func (r *Router) TopologyVersion() uint64 { return r.version.Load() }
+
+func (r *Router) topologyChanged() {
+	r.version.Add(1)
+	r.notifyMu.Lock()
+	fns := append([]func(){}, r.onChange...)
+	r.notifyMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// SetShardMap swaps the routing topology: new groups are dialed lazily,
+// old connections are closed, and the topology-change notification
+// fires (purging the gateway's result cache). In-flight scatters finish
+// against the snapshot they started with.
+func (r *Router) SetShardMap(m ShardMap) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	groups := buildGroups(m)
+	r.mu.Lock()
+	old := r.groups
+	r.groups = groups
+	r.mu.Unlock()
+	for _, g := range old {
+		closeGroup(g)
+	}
+	r.topologyChanged()
+	return nil
+}
+
+func closeGroup(g *shardGroup) {
+	for _, rep := range g.replicas {
+		rep.mu.Lock()
+		if rep.client != nil {
+			rep.client.Close()
+			rep.client = nil
+		}
+		rep.mu.Unlock()
+	}
+}
+
+// Close shuts every connection down. Subsequent SearchBatch calls fail.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	groups := r.groups
+	r.mu.Unlock()
+	for _, g := range groups {
+		closeGroup(g)
+	}
+	r.watcherWG.Wait()
+	return nil
+}
+
+// replicaClient returns a live client for rep, dialing if necessary. A
+// down replica inside its probe cooloff is not retried; past the
+// cooloff one caller's dial doubles as the health probe. Recovery and
+// death both fire the topology notification.
+func (r *Router) replicaClient(g *shardGroup, rep *replica) (*cluster.ShardClient, error) {
+	rep.mu.Lock()
+	if rep.client != nil && !rep.client.Down() {
+		cl := rep.client
+		rep.mu.Unlock()
+		return cl, nil
+	}
+	if rep.down && time.Since(rep.downSince) < r.cfg.ProbeCooloff {
+		rep.mu.Unlock()
+		return nil, errReplicaCooling
+	}
+	rep.mu.Unlock()
+
+	cl, err := cluster.DialShardOpts(rep.addr, cluster.ShardClientOptions{
+		DialTimeout:       r.cfg.DialTimeout,
+		HeartbeatInterval: r.cfg.HeartbeatInterval,
+		HeartbeatTimeout:  r.cfg.HeartbeatTimeout,
+	})
+	if err != nil {
+		r.markReplicaDown(rep)
+		return nil, err
+	}
+	info := cl.Info()
+	if info.Shard != g.shard {
+		cl.Close()
+		r.markReplicaDown(rep)
+		return nil, fmt.Errorf("serve: %s is mapped as shard %d but announces shard %d", rep.addr, g.shard, info.Shard)
+	}
+	if r.dim != 0 && info.Dim != r.dim {
+		cl.Close()
+		r.markReplicaDown(rep)
+		return nil, fmt.Errorf("serve: %s serves dim %d, router dim %d", rep.addr, info.Dim, r.dim)
+	}
+
+	rep.mu.Lock()
+	if rep.client != nil && !rep.client.Down() {
+		// Lost a benign dial race; keep the established client.
+		winner := rep.client
+		rep.mu.Unlock()
+		cl.Close()
+		return winner, nil
+	}
+	if rep.client != nil {
+		rep.client.Close()
+	}
+	rep.client = cl
+	wasDown := rep.down
+	rep.down = false
+	rep.mu.Unlock()
+
+	// Watch for connection death so the cache purges when a worker dies
+	// between queries, not only when the next scatter trips over it.
+	r.watcherWG.Add(1)
+	go func() {
+		defer r.watcherWG.Done()
+		<-cl.DownChan()
+		rep.mu.Lock()
+		mine := rep.client == cl
+		rep.mu.Unlock()
+		if mine {
+			r.markReplicaDown(rep)
+		}
+	}()
+
+	if wasDown {
+		r.topologyChanged()
+	}
+	return cl, nil
+}
+
+// markReplicaDown transitions rep to down (idempotent) and fires the
+// topology notification on the edge.
+func (r *Router) markReplicaDown(rep *replica) {
+	rep.mu.Lock()
+	if rep.down {
+		rep.mu.Unlock()
+		return
+	}
+	rep.down = true
+	rep.downSince = time.Now()
+	if rep.client != nil {
+		rep.client.Close()
+		rep.client = nil
+	}
+	rep.mu.Unlock()
+	r.topologyChanged()
+}
+
+// SearchBatch implements Backend: scatter the batch to one replica per
+// shard (hedging and failing over inside each workgroup), gather, and
+// merge per-query top-k across shards with duplicate-ID resolution.
+func (r *Router) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return BatchOutput{}, errors.New("serve: router closed")
+	}
+	groups := r.groups
+	r.mu.Unlock()
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.SearchTimeout)
+		defer cancel()
+	}
+	r.scatters.Add(1)
+
+	type groupOutcome struct {
+		shard int
+		rows  [][]topk.Result
+		err   error
+	}
+	outcomes := make([]groupOutcome, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *shardGroup) {
+			defer wg.Done()
+			rows, err := r.searchGroup(ctx, g, queries, k)
+			outcomes[i] = groupOutcome{shard: g.shard, rows: rows, err: err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return BatchOutput{}, err
+	}
+
+	nq := queries.Len()
+	out := BatchOutput{Results: make([][]topk.Result, nq)}
+	lists := make([][]topk.Result, 0, len(groups))
+	ok := 0
+	var firstErr error
+	for _, oc := range outcomes {
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			r.shardFailures.Add(1)
+			out.Degraded = true
+			out.FailedPartitions = core.UnionPartitions(out.FailedPartitions, []int{oc.shard})
+			continue
+		}
+		ok++
+	}
+	if ok == 0 {
+		return BatchOutput{}, fmt.Errorf("serve: all %d shards failed: %w", len(groups), firstErr)
+	}
+	if out.Degraded {
+		r.degraded.Add(1)
+	}
+	sort.Ints(out.FailedPartitions)
+	for qi := 0; qi < nq; qi++ {
+		lists = lists[:0]
+		for _, oc := range outcomes {
+			if oc.err == nil {
+				lists = append(lists, oc.rows[qi])
+			}
+		}
+		out.Results[qi] = topk.Merge(k, lists...)
+	}
+	return out, nil
+}
+
+// searchGroup answers one shard's part of the scatter: ask the rotated
+// primary replica, hedge to the next after HedgeDelay, fail over on
+// error, first success wins. Returns an error only when every replica
+// of the workgroup has been tried and failed (or ctx expired).
+func (r *Router) searchGroup(ctx context.Context, g *shardGroup, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+	rot := int(g.next.Add(1)-1) % len(g.replicas)
+	order := make([]*replica, len(g.replicas))
+	for i := range g.replicas {
+		order[i] = g.replicas[(rot+i)%len(g.replicas)]
+	}
+
+	type outcome struct {
+		rows [][]topk.Result
+		err  error
+		rep  *replica
+	}
+	resCh := make(chan outcome, len(order))
+	nextIdx := 0
+	inflight := 0
+	var lastErr error
+
+	// launch fires the next launchable candidate, skipping replicas that
+	// are cooling off or fail to dial.
+	launch := func() bool {
+		for nextIdx < len(order) {
+			rep := order[nextIdx]
+			nextIdx++
+			cl, err := r.replicaClient(g, rep)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			r.shardCalls.Add(1)
+			inflight++
+			go func(rep *replica, cl *cluster.ShardClient) {
+				rows, err := cl.Search(ctx, queries, k)
+				if err == nil && len(rows) != queries.Len() {
+					err = fmt.Errorf("serve: shard %d returned %d rows for %d queries", g.shard, len(rows), queries.Len())
+				}
+				resCh <- outcome{rows: rows, err: err, rep: rep}
+			}(rep, cl)
+			return true
+		}
+		return false
+	}
+
+	if !launch() {
+		if lastErr == nil {
+			lastErr = errors.New("serve: no live replica")
+		}
+		return nil, lastErr
+	}
+
+	var hedgeC <-chan time.Time
+	if r.cfg.HedgeDelay > 0 && nextIdx < len(order) {
+		t := time.NewTimer(r.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for {
+		select {
+		case oc := <-resCh:
+			inflight--
+			if oc.err == nil {
+				return oc.rows, nil
+			}
+			lastErr = oc.err
+			if errors.Is(oc.err, cluster.ErrShardDown) {
+				r.markReplicaDown(oc.rep)
+			}
+			if errors.Is(oc.err, context.Canceled) || errors.Is(oc.err, context.DeadlineExceeded) {
+				return nil, oc.err
+			}
+			// Fail over to the next untried replica right away.
+			if launch() {
+				r.failovers.Add(1)
+			} else if inflight == 0 {
+				return nil, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch() {
+				r.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Varz implements VarzProvider: the router section of /varz — shard
+// count, topology version, scatter/hedge/failover counters, and
+// per-replica health.
+func (r *Router) Varz() map[string]any {
+	r.mu.Lock()
+	groups := r.groups
+	r.mu.Unlock()
+	shards := make([]map[string]any, len(groups))
+	for i, g := range groups {
+		reps := make([]map[string]any, len(g.replicas))
+		for j, rep := range g.replicas {
+			rep.mu.Lock()
+			state := "idle"
+			var points int64
+			if rep.down {
+				state = "down"
+			} else if rep.client != nil && !rep.client.Down() {
+				state = "up"
+				points = rep.client.Info().Points
+			}
+			reps[j] = map[string]any{
+				"addr":   rep.addr,
+				"state":  state,
+				"points": points,
+			}
+			rep.mu.Unlock()
+		}
+		shards[i] = map[string]any{"shard": g.shard, "replicas": reps}
+	}
+	return map[string]any{
+		"router": map[string]any{
+			"shards":           len(groups),
+			"topology_version": r.version.Load(),
+			"scatters":         r.scatters.Load(),
+			"shard_calls":      r.shardCalls.Load(),
+			"hedges":           r.hedges.Load(),
+			"failovers":        r.failovers.Load(),
+			"shard_failures":   r.shardFailures.Load(),
+			"degraded_batches": r.degraded.Load(),
+			"dim":              r.dim,
+			"topology":         shards,
+		},
+	}
+}

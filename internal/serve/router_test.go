@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// startShard runs an in-process shard worker with a scripted handler
+// and returns its address and server handle.
+func startShard(t *testing.T, shard, dim int, h cluster.ShardHandler) (string, *cluster.ShardServer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.NewShardServer(ln, cluster.ShardInfo{Shard: shard, Dim: dim, Points: 1}, h)
+	t.Cleanup(func() { s.Close() })
+	return s.Addr(), s
+}
+
+// constHandler answers every query with the given rows.
+func constHandler(rows []topk.Result) cluster.ShardHandler {
+	return func(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+		out := make([][]topk.Result, queries.Len())
+		for i := range out {
+			out[i] = append([]topk.Result(nil), rows...)
+		}
+		return out, nil
+	}
+}
+
+func oneQuery(dim int) *vec.Dataset {
+	ds := vec.NewDataset(dim, 0)
+	ds.Append(make([]float32, dim), 0)
+	return ds
+}
+
+func TestParseShardMap(t *testing.T) {
+	m, err := ParseShardMap("a:1,b:2;c:3; d:4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a:1", "b:2"}, {"c:3"}, {"d:4"}}
+	if !reflect.DeepEqual(m.Groups, want) {
+		t.Fatalf("got %v, want %v", m.Groups, want)
+	}
+	for _, bad := range []string{"", "a:1;;b:2", "a:1,,b:2"} {
+		if _, err := ParseShardMap(bad); err == nil {
+			t.Fatalf("spec %q: want error", bad)
+		}
+	}
+}
+
+// TestRouterMergesShards: results from two shards interleave by
+// distance, and an ID served by both shards appears once, at its
+// smaller distance.
+func TestRouterMergesShards(t *testing.T) {
+	a0, _ := startShard(t, 0, 4, constHandler([]topk.Result{
+		{ID: 1, Dist: 0.1}, {ID: 7, Dist: 0.5}, {ID: 3, Dist: 0.9},
+	}))
+	a1, _ := startShard(t, 1, 4, constHandler([]topk.Result{
+		{ID: 2, Dist: 0.2}, {ID: 7, Dist: 0.3}, {ID: 4, Dist: 1.1},
+	}))
+	r, err := NewRouter(ShardMap{Groups: [][]string{{a0}, {a1}}}, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	out, err := r.SearchBatch(context.Background(), oneQuery(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Degraded {
+		t.Fatalf("unexpected degraded result: %+v", out)
+	}
+	want := []topk.Result{{ID: 1, Dist: 0.1}, {ID: 2, Dist: 0.2}, {ID: 7, Dist: 0.3}, {ID: 3, Dist: 0.9}}
+	if !reflect.DeepEqual(out.Results[0], want) {
+		t.Fatalf("merged row = %v, want %v", out.Results[0], want)
+	}
+}
+
+// TestRouterDegradedOnShardDeath: with one of two shards dead, the
+// scatter completes with the survivor's results, Degraded, and the dead
+// shard listed in FailedPartitions.
+func TestRouterDegradedOnShardDeath(t *testing.T) {
+	a0, _ := startShard(t, 0, 4, constHandler([]topk.Result{{ID: 1, Dist: 0.1}}))
+	a1, s1 := startShard(t, 1, 4, constHandler([]topk.Result{{ID: 2, Dist: 0.2}}))
+	r, err := NewRouter(ShardMap{Groups: [][]string{{a0}, {a1}}}, RouterConfig{ProbeCooloff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	s1.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := r.SearchBatch(ctx, oneQuery(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatal("want Degraded after shard death")
+	}
+	if !reflect.DeepEqual(out.FailedPartitions, []int{1}) {
+		t.Fatalf("FailedPartitions = %v, want [1]", out.FailedPartitions)
+	}
+	if len(out.Results[0]) != 1 || out.Results[0][0].ID != 1 {
+		t.Fatalf("surviving shard's row = %v", out.Results[0])
+	}
+}
+
+// TestRouterFailsOver: shard 0's primary replica errors; the router
+// retries the second replica and the batch succeeds undegraded.
+func TestRouterFailsOver(t *testing.T) {
+	bad, _ := startShard(t, 0, 4, func(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+		return nil, errors.New("disk on fire")
+	})
+	good, _ := startShard(t, 0, 4, constHandler([]topk.Result{{ID: 5, Dist: 0.5}}))
+	r, err := NewRouter(ShardMap{Groups: [][]string{{bad, good}}}, RouterConfig{HedgeDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	out, err := r.SearchBatch(context.Background(), oneQuery(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Degraded {
+		t.Fatalf("failover should not degrade: %+v", out)
+	}
+	if out.Results[0][0].ID != 5 {
+		t.Fatalf("row = %v, want replica's answer", out.Results[0])
+	}
+	if got := r.failovers.Load(); got < 1 {
+		t.Fatalf("failovers = %d, want >= 1", got)
+	}
+}
+
+// TestRouterHedges: a slow primary is raced by a hedged request to the
+// replica; the fast answer wins well before the primary finishes.
+func TestRouterHedges(t *testing.T) {
+	slow, _ := startShard(t, 0, 4, func(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return constHandler([]topk.Result{{ID: 1, Dist: 0.1}})(ctx, queries, k)
+	})
+	fast, _ := startShard(t, 0, 4, constHandler([]topk.Result{{ID: 2, Dist: 0.2}}))
+	r, err := NewRouter(ShardMap{Groups: [][]string{{slow, fast}}}, RouterConfig{HedgeDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	t0 := time.Now()
+	out, err := r.SearchBatch(context.Background(), oneQuery(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("hedge did not win: took %v", d)
+	}
+	if out.Results[0][0].ID != 2 {
+		t.Fatalf("row = %v, want hedged replica's answer", out.Results[0])
+	}
+	if got := r.hedges.Load(); got < 1 {
+		t.Fatalf("hedges = %d, want >= 1", got)
+	}
+}
+
+// TestRouterAllShardsDead: when every workgroup is exhausted the batch
+// fails outright instead of returning an empty "success".
+func TestRouterAllShardsDead(t *testing.T) {
+	a0, s0 := startShard(t, 0, 4, constHandler([]topk.Result{{ID: 1, Dist: 0.1}}))
+	r, err := NewRouter(ShardMap{Groups: [][]string{{a0}}}, RouterConfig{ProbeCooloff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	s0.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := r.SearchBatch(ctx, oneQuery(4), 1); err == nil {
+		t.Fatal("want error with every shard dead")
+	}
+}
+
+// TestRouterRejectsMisconfiguredShard: a worker announcing a different
+// shard index than its slot in the map is a wiring error, refused at
+// dial time.
+func TestRouterRejectsMisconfiguredShard(t *testing.T) {
+	a0, _ := startShard(t, 3, 4, constHandler(nil))
+	if _, err := NewRouter(ShardMap{Groups: [][]string{{a0}}}, RouterConfig{}); err == nil {
+		t.Fatal("want error for shard-index mismatch")
+	}
+}
+
+// TestRouterTopologyNotification: replica death (detected by the
+// connection watcher) and shard-map swaps both fire the topology
+// callback the gateway uses to purge its result cache.
+func TestRouterTopologyNotification(t *testing.T) {
+	a0, s0 := startShard(t, 0, 4, constHandler([]topk.Result{{ID: 1, Dist: 0.1}}))
+	a1, _ := startShard(t, 1, 4, constHandler([]topk.Result{{ID: 2, Dist: 0.2}}))
+	r, err := NewRouter(ShardMap{Groups: [][]string{{a0}, {a1}}}, RouterConfig{ProbeCooloff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	fired := make(chan struct{}, 16)
+	r.OnTopologyChange(func() { fired <- struct{}{} })
+
+	// Worker death between queries: the DownChan watcher must notice
+	// without any search traffic.
+	s0.Close()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no topology notification after worker death")
+	}
+
+	// A shard-map swap notifies too (dialing is lazy, so the swap itself
+	// always succeeds; bad wiring would surface on the next search).
+	before := r.TopologyVersion()
+	if err := r.SetShardMap(ShardMap{Groups: [][]string{{a1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.TopologyVersion() == before {
+		t.Fatal("SetShardMap did not bump the topology version")
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no topology notification after shard-map swap")
+	}
+}

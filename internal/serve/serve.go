@@ -35,6 +35,20 @@ import (
 	"repro/internal/vec"
 )
 
+// BatchOutput is one backend round's answer. Results rows align with the
+// queries. Degraded reports a partial answer: some partitions (shards in
+// routed mode, VP-tree partitions in distributed mode) could not be
+// searched, and FailedPartitions identifies them (deduplicated,
+// ascending). A degraded round is still a valid answer — the rows just
+// may miss neighbors from the listed partitions — so it is delivered
+// with HTTP 200 plus degraded markers rather than an error, and it is
+// never cached.
+type BatchOutput struct {
+	Results          [][]topk.Result
+	Degraded         bool
+	FailedPartitions []int
+}
+
 // Backend is the search core the gateway fronts. SearchBatch answers
 // every query in queries with k neighbors each, honoring ctx
 // cancellation (best-effort: a batch already dispatched to remote
@@ -48,7 +62,20 @@ type Backend interface {
 	// MaxK bounds the per-query k this backend can return; 0 means
 	// unbounded.
 	MaxK() int
-	SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error)
+	SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error)
+}
+
+// TopologyNotifier is implemented by backends whose result-set identity
+// can change underneath the gateway — the shard router, whose shard map
+// can be swapped and whose replicas go unhealthy and recover. The
+// gateway registers a callback and purges its result cache on every
+// topology change, so a cached row can never outlive the topology it
+// was computed against.
+type TopologyNotifier interface {
+	// OnTopologyChange registers fn to be called (from any goroutine)
+	// after every topology transition: shard-map swap, replica marked
+	// down, replica recovered.
+	OnTopologyChange(fn func())
 }
 
 // Mutator is the optional write half of a backend. Backends that
@@ -95,9 +122,11 @@ func (b *EngineBackend) Dim() int { return b.Engine.Dim() }
 // MaxK implements Backend; the engine serves any k.
 func (b *EngineBackend) MaxK() int { return 0 }
 
-// SearchBatch implements Backend.
-func (b *EngineBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
-	return b.Engine.SearchBatchContext(ctx, queries, k, b.Threads)
+// SearchBatch implements Backend. A single-process engine either
+// answers fully or errors; it is never degraded.
+func (b *EngineBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error) {
+	res, err := b.Engine.SearchBatchContext(ctx, queries, k, b.Threads)
+	return BatchOutput{Results: res}, err
 }
 
 // Upsert implements Mutator.
@@ -161,14 +190,17 @@ func (b *MasterBackend) MaxK() int { return b.Master.K() }
 
 // SearchBatch implements Backend. The distributed protocol has its own
 // deadline machinery (Config.QueryTimeout failover); ctx is checked
-// before dispatch so queue-expired batches never reach the wire.
-func (b *MasterBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) ([][]topk.Result, error) {
+// before dispatch so queue-expired batches never reach the wire. A
+// batch the master finished Degraded (replica failover exhausted)
+// surfaces as a degraded BatchOutput with the failed VP-tree
+// partitions listed.
+func (b *MasterBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return BatchOutput{}, err
 	}
 	res, err := b.Master.Search(queries)
 	if err != nil {
-		return nil, err
+		return BatchOutput{}, err
 	}
 	out := res.Results
 	for i := range out {
@@ -176,5 +208,9 @@ func (b *MasterBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k
 			out[i] = out[i][:k]
 		}
 	}
-	return out, nil
+	return BatchOutput{
+		Results:          out,
+		Degraded:         res.Degraded,
+		FailedPartitions: res.FailedPartitions,
+	}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/topk"
 )
 
@@ -75,6 +76,16 @@ func NewServer(backend Backend, cfg ServerConfig) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.batcher = NewBatcher(backend, cfg.Batcher, s.stats)
+	// Routed backends report topology transitions (shard-map swaps,
+	// replicas dying or recovering); every one invalidates the result
+	// cache, so a cached row can never outlive the topology it was
+	// computed against.
+	if tn, ok := backend.(TopologyNotifier); ok {
+		tn.OnTopologyChange(func() {
+			s.cache.purge()
+			s.stats.TopologyPurges.Add(1)
+		})
+	}
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/upsert", s.handleUpsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
@@ -115,11 +126,16 @@ type searchResult struct {
 	Cached bool      `json:"cached,omitempty"`
 }
 
-// searchResponse is the 200 body.
+// searchResponse is the 200 body. Degraded marks a partial answer: some
+// shards/partitions were unreachable, and FailedPartitions lists them
+// (union over every query in the request). Results are still valid but
+// may miss neighbors from those partitions.
 type searchResponse struct {
-	K       int            `json:"k"`
-	TookUS  int64          `json:"took_us"`
-	Results []searchResult `json:"results"`
+	K                int            `json:"k"`
+	TookUS           int64          `json:"took_us"`
+	Degraded         bool           `json:"degraded,omitempty"`
+	FailedPartitions []int          `json:"failed_partitions,omitempty"`
+	Results          []searchResult `json:"results"`
 }
 
 type errorResponse struct {
@@ -237,16 +253,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// own, so members of one HTTP batch coalesce and dedup individually
 	// alongside every other in-flight request.
 	results := make([]searchResult, len(queries))
+	metas := make([]BatchMeta, len(queries))
 	errs := make([]error, len(queries))
 	if len(queries) == 1 {
-		results[0], errs[0] = s.answerOne(ctx, queries[0], k)
+		results[0], metas[0], errs[0] = s.answerOne(ctx, queries[0], k)
 	} else {
 		var wg sync.WaitGroup
 		for i, q := range queries {
 			wg.Add(1)
 			go func(i int, q []float32) {
 				defer wg.Done()
-				results[i], errs[i] = s.answerOne(ctx, q, k)
+				results[i], metas[i], errs[i] = s.answerOne(ctx, q, k)
 			}(i, q)
 		}
 		wg.Wait()
@@ -262,38 +279,51 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.stats.RecordLatency(time.Since(t0))
-	writeJSON(w, http.StatusOK, searchResponse{
+	// Queries of one HTTP request may land in different backend rounds;
+	// the response's degraded view is the union over all of them.
+	resp := searchResponse{
 		K:       k,
-		TookUS:  time.Since(t0).Microseconds(),
 		Results: results,
-	})
+	}
+	for _, m := range metas {
+		if m.Degraded {
+			resp.Degraded = true
+			resp.FailedPartitions = core.UnionPartitions(resp.FailedPartitions, m.FailedPartitions)
+		}
+	}
+	if resp.Degraded {
+		s.stats.DegradedResponses.Add(1)
+	}
+	s.stats.RecordLatency(time.Since(t0))
+	resp.TookUS = time.Since(t0).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // answerOne resolves a single query: cache hit, join an identical
-// in-flight search, or lead one through the batcher.
-func (s *Server) answerOne(ctx context.Context, q []float32, k int) (searchResult, error) {
+// in-flight search, or lead one through the batcher. Cache hits carry a
+// zero BatchMeta by construction — degraded rows are never stored.
+func (s *Server) answerOne(ctx context.Context, q []float32, k int) (searchResult, BatchMeta, error) {
 	key := cacheKey(q, k)
 	if res, ok := s.cache.get(key); ok {
 		s.stats.CacheHits.Add(1)
-		return toSearchResult(res, true), nil
+		return toSearchResult(res, true), BatchMeta{}, nil
 	}
 	s.stats.CacheMisses.Add(1)
 	f, leader := s.cache.startFlight(key)
 	if !leader {
 		s.stats.Coalesced.Add(1)
-		res, err := f.wait(ctx)
+		res, meta, err := f.wait(ctx)
 		if err != nil {
-			return searchResult{}, err
+			return searchResult{}, meta, err
 		}
-		return toSearchResult(res, false), nil
+		return toSearchResult(res, false), meta, nil
 	}
-	res, err := s.batcher.Do(ctx, q, k)
-	s.cache.finishFlight(key, f, res, err)
+	res, meta, err := s.batcher.Do(ctx, q, k)
+	s.cache.finishFlight(key, f, res, meta, err)
 	if err != nil {
-		return searchResult{}, err
+		return searchResult{}, meta, err
 	}
-	return toSearchResult(res, false), nil
+	return toSearchResult(res, false), meta, nil
 }
 
 func toSearchResult(res []topk.Result, cached bool) searchResult {

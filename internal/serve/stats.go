@@ -25,6 +25,10 @@ type Stats struct {
 	Deletes        atomic.Int64 // IDs tombstoned via POST /v1/delete
 	WritesRejected atomic.Int64 // mutations refused by the open write circuit breaker
 
+	DegradedBatches   atomic.Int64 // backend rounds that returned a partial (degraded) answer
+	DegradedResponses atomic.Int64 // HTTP responses delivered with degraded markers
+	TopologyPurges    atomic.Int64 // cache purges forced by shard-topology changes
+
 	queueDepth atomic.Int64 // entries currently admitted but not collected
 
 	batchSizes metrics.Reservoir // queries per dispatched round
@@ -63,6 +67,10 @@ type Snapshot struct {
 	WritesRejected int64 `json:"writes_rejected"`
 	QueueDepth     int64 `json:"queue_depth"`
 
+	DegradedBatches   int64 `json:"degraded_batches"`
+	DegradedResponses int64 `json:"degraded_responses"`
+	TopologyPurges    int64 `json:"topology_purges"`
+
 	// MeanBatchSize is Queries/Batches — the amortization the
 	// micro-batcher is buying.
 	MeanBatchSize float64         `json:"mean_batch_size"`
@@ -89,6 +97,10 @@ func (s *Stats) Snapshot() Snapshot {
 		Deletes:        s.Deletes.Load(),
 		WritesRejected: s.WritesRejected.Load(),
 		QueueDepth:     s.queueDepth.Load(),
+
+		DegradedBatches:   s.DegradedBatches.Load(),
+		DegradedResponses: s.DegradedResponses.Load(),
+		TopologyPurges:    s.TopologyPurges.Load(),
 		BatchSize:      s.batchSizes.Summarize(),
 		LatencyUS:      s.latencies.Summarize(),
 		Runtime:        metrics.CaptureRuntime(),

@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build bin test tier1 tier1-race tier1-cluster fast vet race bench fuzz-smoke clean
+.PHONY: all build bin test tier1 tier1-race tier1-cluster fast vet race bench bench-smoke fuzz-smoke clean
 
 all: build
 
@@ -52,11 +52,21 @@ tier1-cluster:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
-# Short native-fuzzing pass over the WAL record scanner: no input may
-# panic it or deliver a record whose CRC does not verify. CI runs this
-# on every push; run without -fuzztime locally to dig deeper.
+# Serving-path regression gate: run the scalar / frozen / frozen_sq8
+# variants on a reduced workload and fail if the quantized path's recall
+# drops more than a point below scalar. CI runs this on every push; the
+# committed BENCH_results.json is regenerated with the full default
+# workload (plain `annbench -json BENCH_results.json`).
+bench-smoke:
+	$(GO) run ./cmd/annbench -json /tmp/bench-smoke.json -points 20000 -queries 400 -gate
+
+# Short native-fuzzing passes: the WAL record scanner (no input may
+# panic it or deliver a record whose CRC does not verify) and the SQ8
+# codec (non-finite rejection, round-trip bounds). CI runs this on every
+# push; run without -fuzztime locally to dig deeper.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadRecord -fuzztime=10s -run '^$$' ./internal/store
+	$(GO) test -fuzz=FuzzSQ8Codec -fuzztime=10s -run '^$$' ./internal/vec
 
 clean:
 	$(GO) clean ./...

@@ -7,17 +7,23 @@
 //	annbench -experiment all -points 50000 -queries 1000
 //
 // The serving benchmark also emits a machine-readable result file for
-// regression tracking (recall, QPS, latency percentiles):
+// regression tracking: the same workload is driven through the three
+// single-process serving variants — scalar (dynamic HNSW), frozen (flat
+// layout) and frozen_sq8 (flat layout + SQ8 quantized first pass with
+// exact re-rank) — over one engine build, and the JSON is keyed by
+// variant:
 //
 //	annbench -json BENCH_results.json
 //
-// With -shards N it additionally runs the same workload through a
-// sharded deployment (N worker engines behind real loopback TCP, merged
-// by the gateway's scatter-gather router) and the JSON becomes
-// {"single": {...}, "sharded": {...}} so both paths are tracked side by
-// side:
+// With -shards N it additionally runs a sharded deployment (N worker
+// engines behind real loopback TCP, merged by the gateway's
+// scatter-gather router) under the "sharded" key:
 //
 //	annbench -json BENCH_results.json -shards 3
+//
+// -gate turns the run into a CI regression check: it exits non-zero if
+// the frozen_sq8 recall drops more than one point below scalar (this is
+// what `make bench-smoke` runs).
 package main
 
 import (
@@ -41,8 +47,9 @@ func main() {
 		k       = flag.Int("k", 10, "neighbors per query")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		jsonOut = flag.String("json", "", "run the serving benchmark and write its results (recall, QPS, p50/p99) to this file as JSON")
+		jsonOut = flag.String("json", "", "run the serving benchmark variants (scalar, frozen, frozen_sq8) and write their results (recall, QPS, p50/p99) to this file as JSON")
 		shards  = flag.Int("shards", 0, "with -json: also benchmark a sharded deployment over this many TCP worker shards")
+		gate    = flag.Bool("gate", false, "with -json: exit non-zero if frozen_sq8 recall drops more than 0.01 below scalar")
 	)
 	flag.Parse()
 
@@ -61,17 +68,16 @@ func main() {
 		Quick:   *quick,
 	}
 	if *jsonOut != "" {
-		res, err := exp.ServingBench(opts)
+		doc, err := exp.ServingBenchVariants(opts)
 		if err != nil {
 			log.Fatalf("serving bench: %v", err)
 		}
-		var doc any = res
 		if *shards > 0 {
 			sharded, err := exp.ServingBenchSharded(opts, *shards)
 			if err != nil {
 				log.Fatalf("sharded serving bench: %v", err)
 			}
-			doc = map[string]*exp.ServingResult{"single": res, "sharded": sharded}
+			doc["sharded"] = sharded
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -81,6 +87,16 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonOut)
+		if *gate {
+			scalar, sq8 := doc["scalar"], doc["frozen_sq8"]
+			const slack = 0.01
+			if sq8.Recall < scalar.Recall-slack {
+				log.Fatalf("RECALL GATE FAILED: frozen_sq8 recall %.4f < scalar %.4f - %.2f",
+					sq8.Recall, scalar.Recall, slack)
+			}
+			log.Printf("recall gate ok: frozen_sq8 %.4f vs scalar %.4f (slack %.2f)",
+				sq8.Recall, scalar.Recall, slack)
+		}
 		return
 	}
 	run := func(e exp.Experiment) {

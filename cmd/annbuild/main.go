@@ -38,6 +38,8 @@ func main() {
 		nprobe = flag.Int("nprobe", 2, "partitions searched per query (stored as default)")
 		seed   = flag.Int64("seed", 1, "construction seed")
 		out    = flag.String("out", "index.ann", "output index file")
+
+		frozenReport = flag.Bool("frozen-report", false, "after building, freeze with SQ8 and report the flat-layout footprint plus sampled quantized recall vs the scalar path (the index file is unaffected)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -88,4 +90,59 @@ func main() {
 	}
 	st, _ := os.Stat(*out)
 	fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(st.Size())/(1<<20))
+
+	if *frozenReport {
+		reportFrozen(e, ds)
+	}
+}
+
+// reportFrozen freezes the just-built engine with SQ8 on and prints what
+// serving it frozen would cost and return: arena footprint and recall@10
+// of the quantized path against the scalar path over sampled rows.
+func reportFrozen(e *core.Engine, ds *vec.Dataset) {
+	const k, samples = 10, 100
+	step := ds.Len() / samples
+	if step < 1 {
+		step = 1
+	}
+	queries := make([][]float32, 0, samples)
+	for i := 0; i < ds.Len() && len(queries) < samples; i += step {
+		queries = append(queries, ds.At(i))
+	}
+	baseline := make([]map[int64]bool, len(queries))
+	for i, q := range queries {
+		rs, err := e.Search(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline[i] = make(map[int64]bool, len(rs))
+		for _, r := range rs {
+			baseline[i][r.ID] = true
+		}
+	}
+	t0 := time.Now()
+	if err := e.Freeze(hnsw.FreezeOptions{SQ8: true}); err != nil {
+		log.Fatal(err)
+	}
+	froze := time.Since(t0)
+	hits, want := 0, 0
+	for i, q := range queries {
+		rs, err := e.Search(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want += len(baseline[i])
+		for _, r := range rs {
+			if baseline[i][r.ID] {
+				hits++
+			}
+		}
+	}
+	fi, _ := e.FrozenInfo()
+	fmt.Printf("frozen report: froze %d partitions in %v, %.1f MiB arena (sq8)\n",
+		fi.Partitions, froze.Round(time.Millisecond), float64(fi.ArenaBytes)/(1<<20))
+	if want > 0 {
+		fmt.Printf("frozen report: sq8 recall@%d vs scalar = %.4f over %d sampled queries (rerank ratio %.2f)\n",
+			k, float64(hits)/float64(want), len(queries), fi.RerankRatio())
+	}
 }

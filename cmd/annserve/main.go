@@ -67,6 +67,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fsx"
+	"repro/internal/hnsw"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -104,6 +105,10 @@ func main() {
 		nprobe  = flag.Int("nprobe", 0, "override partitions searched per query")
 		ef      = flag.Int("ef", 0, "override HNSW efSearch (single-process mode)")
 		threads = flag.Int("threads", 0, "search threads per batch round (0 = GOMAXPROCS)")
+
+		frozen  = flag.Bool("frozen", false, "serve from flat frozen layouts: contiguous arena + CSR adjacency, re-frozen across compactions (single-process mode)")
+		sq8     = flag.Bool("sq8", false, "with -frozen: SQ8 quantized first pass + exact re-rank (L2-family metrics)")
+		rerankK = flag.Int("rerank-k", 0, "with -sq8: candidates re-ranked at full precision (>0 fixed, 0 = 4*k per query, <0 = exact scoring)")
 
 		maxBatch = flag.Int("max-batch", 64, "max queries coalesced into one search round")
 		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits to be batched")
@@ -192,6 +197,18 @@ func main() {
 		}
 		if *ef > 0 {
 			e.SetEfSearch(*ef)
+		}
+		if *sq8 && !*frozen {
+			log.Fatal("-sq8 requires -frozen")
+		}
+		if *frozen {
+			if err := e.Freeze(hnsw.FreezeOptions{SQ8: *sq8, RerankK: *rerankK}); err != nil {
+				log.Fatal(err)
+			}
+			if fi, ok := e.FrozenInfo(); ok {
+				log.Printf("frozen: %d partitions, %d points flat, %.1f MiB arena, sq8=%v rerank-k=%d",
+					fi.Partitions, fi.FrozenLen, float64(fi.ArenaBytes)/(1<<20), fi.Quantized, *rerankK)
+			}
 		}
 		log.Printf("index: %d points, %d partitions, dim %d", e.Len(), e.Partitions(), e.Dim())
 		backend := &serve.EngineBackend{Engine: e, Threads: *threads, Store: d}

@@ -90,6 +90,20 @@ type Config struct {
 	// point Section VI describes. The distributed engine currently
 	// always uses HNSW (its replication path ships serialized graphs).
 	LocalIndex string
+	// Frozen lays every partition out flat for serving after
+	// construction (contiguous vector arena + CSR adjacency instead of
+	// per-node allocations) and re-freezes partitions on every
+	// SwapPartition. Engines restored from disk freeze via
+	// Engine.Freeze instead. HNSW local indexes only.
+	Frozen bool
+	// SQ8 additionally scans SQ8 scalar-quantized codes during frozen
+	// candidate generation and re-ranks the top RerankK candidates at
+	// full precision. Requires Frozen and an L2-family metric.
+	SQ8 bool
+	// RerankK is the re-rank budget of the quantized frozen path: >0
+	// re-ranks that many candidates, 0 defaults to 4*k per query, <0
+	// disables quantized scoring (exact float32 scoring throughout).
+	RerankK int
 	// Seed makes partitioning and index construction reproducible.
 	Seed int64
 	// CheckpointDir, when non-empty, makes every worker save its built

@@ -36,6 +36,9 @@ type Engine struct {
 	swapMu sync.RWMutex
 	tree   *vptree.PartitionTree
 	parts  []index.Local
+	// freeze is the frozen-serving-mode state; partitions installed by
+	// SwapPartition while it is on are re-frozen before they land.
+	freeze freezeState
 
 	// dynamic is set at construction and never reassigned, so it can be
 	// read without holding swapMu; its own mutex guards the contents.
@@ -111,6 +114,11 @@ func NewEngine(ds *vec.Dataset, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.Frozen {
+		if err := e.Freeze(hnsw.FreezeOptions{SQ8: cfg.SQ8, RerankK: cfg.RerankK}); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -182,6 +190,8 @@ func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, er
 			}
 			total.DistComps += st.DistComps
 			total.Hops += st.Hops
+			total.QuantComps += st.QuantComps
+			total.Reranked += st.Reranked
 			lists = append(lists, rs)
 		}
 		return e.filterDeleted(topk.Merge(fetch, lists...), k), total, nil
@@ -196,6 +206,8 @@ func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, index.Stats, er
 		}
 		total.DistComps += st.DistComps
 		total.Hops += st.Hops
+		total.QuantComps += st.QuantComps
+		total.Reranked += st.Reranked
 		lists = append(lists, rs)
 	}
 	return e.filterDeleted(topk.Merge(fetch, lists...), k), total, nil
@@ -308,6 +320,21 @@ func (e *Engine) PartitionGraph(p int) (*hnsw.Graph, bool) {
 // orders because folded IDs are absent from l and still filtered from
 // the old index until the swap lands.
 func (e *Engine) SwapPartition(p int, l index.Local, folded []int64) error {
+	// In frozen mode the replacement is re-frozen before it lands, so the
+	// flat serving layout survives compaction. The O(n) freeze runs
+	// before taking the write lock; a concurrent Freeze/Unfreeze changing
+	// the mode underneath is benign (both wrapped and plain HNSW locals
+	// serve correctly in either mode).
+	e.swapMu.RLock()
+	fz := e.freeze
+	e.swapMu.RUnlock()
+	if fz.on && !index.Frozen(l) {
+		fl, err := index.Freeze(l, fz.opts)
+		if err != nil {
+			return fmt.Errorf("core: re-freezing swapped partition %d: %w", p, err)
+		}
+		l = fl
+	}
 	e.swapMu.Lock()
 	if p < 0 || p >= len(e.parts) {
 		e.swapMu.Unlock()

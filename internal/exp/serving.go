@@ -6,16 +6,18 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hnsw"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 )
 
-// ServingResult is the machine-readable output of ServingBench — the
-// numbers a CI job or regression tracker wants without parsing tables:
-// recall against brute-force ground truth, sustained throughput, and
-// the per-query latency tail. Written by annbench -json as
-// BENCH_results.json.
+// ServingResult is the machine-readable output of the serving benchmarks
+// — the numbers a CI job or regression tracker wants without parsing
+// tables: recall against brute-force ground truth, sustained throughput,
+// and the per-query latency tail. Written by annbench -json as
+// BENCH_results.json, one entry per serving variant.
 type ServingResult struct {
+	Variant    string  `json:"variant"` // scalar | frozen | frozen_sq8 | sharded
 	Dataset    string  `json:"dataset"`
 	Points     int     `json:"points"`
 	Queries    int     `json:"queries"`
@@ -27,6 +29,10 @@ type ServingResult struct {
 	Shards     int     `json:"shards,omitempty"` // 0 = single-process; >0 = scatter-gather over TCP workers
 	Seed       int64   `json:"seed"`
 	BuildSec   float64 `json:"build_sec"`
+
+	// Frozen-path shape (zero for the scalar variant).
+	ArenaBytes  int64   `json:"arena_bytes,omitempty"`
+	RerankRatio float64 `json:"rerank_ratio,omitempty"`
 
 	Recall     float64 `json:"recall"`
 	QPS        float64 `json:"qps"`
@@ -47,17 +53,78 @@ func ServingBench(o Options) (*ServingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	e, buildSec, err := servingEngine(w, o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := measureServing(e, w, o, "scalar", buildSec)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Serving benchmark (single-process search path)")
+	printServing(o, w, res)
+	return res, nil
+}
 
+// ServingBenchVariants runs the same workload through the three
+// single-process serving paths — scalar (dynamic HNSW, float32
+// throughout), frozen (flat layout, float32 scoring), and frozen_sq8
+// (flat layout, SQ8 quantized first pass + exact re-rank) — over ONE
+// engine build, so the variants differ only in serving layout. This is
+// the recall/perf regression surface bench-smoke gates on.
+func ServingBenchVariants(o Options) (map[string]*ServingResult, error) {
+	o.fill()
+	w, err := descriptorWorkload("sift", o, true)
+	if err != nil {
+		return nil, err
+	}
+	e, buildSec, err := servingEngine(w, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Serving benchmark (scalar vs frozen vs frozen+SQ8)")
+	out := make(map[string]*ServingResult, 3)
+	for _, v := range []struct {
+		name   string
+		freeze bool
+		sq8    bool
+	}{
+		{"scalar", false, false},
+		{"frozen", true, false},
+		{"frozen_sq8", true, true},
+	} {
+		if v.freeze {
+			if err := e.Freeze(hnsw.FreezeOptions{SQ8: v.sq8}); err != nil {
+				return nil, fmt.Errorf("%s: %w", v.name, err)
+			}
+		}
+		res, err := measureServing(e, w, o, v.name, buildSec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		out[v.name] = res
+		printServing(o, w, res)
+	}
+	return out, nil
+}
+
+// servingEngine builds the single-process engine the serving benchmarks
+// share.
+func servingEngine(w *workload, o Options) (*core.Engine, float64, error) {
 	cfg := core.DefaultConfig(runtime.GOMAXPROCS(0))
 	cfg.K = o.K
 	cfg.Seed = o.Seed
 	t0 := time.Now()
 	e, err := core.NewEngine(w.data, cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	buildSec := time.Since(t0).Seconds()
+	return e, time.Since(t0).Seconds(), nil
+}
 
+// measureServing drives every query through e one at a time and scores
+// recall against the workload's brute-force ground truth.
+func measureServing(e *core.Engine, w *workload, o Options, variant string, buildSec float64) (*ServingResult, error) {
 	n := w.queries.Len()
 	results := make([][]topk.Result, n)
 	lats := make([]float64, n)
@@ -75,13 +142,14 @@ func ServingBench(o Options) (*ServingResult, error) {
 
 	sum := metrics.Summarize(lats)
 	res := &ServingResult{
+		Variant:    variant,
 		Dataset:    w.name,
 		Points:     w.data.Len(),
 		Queries:    n,
 		Dim:        w.data.Dim,
 		K:          o.K,
 		Partitions: e.Partitions(),
-		NProbe:     cfg.NProbe,
+		NProbe:     2,
 		Threads:    1,
 		Seed:       o.Seed,
 		BuildSec:   buildSec,
@@ -93,11 +161,16 @@ func ServingBench(o Options) (*ServingResult, error) {
 		MeanMicros: sum.Mean,
 		MaxMicros:  sum.Max,
 	}
-
-	header(o.Out, "Serving benchmark (single-process search path)")
-	fmt.Fprintf(o.Out, "%s: %d points dim %d, %d queries, k=%d, %d partitions\n",
-		w.name, res.Points, res.Dim, n, o.K, res.Partitions)
-	fmt.Fprintf(o.Out, "build %.2fs | recall %.4f | %.0f QPS | p50 %.0fµs p90 %.0fµs p99 %.0fµs\n",
-		buildSec, res.Recall, res.QPS, res.P50Micros, res.P90Micros, res.P99Micros)
+	if fi, ok := e.FrozenInfo(); ok {
+		res.ArenaBytes = fi.ArenaBytes
+		res.RerankRatio = fi.RerankRatio()
+	}
 	return res, nil
+}
+
+func printServing(o Options, w *workload, res *ServingResult) {
+	fmt.Fprintf(o.Out, "%-10s %s: %d points dim %d, %d queries, k=%d, %d partitions\n",
+		res.Variant, w.name, res.Points, res.Dim, res.Queries, o.K, res.Partitions)
+	fmt.Fprintf(o.Out, "%-10s build %.2fs | recall %.4f | %.0f QPS | p50 %.0fµs p90 %.0fµs p99 %.0fµs\n",
+		res.Variant, res.BuildSec, res.Recall, res.QPS, res.P50Micros, res.P90Micros, res.P99Micros)
 }

@@ -107,6 +107,7 @@ func ServingBenchSharded(o Options, shards int) (*ServingResult, error) {
 
 	sum := metrics.Summarize(lats)
 	res := &ServingResult{
+		Variant:    "sharded",
 		Dataset:    w.name,
 		Points:     w.data.Len(),
 		Queries:    n,

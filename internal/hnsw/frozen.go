@@ -1,0 +1,394 @@
+package hnsw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Frozen is the flat, read-only serving layout of a Graph: one
+// contiguous vector arena, per-layer adjacency in CSR form (an offsets
+// slab plus one neighbor slab — no per-node allocations, no pointers,
+// no locks on the hot path), and optionally an SQ8 code slab used for
+// quantized candidate generation with exact float32 re-ranking.
+//
+// A Frozen is an immutable snapshot: it is built once by Graph.Freeze
+// and never mutated, so any number of goroutines may search it
+// concurrently without synchronisation. Writes keep going to the
+// dynamic Graph; the serving layer re-freezes when the delta grows or a
+// partition is swapped (see internal/index.Freeze).
+type Frozen struct {
+	dim      int
+	metric   vec.Metric
+	dist     vec.DistFunc
+	sqrtL    bool
+	efSearch int
+	rerankK  int
+
+	ids   []int64   // n global IDs
+	arena []float32 // n*dim full-precision vectors, row-major
+	codes []uint8   // n*dim SQ8 codes, or nil when quantization is off
+	codec *vec.SQ8
+
+	// layers[l] is the adjacency of layer l in CSR form: the neighbors
+	// of node u are nbr[off[u]:off[u+1]]. Nodes absent from a layer have
+	// an empty range, so off has n+1 entries on every layer.
+	layers   []csrLayer
+	entry    uint32
+	maxLevel int
+}
+
+type csrLayer struct {
+	off []uint32
+	nbr []uint32
+}
+
+// FreezeOptions tunes the frozen layout.
+type FreezeOptions struct {
+	// SQ8 enables scalar-quantized candidate generation. Requires an
+	// L2-family metric (byte-domain distances rank other metrics
+	// incorrectly); Freeze errors otherwise.
+	SQ8 bool
+	// RerankK is the default number of top quantized candidates
+	// re-ranked at full precision per search: >0 uses that many, 0
+	// picks 4*k at search time, and <0 means unbounded — every
+	// candidate is scored at full precision, which disables quantized
+	// scoring entirely and makes results bit-identical to the exact
+	// float32 path.
+	RerankK int
+}
+
+// Freeze lays the graph out flat for serving. The graph may keep
+// receiving Add calls concurrently; the frozen view captures the rows
+// committed at the time of the call and filters links that point past
+// the snapshot.
+func (g *Graph) Freeze(opts FreezeOptions) (*Frozen, error) {
+	g.epMu.RLock()
+	s := g.snapshotLocked()
+	empty := g.empty
+	g.epMu.RUnlock()
+
+	n := len(s.nodes)
+	f := &Frozen{
+		dim:      s.dim,
+		metric:   g.cfg.Metric,
+		dist:     g.dist,
+		sqrtL:    g.sqrtL,
+		efSearch: g.cfg.EfSearch,
+		rerankK:  opts.RerankK,
+		entry:    s.entry,
+		maxLevel: s.maxL,
+	}
+	if empty {
+		n = 0
+		f.maxLevel = 0
+		f.entry = 0
+	}
+	f.ids = append([]int64(nil), s.ids[:n]...)
+	f.arena = append([]float32(nil), s.data[:n*s.dim]...)
+
+	// Adjacency: two passes per layer (count, then fill) so each layer
+	// is exactly two allocations.
+	f.layers = make([]csrLayer, f.maxLevel+1)
+	links := make([][][]uint32, n) // per node: snapshot of its links
+	for u := 0; u < n; u++ {
+		nd := s.nodes[u]
+		nd.mu.Lock()
+		ls := make([][]uint32, len(nd.links))
+		for l, lk := range nd.links {
+			row := make([]uint32, 0, len(lk))
+			for _, x := range lk {
+				if int(x) < n {
+					row = append(row, x)
+				}
+			}
+			ls[l] = row
+		}
+		nd.mu.Unlock()
+		links[u] = ls
+	}
+	for l := range f.layers {
+		off := make([]uint32, n+1)
+		total := uint32(0)
+		for u := 0; u < n; u++ {
+			off[u] = total
+			if l < len(links[u]) {
+				total += uint32(len(links[u][l]))
+			}
+		}
+		off[n] = total
+		nbr := make([]uint32, 0, total)
+		for u := 0; u < n; u++ {
+			if l < len(links[u]) {
+				nbr = append(nbr, links[u][l]...)
+			}
+		}
+		f.layers[l] = csrLayer{off: off, nbr: nbr}
+	}
+
+	if opts.SQ8 && n > 0 {
+		if !g.cfg.Metric.Monotone() {
+			return nil, fmt.Errorf("hnsw: SQ8 quantized scoring requires an L2-family metric, have %v", g.cfg.Metric)
+		}
+		ds := &vec.Dataset{Dim: f.dim, Data: f.arena, IDs: f.ids}
+		codec, err := vec.TrainSQ8(ds)
+		if err != nil {
+			return nil, fmt.Errorf("hnsw: freeze: %w", err)
+		}
+		codes, err := codec.EncodeAll(ds)
+		if err != nil {
+			return nil, fmt.Errorf("hnsw: freeze: %w", err)
+		}
+		f.codec, f.codes = codec, codes
+	}
+	return f, nil
+}
+
+// Len returns the number of frozen vectors.
+func (f *Frozen) Len() int { return len(f.ids) }
+
+// Dim returns the vector dimension.
+func (f *Frozen) Dim() int { return f.dim }
+
+// MaxLevel returns the frozen hierarchy's top layer.
+func (f *Frozen) MaxLevel() int { return f.maxLevel }
+
+// Quantized reports whether the SQ8 first pass is available.
+func (f *Frozen) Quantized() bool { return f.codec != nil }
+
+// ID returns the global ID of row i.
+func (f *Frozen) ID(i int) int64 { return f.ids[i] }
+
+// Vector returns row i of the full-precision arena. Callers must not
+// mutate it.
+func (f *Frozen) Vector(i int) []float32 { return f.arena[i*f.dim : (i+1)*f.dim] }
+
+// ArenaBytes returns the memory footprint of the frozen layout: vector
+// arena, SQ8 codes, IDs, and adjacency slabs.
+func (f *Frozen) ArenaBytes() int64 {
+	b := int64(len(f.arena))*4 + int64(len(f.codes)) + int64(len(f.ids))*8
+	for _, l := range f.layers {
+		b += int64(len(l.off))*4 + int64(len(l.nbr))*4
+	}
+	if f.codec != nil {
+		b += f.codec.Bytes()
+	}
+	return b
+}
+
+func (f *Frozen) neighbors(l int, u uint32) []uint32 {
+	lay := &f.layers[l]
+	return lay.nbr[lay.off[u]:lay.off[u+1]]
+}
+
+func (f *Frozen) vec(i uint32) []float32 {
+	return f.arena[int(i)*f.dim : (int(i)+1)*f.dim]
+}
+
+func (f *Frozen) code(i uint32) []uint8 {
+	return f.codes[int(i)*f.dim : (int(i)+1)*f.dim]
+}
+
+// Search returns the approximate k nearest neighbors using the beam
+// width and re-rank budget fixed at freeze time.
+func (f *Frozen) Search(q []float32, k int) ([]topk.Result, Stats, error) {
+	return f.SearchEf(q, k, f.efSearch, f.rerankK)
+}
+
+// SearchEf searches with an explicit beam width ef (clamped to >= k)
+// and re-rank budget rerankK (see FreezeOptions.RerankK for the 0 and
+// negative conventions). Results carry global IDs and exact
+// full-precision distances in the configured metric.
+func (f *Frozen) SearchEf(q []float32, k, ef, rerankK int) ([]topk.Result, Stats, error) {
+	if len(f.ids) == 0 {
+		return nil, Stats{}, ErrEmpty
+	}
+	if len(q) != f.dim {
+		return nil, Stats{}, fmt.Errorf("hnsw: query dim %d, index dim %d", len(q), f.dim)
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("hnsw: non-positive k %d", k)
+	}
+	if ef < k {
+		ef = k
+	}
+	var st Stats
+	quant := f.codec != nil && rerankK >= 0
+	if !quant {
+		// Exact path: float32 scoring end to end. Bit-identical to
+		// Graph.SearchEf over the same snapshot (same traversal order,
+		// same tie-breaking).
+		cands := f.searchFloat(q, ef, &st)
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return f.report(cands), st, nil
+	}
+
+	qc := make([]uint8, f.dim)
+	if err := f.codec.Encode(q, qc); err != nil {
+		return nil, st, err
+	}
+	rr := rerankK
+	if rr == 0 {
+		rr = 4 * k
+	}
+	if rr < k {
+		rr = k
+	}
+	// Quantized first pass over the code slab...
+	cands := f.searchBytes(qc, ef, &st)
+	if len(cands) > rr {
+		cands = cands[:rr]
+	}
+	// ...then exact re-rank of the survivors against the arena.
+	col := topk.New(k)
+	for _, c := range cands {
+		col.Push(int64(c.id), f.dist(q, f.vec(c.id)))
+	}
+	st.DistComps += int64(len(cands))
+	st.Reranked += int64(len(cands))
+	rs := col.Results()
+	out := make([]topk.Result, len(rs))
+	for i, r := range rs {
+		d := r.Dist
+		if f.sqrtL {
+			d = float32(math.Sqrt(float64(d)))
+		}
+		out[i] = topk.Result{ID: f.ids[r.ID], Dist: d}
+	}
+	return out, st, nil
+}
+
+// report converts internal candidates (exact internal-metric distances)
+// into results with global IDs and user-metric distances.
+func (f *Frozen) report(cands []cand) []topk.Result {
+	out := make([]topk.Result, len(cands))
+	for i, c := range cands {
+		d := c.dist
+		if f.sqrtL {
+			d = float32(math.Sqrt(float64(d)))
+		}
+		out[i] = topk.Result{ID: f.ids[c.id], Dist: d}
+	}
+	return out
+}
+
+// searchFloat is the exact traversal: greedy descent through the upper
+// layers, then a beam of width ef on layer 0, all scored with the
+// full-precision kernel against the arena.
+func (f *Frozen) searchFloat(q []float32, ef int, st *Stats) []cand {
+	cur := f.entry
+	curDist := f.dist(q, f.vec(cur))
+	st.DistComps++
+	for l := f.maxLevel; l >= 1; l-- {
+		for changed := true; changed; {
+			changed = false
+			st.Hops++
+			for _, nb := range f.neighbors(l, cur) {
+				d := f.dist(q, f.vec(nb))
+				st.DistComps++
+				if d < curDist {
+					curDist, cur = d, nb
+					changed = true
+				}
+			}
+		}
+	}
+	ctx := ctxPool.Get().(*searchCtx)
+	defer ctxPool.Put(ctx)
+	ctx.reset(len(f.ids))
+	var frontier topk.MinQueue
+	results := topk.New(ef)
+	// The dynamic path re-scores the entry when it starts the layer-0
+	// beam (searchLayer owns its entry distance); do the same so work
+	// stats — not just results — are bit-identical to Graph.SearchEf.
+	curDist = f.dist(q, f.vec(cur))
+	st.DistComps++
+	ctx.visit(cur)
+	frontier.PushMin(int64(cur), curDist)
+	results.Push(int64(cur), curDist)
+	for frontier.Len() > 0 {
+		c := frontier.PopMin()
+		if c.Dist > results.Bound() {
+			break
+		}
+		st.Hops++
+		for _, nb := range f.neighbors(0, uint32(c.ID)) {
+			if !ctx.visit(nb) {
+				continue
+			}
+			dn := f.dist(q, f.vec(nb))
+			st.DistComps++
+			if !results.Full() || dn < results.Bound() {
+				frontier.PushMin(int64(nb), dn)
+				results.Push(int64(nb), dn)
+			}
+		}
+	}
+	rs := results.Results()
+	out := make([]cand, len(rs))
+	for i, r := range rs {
+		out[i] = cand{uint32(r.ID), r.Dist}
+	}
+	return out
+}
+
+// searchBytes is the quantized traversal: identical structure to
+// searchFloat but scored with the integer SQ8 kernel against the code
+// slab — 1/4 the memory traffic per candidate.
+func (f *Frozen) searchBytes(qc []uint8, ef int, st *Stats) []cand {
+	cur := f.entry
+	curDist := float32(vec.SquaredL2Bytes(qc, f.code(cur)))
+	st.QuantComps++
+	for l := f.maxLevel; l >= 1; l-- {
+		for changed := true; changed; {
+			changed = false
+			st.Hops++
+			for _, nb := range f.neighbors(l, cur) {
+				d := float32(vec.SquaredL2Bytes(qc, f.code(nb)))
+				st.QuantComps++
+				if d < curDist {
+					curDist, cur = d, nb
+					changed = true
+				}
+			}
+		}
+	}
+	ctx := ctxPool.Get().(*searchCtx)
+	defer ctxPool.Put(ctx)
+	ctx.reset(len(f.ids))
+	var frontier topk.MinQueue
+	results := topk.New(ef)
+	curDist = float32(vec.SquaredL2Bytes(qc, f.code(cur)))
+	st.QuantComps++
+	ctx.visit(cur)
+	frontier.PushMin(int64(cur), curDist)
+	results.Push(int64(cur), curDist)
+	for frontier.Len() > 0 {
+		c := frontier.PopMin()
+		if c.Dist > results.Bound() {
+			break
+		}
+		st.Hops++
+		for _, nb := range f.neighbors(0, uint32(c.ID)) {
+			if !ctx.visit(nb) {
+				continue
+			}
+			dn := float32(vec.SquaredL2Bytes(qc, f.code(nb)))
+			st.QuantComps++
+			if !results.Full() || dn < results.Bound() {
+				frontier.PushMin(int64(nb), dn)
+				results.Push(int64(nb), dn)
+			}
+		}
+	}
+	rs := results.Results()
+	out := make([]cand, len(rs))
+	for i, r := range rs {
+		out[i] = cand{uint32(r.ID), r.Dist}
+	}
+	return out
+}

@@ -154,13 +154,20 @@ func (s *snap) vec(i uint32) []float32 {
 // Stats reports the work performed by one search or accumulated over a
 // build; the distributed cost model consumes these.
 type Stats struct {
-	DistComps int64 // number of distance evaluations
-	Hops      int64 // number of graph expansions (nodes popped)
+	DistComps  int64 // number of full-precision distance evaluations
+	Hops       int64 // number of graph expansions (nodes popped)
+	QuantComps int64 // number of quantized (SQ8) distance evaluations
+	Reranked   int64 // candidates re-ranked at full precision
 }
 
 // Add combines two stats values.
 func (s Stats) Add(o Stats) Stats {
-	return Stats{s.DistComps + o.DistComps, s.Hops + o.Hops}
+	return Stats{
+		DistComps:  s.DistComps + o.DistComps,
+		Hops:       s.Hops + o.Hops,
+		QuantComps: s.QuantComps + o.QuantComps,
+		Reranked:   s.Reranked + o.Reranked,
+	}
 }
 
 // New creates an empty index of the given dimension.
@@ -221,6 +228,24 @@ func (g *Graph) SetEfSearch(ef int) {
 // Data exposes the underlying dataset. Callers must not mutate it and
 // must not call Data concurrently with Add.
 func (g *Graph) Data() *vec.Dataset { return g.data }
+
+// DataSnapshot returns a point-in-time view of the indexed vectors that
+// is safe to read concurrently with Add: the slice headers are captured
+// under the lock, and committed rows are never moved by later appends.
+// Callers must not mutate the view.
+func (g *Graph) DataSnapshot() *vec.Dataset {
+	g.epMu.RLock()
+	defer g.epMu.RUnlock()
+	n := g.data.Len()
+	return &vec.Dataset{
+		Dim:  g.data.Dim,
+		Data: g.data.Data[: n*g.data.Dim : n*g.data.Dim],
+		IDs:  g.data.IDs[:n:n],
+	}
+}
+
+// EfSearch returns the current default query beam width.
+func (g *Graph) EfSearch() int { return g.cfg.EfSearch }
 
 func (g *Graph) randomLevel() int {
 	if g.cfg.Flat {

@@ -160,7 +160,7 @@ func TestStatsAccumulate(t *testing.T) {
 	if st.DistComps == 0 || st.Hops == 0 {
 		t.Errorf("search stats empty: %+v", st)
 	}
-	if got := (Stats{1, 2}).Add(Stats{3, 4}); got != (Stats{4, 6}) {
+	if got := (Stats{1, 2, 5, 7}).Add(Stats{3, 4, 6, 8}); got != (Stats{4, 6, 11, 15}) {
 		t.Errorf("Stats.Add = %+v", got)
 	}
 }

@@ -30,8 +30,10 @@ import (
 
 // Stats is the work performed by one local search.
 type Stats struct {
-	DistComps int64
-	Hops      int64 // graph expansions or tree nodes visited
+	DistComps  int64
+	Hops       int64 // graph expansions or tree nodes visited
+	QuantComps int64 // quantized (SQ8) distance evaluations (frozen path)
+	Reranked   int64 // candidates re-ranked at full precision (frozen path)
 }
 
 // Local is a per-partition k-NN index.
@@ -111,13 +113,17 @@ func (l *hnswLocal) Graph() *hnsw.Graph { return l.g }
 // disk) into a Local.
 func WrapHNSW(g *hnsw.Graph) Local { return &hnswLocal{g: g} }
 
-// HNSWGraph unwraps a Local into its HNSW graph if it is one.
+// HNSWGraph unwraps a Local into its HNSW graph if it is one — either a
+// plain HNSW index or a frozen-layout wrapper over one, so the save,
+// compaction, and ingestion paths work unchanged on frozen engines.
 func HNSWGraph(l Local) (*hnsw.Graph, bool) {
-	h, ok := l.(*hnswLocal)
-	if !ok {
-		return nil, false
+	switch h := l.(type) {
+	case *hnswLocal:
+		return h.g, true
+	case *frozenLocal:
+		return h.g, true
 	}
-	return h.g, true
+	return nil, false
 }
 
 // --- exact VP adapter ---

@@ -96,7 +96,7 @@ func Build(ds *vec.Dataset, cfg Config) (*Index, error) {
 	idx := &Index{cfg: cfg, dim: ds.Dim, dsub: ds.Dim / cfg.M}
 
 	// coarse quantizer
-	idx.coarse = kmeans(ds, cfg.NList, cfg.TrainIters, rng)
+	idx.coarse = vec.KMeans(ds, cfg.NList, cfg.TrainIters, rng)
 	cfg.NList = idx.coarse.Len()
 	idx.cfg.NList = cfg.NList
 
@@ -105,7 +105,7 @@ func Build(ds *vec.Dataset, cfg Config) (*Index, error) {
 	residuals := vec.NewDataset(ds.Dim, ds.Len())
 	r := make([]float32, ds.Dim)
 	for i := 0; i < ds.Len(); i++ {
-		assign[i] = nearest(idx.coarse, ds.At(i))
+		assign[i] = vec.NearestCentroid(idx.coarse, ds.At(i))
 		cent := idx.coarse.At(assign[i])
 		v := ds.At(i)
 		for j := range r {
@@ -126,7 +126,7 @@ func Build(ds *vec.Dataset, cfg Config) (*Index, error) {
 		if ks > sub.Len() {
 			ks = sub.Len()
 		}
-		idx.codebooks[m] = kmeans(sub, ks, cfg.TrainIters, rng)
+		idx.codebooks[m] = vec.KMeans(sub, ks, cfg.TrainIters, rng)
 	}
 
 	// encode
@@ -135,7 +135,7 @@ func Build(ds *vec.Dataset, cfg Config) (*Index, error) {
 		row := residuals.At(i)
 		code := make([]byte, cfg.M)
 		for m := 0; m < cfg.M; m++ {
-			code[m] = byte(nearest(idx.codebooks[m], row[m*idx.dsub:(m+1)*idx.dsub]))
+			code[m] = byte(vec.NearestCentroid(idx.codebooks[m], row[m*idx.dsub:(m+1)*idx.dsub]))
 		}
 		li := assign[i]
 		idx.lists[li] = append(idx.lists[li], entry{id: ds.ID(i), code: code})

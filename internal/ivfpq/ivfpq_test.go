@@ -1,7 +1,6 @@
 package ivfpq
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/bruteforce"
@@ -111,42 +110,6 @@ func TestStatsPopulated(t *testing.T) {
 	}
 	if st.Lists == 0 || st.Codes == 0 || st.DistComps == 0 {
 		t.Errorf("stats empty: %+v", st)
-	}
-}
-
-func TestKMeansClusters(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	// two well separated blobs: centroids must land near them
-	ds := vec.NewDataset(2, 200)
-	for i := 0; i < 200; i++ {
-		base := float32(0)
-		if i%2 == 1 {
-			base = 100
-		}
-		ds.Append([]float32{base + float32(rng.NormFloat64()), base + float32(rng.NormFloat64())}, int64(i))
-	}
-	cents := kmeans(ds, 2, 20, rng)
-	if cents.Len() != 2 {
-		t.Fatalf("%d centroids", cents.Len())
-	}
-	a, b := cents.At(0)[0], cents.At(1)[0]
-	if a > b {
-		a, b = b, a
-	}
-	if a > 10 || b < 90 {
-		t.Errorf("centroids not at blobs: %v %v", a, b)
-	}
-}
-
-func TestKMeansKLargerThanN(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
-	ds := vec.NewDataset(2, 3)
-	for i := 0; i < 3; i++ {
-		ds.Append([]float32{float32(i), 0}, int64(i))
-	}
-	cents := kmeans(ds, 10, 5, rng)
-	if cents.Len() != 3 {
-		t.Errorf("k should clamp to n: %d", cents.Len())
 	}
 }
 

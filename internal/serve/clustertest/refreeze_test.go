@@ -1,0 +1,122 @@
+package clustertest
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hnsw"
+)
+
+// TestShardedRefreezeMidTraffic: shard engines serving from frozen+SQ8
+// layouts are re-frozen over and over while the gateway scatter-gathers
+// queries across them. The corpus never changes, so every response must
+// be byte-identical to the pre-traffic baseline — a torn arena, a
+// half-installed frozen view, or a codec retrained against partial data
+// would all surface as a diff (and as a race under -race, which is how
+// tier1-cluster runs this).
+func TestShardedRefreezeMidTraffic(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	cfg.Seed = 1
+	cfg.Frozen, cfg.SQ8 = true, true
+	c := Start(t, Options{
+		Shards:       3,
+		Dim:          8,
+		N:            1200,
+		Seed:         5,
+		EngineConfig: cfg,
+	})
+
+	queries := Rows(RandomQueries(8, 16, 77))
+	const k = 10
+	baseline := c.Search(t, queries, k)
+	if baseline.Degraded || len(baseline.Results) != len(queries) {
+		t.Fatalf("bad baseline: %+v", baseline)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan string, 8)
+
+	// Traffic: keep replaying the baseline queries and demand identical
+	// answers while the shards re-freeze underneath.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := c.Search(t, queries, k)
+				if got.Degraded {
+					errCh <- "degraded response on a healthy cluster"
+					return
+				}
+				for i := range baseline.Results {
+					if !reflect.DeepEqual(got.Results[i].IDs, baseline.Results[i].IDs) ||
+						!reflect.DeepEqual(got.Results[i].Dists, baseline.Results[i].Dists) {
+						errCh <- "mid-refreeze response diverged from baseline"
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Re-freezer: every shard engine gets re-frozen with the same
+	// options, repeatedly, mid-traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eng := c.Workers[i%len(c.Workers)][0].Engine
+			if err := eng.Freeze(hnsw.FreezeOptions{SQ8: true}); err != nil {
+				errCh <- err.Error()
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case msg := <-errCh:
+		close(stop)
+		<-done
+		t.Fatal(msg)
+	case <-time.After(1200 * time.Millisecond):
+		close(stop)
+		<-done
+	}
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+
+	// The workers really are serving frozen quantized views: one more
+	// scatter-gather touches every shard (each re-freeze resets the
+	// per-view counters, so count after the churn stops).
+	final := c.Search(t, queries, k)
+	for i := range baseline.Results {
+		if !reflect.DeepEqual(final.Results[i].IDs, baseline.Results[i].IDs) {
+			t.Fatalf("post-refreeze response diverged from baseline at query %d", i)
+		}
+	}
+	for s, reps := range c.Workers {
+		fi, ok := reps[0].Engine.FrozenInfo()
+		if !ok || !fi.Quantized || fi.Searches == 0 || fi.QuantComps == 0 {
+			t.Errorf("shard %d frozen path unexercised: %+v ok=%v", s, fi, ok)
+		}
+	}
+}

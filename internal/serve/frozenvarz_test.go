@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hnsw"
+)
+
+// TestVarzFrozenSection: once the engine is frozen, /varz grows a
+// "frozen" section with the arena footprint and quantized-work counters
+// the operator tunes -ef/-rerank-k against.
+func TestVarzFrozenSection(t *testing.T) {
+	e := testEngine(t)
+	b := &EngineBackend{Engine: e}
+	if v := b.Varz(); v["frozen"] != nil {
+		t.Fatal("frozen section present before freezing")
+	}
+	if err := e.Freeze(hnsw.FreezeOptions{SQ8: true}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		if _, err := e.Search(randQuery(rng, 8), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := b.Varz()
+	fz, ok := v["frozen"].(map[string]any)
+	if !ok {
+		t.Fatalf("no frozen varz section: %v", v)
+	}
+	if fz["partitions"].(int) != 4 || fz["sq8"].(bool) != true {
+		t.Errorf("frozen shape: %v", fz)
+	}
+	if fz["arena_bytes"].(int64) <= 0 {
+		t.Errorf("arena_bytes = %v", fz["arena_bytes"])
+	}
+	if fz["searches"].(int64) == 0 || fz["quant_scans"].(int64) == 0 || fz["reranked"].(int64) == 0 {
+		t.Errorf("work counters flat: %v", fz)
+	}
+	rr := fz["rerank_ratio"].(float64)
+	if rr <= 0 || rr >= 1 {
+		t.Errorf("rerank_ratio = %v, want in (0,1)", rr)
+	}
+}

@@ -171,6 +171,21 @@ func (b *EngineBackend) Varz() map[string]any {
 	if b.Store != nil {
 		m["ingest"] = b.Store.Stats()
 	}
+	if fi, ok := b.Engine.FrozenInfo(); ok {
+		m["frozen"] = map[string]any{
+			"partitions":   fi.Partitions,
+			"points":       fi.FrozenLen,
+			"tail_points":  fi.TailLen,
+			"arena_bytes":  fi.ArenaBytes,
+			"sq8":          fi.Quantized,
+			"searches":     fi.Searches,
+			"quant_scans":  fi.QuantComps,
+			"reranked":     fi.Reranked,
+			"rerank_ratio": fi.RerankRatio(),
+			"tail_scanned": fi.TailScanned,
+			"refreezes":    fi.Refreezes,
+		}
+	}
 	return m
 }
 

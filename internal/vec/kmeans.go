@@ -1,0 +1,86 @@
+package vec
+
+import "math/rand"
+
+// Quantization training helpers shared by every compressed index in the
+// repository (ivfpq's coarse/subspace codebooks, grip's PQ layer via
+// ivfpq, and ad-hoc centroid routers). They used to live as private
+// copies inside the quantizing packages; the hot-path refactor hoisted
+// them here so one tested implementation backs all of them.
+
+// KMeans runs Lloyd's algorithm and returns k centroids over ds rows.
+// Empty clusters are reseeded from random points, keeping exactly k
+// non-degenerate centroids. With k >= ds.Len() every row becomes its own
+// centroid. Deterministic for a given rng state.
+func KMeans(ds *Dataset, k, iters int, rng *rand.Rand) *Dataset {
+	n, dim := ds.Len(), ds.Dim
+	if k > n {
+		k = n
+	}
+	cents := NewDataset(dim, k)
+	for _, i := range rng.Perm(n)[:k] {
+		cents.Append(ds.At(i), int64(cents.Len()))
+	}
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*dim)
+	for it := 0; it < iters; it++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, float32(0)
+			v := ds.At(i)
+			for c := 0; c < k; c++ {
+				d := SquaredL2Distance(v, cents.At(c))
+				if c == 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			v := ds.At(i)
+			for j := 0; j < dim; j++ {
+				sums[c*dim+j] += float64(v[j])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// reseed from a random point
+				copy(cents.At(c), ds.At(rng.Intn(n)))
+				continue
+			}
+			cc := cents.At(c)
+			for j := 0; j < dim; j++ {
+				cc[j] = float32(sums[c*dim+j] / float64(counts[c]))
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return cents
+}
+
+// NearestCentroid returns the index of the centroid closest to v under
+// squared L2.
+func NearestCentroid(cents *Dataset, v []float32) int {
+	best, bestD := 0, float32(0)
+	for c := 0; c < cents.Len(); c++ {
+		d := SquaredL2Distance(v, cents.At(c))
+		if c == 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,97 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These pin the behavior of the kmeans helpers hoisted out of
+// internal/ivfpq: same RNG consumption order, same reseeding policy, so
+// quantized indexes built before and after the move are bit-identical.
+
+func TestKMeansClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// two well separated blobs: centroids must land near them
+	ds := NewDataset(2, 200)
+	for i := 0; i < 200; i++ {
+		base := float32(0)
+		if i%2 == 1 {
+			base = 100
+		}
+		ds.Append([]float32{base + float32(rng.NormFloat64()), base + float32(rng.NormFloat64())}, int64(i))
+	}
+	cents := KMeans(ds, 2, 20, rng)
+	if cents.Len() != 2 {
+		t.Fatalf("%d centroids", cents.Len())
+	}
+	a, b := cents.At(0)[0], cents.At(1)[0]
+	if a > b {
+		a, b = b, a
+	}
+	if a > 10 || b < 90 {
+		t.Errorf("centroids not at blobs: %v %v", a, b)
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := NewDataset(2, 3)
+	for i := 0; i < 3; i++ {
+		ds.Append([]float32{float32(i), 0}, int64(i))
+	}
+	cents := KMeans(ds, 10, 5, rng)
+	if cents.Len() != 3 {
+		t.Errorf("k should clamp to n: %d", cents.Len())
+	}
+}
+
+// TestKMeansDeterministic: a fixed seed yields identical centroids — the
+// property that keeps rebuilt quantized indexes reproducible.
+func TestKMeansDeterministic(t *testing.T) {
+	mk := func() *Dataset {
+		rng := rand.New(rand.NewSource(7))
+		ds := NewDataset(4, 300)
+		v := make([]float32, 4)
+		for i := 0; i < 300; i++ {
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+			ds.Append(v, int64(i))
+		}
+		return ds
+	}
+	a := KMeans(mk(), 8, 10, rand.New(rand.NewSource(9)))
+	b := KMeans(mk(), 8, 10, rand.New(rand.NewSource(9)))
+	if a.Len() != b.Len() {
+		t.Fatalf("lens %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		av, bv := a.At(i), b.At(i)
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("centroid %d dim %d differs: %v vs %v", i, j, av[j], bv[j])
+			}
+		}
+	}
+}
+
+func TestNearestCentroid(t *testing.T) {
+	cents := NewDataset(2, 3)
+	cents.Append([]float32{0, 0}, 0)
+	cents.Append([]float32{10, 0}, 1)
+	cents.Append([]float32{0, 10}, 2)
+	cases := []struct {
+		v    []float32
+		want int
+	}{
+		{[]float32{1, 1}, 0},
+		{[]float32{9, -1}, 1},
+		{[]float32{1, 8}, 2},
+		{[]float32{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := NearestCentroid(cents, c.v); got != c.want {
+			t.Errorf("NearestCentroid(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -37,10 +37,12 @@ tier1: build vet race
 
 # Focused race pass over the concurrency-heavy packages: the durable
 # store (WAL appends vs group-commit ticker vs compaction swaps), the
-# gateway (batcher/cache/mutations), and the engine (searches vs
-# swaps). Much faster than the full race suite; CI runs both.
+# gateway (batcher/cache/mutations), the engine (searches vs swaps),
+# and the multi-tenant collection layer (filtered search vs mutation,
+# drain vs admission). Much faster than the full race suite; CI runs
+# both.
 tier1-race:
-	$(GO) test -race -count=1 -timeout 900s ./internal/store/... ./internal/serve/... ./internal/core/...
+	$(GO) test -race -count=1 -timeout 900s ./internal/store/... ./internal/serve/... ./internal/core/... ./internal/collection/...
 
 # End-to-end multi-node serving gate: gateway + worker shards over real
 # loopback TCP (internal/serve/clustertest) plus the shard RPC layer,
@@ -53,20 +55,25 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 # Serving-path regression gate: run the scalar / frozen / frozen_sq8
-# variants on a reduced workload and fail if the quantized path's recall
-# drops more than a point below scalar. CI runs this on every push; the
-# committed BENCH_results.json is regenerated with the full default
-# workload (plain `annbench -json BENCH_results.json`).
+# variants plus the filtered-search selectivity sweep on a reduced
+# workload; fail if the quantized path's recall drops more than a point
+# below scalar or the 1%-selectivity filtered pushdown recall falls
+# below 0.95. CI runs this on every push; the committed
+# BENCH_results.json is regenerated with the full default workload
+# (plain `annbench -json BENCH_results.json`).
 bench-smoke:
 	$(GO) run ./cmd/annbench -json /tmp/bench-smoke.json -points 20000 -queries 400 -gate
 
 # Short native-fuzzing passes: the WAL record scanner (no input may
-# panic it or deliver a record whose CRC does not verify) and the SQ8
-# codec (non-finite rejection, round-trip bounds). CI runs this on every
-# push; run without -fuzztime locally to dig deeper.
+# panic it or deliver a record whose CRC does not verify), the SQ8
+# codec (non-finite rejection, round-trip bounds), and the filter
+# expression parser (no panic, canonical-form fixed point, reparse
+# equivalence). CI runs this on every push; run without -fuzztime
+# locally to dig deeper.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadRecord -fuzztime=10s -run '^$$' ./internal/store
 	$(GO) test -fuzz=FuzzSQ8Codec -fuzztime=10s -run '^$$' ./internal/vec
+	$(GO) test -fuzz=FuzzFilterParse -fuzztime=10s -run '^$$' ./internal/filter
 
 clean:
 	$(GO) clean ./...

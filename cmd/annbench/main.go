@@ -15,6 +15,12 @@
 //
 //	annbench -json BENCH_results.json
 //
+// The -json run also sweeps the filtered-search selectivity tiers
+// (filter matches 100%, 10% and 1% of the corpus), comparing pushdown
+// (predicate inside the graph traversal) against the naive post-filter
+// baseline; the entries land under "filtered_1.00", "filtered_0.10"
+// and "filtered_0.01".
+//
 // With -shards N it additionally runs a sharded deployment (N worker
 // engines behind real loopback TCP, merged by the gateway's
 // scatter-gather router) under the "sharded" key:
@@ -22,8 +28,9 @@
 //	annbench -json BENCH_results.json -shards 3
 //
 // -gate turns the run into a CI regression check: it exits non-zero if
-// the frozen_sq8 recall drops more than one point below scalar (this is
-// what `make bench-smoke` runs).
+// the frozen_sq8 recall drops more than one point below scalar, or if
+// the 1%-selectivity filtered recall falls below 0.95 (this is what
+// `make bench-smoke` runs).
 package main
 
 import (
@@ -72,6 +79,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("serving bench: %v", err)
 		}
+		filtered, err := exp.ServingBenchFiltered(opts)
+		if err != nil {
+			log.Fatalf("filtered serving bench: %v", err)
+		}
+		for k, v := range filtered {
+			doc[k] = v
+		}
 		if *shards > 0 {
 			sharded, err := exp.ServingBenchSharded(opts, *shards)
 			if err != nil {
@@ -96,6 +110,14 @@ func main() {
 			}
 			log.Printf("recall gate ok: frozen_sq8 %.4f vs scalar %.4f (slack %.2f)",
 				sq8.Recall, scalar.Recall, slack)
+			narrow := doc["filtered_0.01"]
+			const minFilteredRecall = 0.95
+			if narrow.Recall < minFilteredRecall {
+				log.Fatalf("FILTERED RECALL GATE FAILED: 1%% selectivity pushdown recall %.4f < %.2f (post-filter baseline %.4f)",
+					narrow.Recall, minFilteredRecall, narrow.PostFilterRecall)
+			}
+			log.Printf("filtered recall gate ok: 1%% selectivity pushdown %.4f (post-filter baseline %.4f)",
+				narrow.Recall, narrow.PostFilterRecall)
 		}
 		return
 	}

@@ -15,6 +15,19 @@
 // runs recover from the newest snapshot plus the WAL tail, and -index
 // may be omitted.
 //
+// Multi-tenant (named collections, each with its own dim, metric,
+// WAL and quota; create/drop at runtime over HTTP):
+//
+//	annserve -collections /var/lib/ann/collections -addr :8080 \
+//	         -collections-init collections.json
+//
+// Collection routes: POST /v1/collections ({"name":..,"dim":..}),
+// GET /v1/collections, DELETE /v1/collections/{name}, and per-collection
+// search/upsert/delete under /v1/collections/{name}/. Search bodies
+// accept "filter" ('tag=v', 'tag in {a,b}', conjunctions with 'and'),
+// pushed down into the graph traversal; upsert points accept "tags".
+// The legacy un-prefixed routes alias the collection named "default".
+//
 // Distributed (this process is rank 0; start annworker ranks 1..P):
 //
 //	annserve -cluster host0:7000,host1:7000,host2:7000 \
@@ -52,6 +65,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,6 +78,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fsx"
@@ -78,6 +93,9 @@ func main() {
 	var (
 		addr  = flag.String("addr", ":8080", "HTTP listen address")
 		index = flag.String("index", "", "index file from annbuild (single-process mode)")
+
+		colRoot = flag.String("collections", "", "multi-tenant mode: root directory holding named collections (each with its own WAL, snapshots, dim, metric); serves /v1/collections/{name}/*")
+		colInit = flag.String("collections-init", "", "with -collections: JSON file of collections to create if absent ([{\"name\":\"docs\",\"dim\":128,\"metric\":\"cosine\",...},...])")
 
 		walDir       = flag.String("wal", "", "durable store directory: WAL + snapshots + compaction (single-process mode)")
 		walSyncEvery = flag.Int("wal-sync-every", 64, "fsync after this many WAL records (1 = every record)")
@@ -122,14 +140,15 @@ func main() {
 	single := *index != "" || *walDir != ""
 	distributed := *clusterAddrs != ""
 	sharded := *shardSpec != ""
+	multiTenant := *colRoot != ""
 	modes := 0
-	for _, on := range []bool{single, distributed, sharded} {
+	for _, on := range []bool{single, distributed, sharded, multiTenant} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		log.Print("exactly one of -index/-wal, -cluster, or -shards is required")
+		log.Print("exactly one of -index/-wal, -collections, -cluster, or -shards is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -142,6 +161,59 @@ func main() {
 		},
 		CacheSize:      *cache,
 		DefaultTimeout: *deadline,
+		Threads:        *threads,
+	}
+
+	if multiTenant {
+		opts := collection.Options{
+			Store: store.Options{
+				SyncEvery:    *walSyncEvery,
+				SyncInterval: *walSyncInt,
+				CompactRatio: *compactRatio,
+			},
+			Logf: log.Printf,
+		}
+		if *chaosSpec != "" {
+			rules, cerr := fsx.ParseFaults(*chaosSpec)
+			if cerr != nil {
+				log.Fatal(cerr)
+			}
+			opts.Store.FS = fsx.NewFaulty(fsx.OS{}, *chaosSeed, rules...)
+			log.Printf("CHAOS: injecting storage faults %q (seed %d) — drill mode, not for production", *chaosSpec, *chaosSeed)
+		}
+		reg, err := collection.Open(*colRoot, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *colInit != "" {
+			if err := initCollections(reg, *colInit); err != nil {
+				log.Fatal(err)
+			}
+		}
+		names := reg.Names()
+		log.Printf("collections root %s: %d collections %v", *colRoot, len(names), names)
+		gw, err := serve.NewCollectionServer(reg, srvCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runGateway(*addr, gw, *drainFor); err != nil {
+			log.Fatal(err)
+		}
+		// Checkpoint each collection on clean shutdown so the next start
+		// replays no WAL, then drain and close the registry.
+		for _, name := range reg.Names() {
+			if c, err := reg.Get(name); err == nil {
+				if err := c.Checkpoint(); err != nil {
+					log.Printf("checkpoint %s: %v", name, err)
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := reg.Close(ctx); err != nil {
+			log.Printf("registry close: %v", err)
+		}
+		return
 	}
 
 	if single {
@@ -295,10 +367,44 @@ func main() {
 	}
 }
 
-// serveHTTP runs the gateway until SIGTERM/SIGINT, then drains: stop
-// accepting connections, finish queued searches, exit.
+// initCollections creates any collection listed in the init file that
+// does not exist yet; existing ones are left untouched (their on-disk
+// config wins, so an edited init file cannot silently reconfigure a
+// collection holding data).
+func initCollections(reg *collection.Registry, path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var specs []struct {
+		Name string `json:"name"`
+		collection.Config
+	}
+	if err := json.Unmarshal(b, &specs); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for _, sp := range specs {
+		_, err := reg.Create(sp.Name, sp.Config)
+		switch {
+		case err == nil:
+			log.Printf("created collection %q (dim %d)", sp.Name, sp.Dim)
+		case errors.Is(err, collection.ErrExists):
+			// already there: recovered from disk by Open
+		default:
+			return fmt.Errorf("creating collection %q: %w", sp.Name, err)
+		}
+	}
+	return nil
+}
+
+// serveHTTP runs a single-backend gateway until SIGTERM/SIGINT, then
+// drains: stop accepting connections, finish queued searches, exit.
 func serveHTTP(addr string, backend serve.Backend, cfg serve.ServerConfig, drainFor time.Duration) error {
-	gw := serve.NewServer(backend, cfg)
+	return runGateway(addr, serve.NewServer(backend, cfg), drainFor)
+}
+
+// runGateway runs an already-wired gateway with signal-driven drain.
+func runGateway(addr string, gw *serve.Server, drainFor time.Duration) error {
 	hs := &http.Server{Addr: addr, Handler: gw.Handler()}
 
 	errCh := make(chan error, 1)

@@ -1,0 +1,301 @@
+// Package collection manages named, isolated vector collections inside
+// one server process — the multi-tenant layer over the single-engine
+// core. Each collection owns a full vertical slice: a core.Engine with
+// its own dimensionality, metric, and serving mode (scalar or frozen /
+// SQ8), a write-ahead log + snapshot store for durability, a tag store
+// for filtered search, and an admission quota bounding its in-flight
+// requests so one tenant cannot starve the rest. A Registry maps names
+// to collections and owns the create / open / drop lifecycle under a
+// single root directory:
+//
+//	<root>/<name>/collection.json   — the collection's Config
+//	<root>/<name>/data/             — its durable store (WAL, snapshots)
+//
+// Engines never share state across collections: vectors, tags, caches
+// and stores are per-collection by construction, so cross-tenant
+// leakage is structurally impossible rather than filtered after the
+// fact.
+package collection
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/store"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Typed lifecycle and admission errors; the gateway maps each to its
+// own HTTP status (404 / 409 / 429 / 503 / 400).
+var (
+	// ErrUnknown reports a name the registry does not hold.
+	ErrUnknown = errors.New("collection: unknown collection")
+	// ErrExists reports a Create of a name already in use.
+	ErrExists = errors.New("collection: collection already exists")
+	// ErrBadName reports an invalid collection name.
+	ErrBadName = errors.New("collection: invalid name")
+	// ErrQuota reports an admission rejection: the collection is at its
+	// MaxInflight concurrent requests.
+	ErrQuota = errors.New("collection: per-collection quota exceeded")
+	// ErrDraining reports a request against a collection being dropped
+	// or a registry being closed.
+	ErrDraining = errors.New("collection: draining")
+)
+
+// Config declares one collection. It is written to collection.json at
+// create time and reread on open; the zero value of every field except
+// Dim is usable.
+type Config struct {
+	// Dim is the vector dimensionality (required, immutable).
+	Dim int `json:"dim"`
+	// Metric names the distance metric: "L2" (default), "sqL2",
+	// "cosine", "ip" (vec.ParseMetric spellings).
+	Metric string `json:"metric,omitempty"`
+	// Partitions is the target partition count once the collection is
+	// rebuilt over real data; a freshly created collection always starts
+	// with one (see core.NewEmptyEngine).
+	Partitions int `json:"partitions,omitempty"`
+	// Frozen serves from the flat frozen layout; SQ8 adds quantized
+	// candidate generation with RerankK re-ranking (see core.Config).
+	Frozen  bool `json:"frozen,omitempty"`
+	SQ8     bool `json:"sq8,omitempty"`
+	RerankK int  `json:"rerank_k,omitempty"`
+	// EfSearch overrides the HNSW search beam width (0 = library default).
+	EfSearch int `json:"ef_search,omitempty"`
+	// MaxInflight bounds concurrently admitted requests (searches and
+	// mutations) for this collection; 0 means unlimited. This is the
+	// per-tenant quota layered on top of the gateway's global bounded
+	// queue: the queue protects the process, the quota protects tenants
+	// from each other.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// Seed makes index construction reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (c *Config) fill() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("collection: config needs a positive dim, got %d", c.Dim)
+	}
+	if c.Metric == "" {
+		c.Metric = vec.L2.String()
+	}
+	m, err := vec.ParseMetric(strings.ToLower(c.Metric))
+	if err != nil {
+		return fmt.Errorf("collection: %w", err)
+	}
+	c.Metric = m.String() // canonical spelling in collection.json
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SQ8 && !c.Frozen {
+		return fmt.Errorf("collection: sq8 requires frozen")
+	}
+	return nil
+}
+
+// engineConfig maps the collection Config onto core.Config. Frozen/SQ8
+// are intentionally NOT set here: the durable store wraps the plain
+// HNSW engine and the registry freezes it afterwards, matching the
+// store-then-freeze order the rest of the system uses.
+func (c Config) engineConfig() (core.Config, error) {
+	m, err := vec.ParseMetric(strings.ToLower(c.Metric))
+	if err != nil {
+		return core.Config{}, err
+	}
+	ec := core.DefaultConfig(c.Partitions)
+	ec.Metric = m
+	ec.RerankK = c.RerankK
+	ec.Seed = c.Seed
+	return ec, nil
+}
+
+// Collection is one live tenant: engine + durable store + quota.
+type Collection struct {
+	name string
+	cfg  Config
+	dur  *store.Durable
+
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+// Name returns the collection's registry name.
+func (c *Collection) Name() string { return c.name }
+
+// Config returns the collection's declared configuration.
+func (c *Collection) Config() Config { return c.cfg }
+
+// Engine exposes the underlying engine for read-only introspection
+// (varz, benchmarks). Mutations must go through the Collection so they
+// hit the WAL and the admission quota.
+func (c *Collection) Engine() *core.Engine { return c.dur.Engine() }
+
+// Store exposes the durability layer (stats, checkpoint tooling).
+func (c *Collection) Store() *store.Durable { return c.dur }
+
+// Inflight reports the currently admitted request count.
+func (c *Collection) Inflight() int64 { return c.inflight.Load() }
+
+// acquire admits one request against the quota, release undoes it.
+// The post-increment draining recheck closes the race with Drain: a
+// request that slips past the flag before it is set either lands its
+// increment before Drain's poll (and is waited for) or sees the flag.
+func (c *Collection) acquire() error {
+	if c.draining.Load() {
+		return ErrDraining
+	}
+	n := c.inflight.Add(1)
+	if max := int64(c.cfg.MaxInflight); max > 0 && n > max {
+		c.inflight.Add(-1)
+		return ErrQuota
+	}
+	if c.draining.Load() {
+		c.inflight.Add(-1)
+		return ErrDraining
+	}
+	return nil
+}
+
+func (c *Collection) release() { c.inflight.Add(-1) }
+
+// Acquire reserves one admission slot against the quota without doing
+// any work — for embedders coordinating external operations with the
+// collection's admission control. Every successful Acquire must be
+// paired with a Release.
+func (c *Collection) Acquire() error { return c.acquire() }
+
+// Release returns a slot taken by Acquire.
+func (c *Collection) Release() { c.release() }
+
+// checkDim rejects a vector of the wrong dimensionality with an error
+// the gateway maps to 400.
+func (c *Collection) checkDim(v []float32) error {
+	if len(v) != c.cfg.Dim {
+		return fmt.Errorf("collection %s: vector dim %d, collection dim %d", c.name, len(v), c.cfg.Dim)
+	}
+	return nil
+}
+
+// Search answers the approximate k nearest neighbors of q.
+func (c *Collection) Search(q []float32, k int) ([]topk.Result, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	return c.Engine().Search(q, k)
+}
+
+// SearchFiltered answers with the filter pushed into the traversal.
+func (c *Collection) SearchFiltered(q []float32, k int, f *filter.Expr) ([]topk.Result, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	return c.Engine().SearchFiltered(q, k, f)
+}
+
+// SearchBatch answers a query batch (one admission for the whole batch:
+// the quota bounds concurrent requests, not queries).
+func (c *Collection) SearchBatch(ctx context.Context, queries *vec.Dataset, k, threads int) ([][]topk.Result, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	return c.Engine().SearchBatchContext(ctx, queries, k, threads)
+}
+
+// SearchBatchFiltered is SearchBatch with a filter pushed down.
+func (c *Collection) SearchBatchFiltered(ctx context.Context, queries *vec.Dataset, k int, f *filter.Expr, threads int) ([][]topk.Result, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	return c.Engine().SearchBatchFiltered(ctx, queries, k, f, threads)
+}
+
+// Upsert durably inserts a vector.
+func (c *Collection) Upsert(v []float32, id int64) error {
+	if err := c.checkDim(v); err != nil {
+		return err
+	}
+	if err := c.acquire(); err != nil {
+		return err
+	}
+	defer c.release()
+	return c.dur.Upsert(v, id)
+}
+
+// UpsertTagged durably inserts a vector with its metadata tags.
+func (c *Collection) UpsertTagged(v []float32, id int64, tags map[string]string) error {
+	if err := c.checkDim(v); err != nil {
+		return err
+	}
+	if err := c.acquire(); err != nil {
+		return err
+	}
+	defer c.release()
+	return c.dur.UpsertTagged(v, id, tags)
+}
+
+// Delete durably tombstones an ID.
+func (c *Collection) Delete(id int64) error {
+	if err := c.acquire(); err != nil {
+		return err
+	}
+	defer c.release()
+	return c.dur.Delete(id)
+}
+
+// Checkpoint snapshots the collection at its current watermark.
+func (c *Collection) Checkpoint() error { return c.dur.Checkpoint() }
+
+// Drain stops admitting requests and waits (bounded by ctx) for the
+// in-flight ones to finish. It is idempotent and leaves the collection
+// permanently draining; Drop and registry Close call it.
+func (c *Collection) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	for c.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("collection %s: drain: %w (%d in flight)", c.name, ctx.Err(), c.inflight.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Varz returns the collection's observability section for /varz.
+func (c *Collection) Varz() map[string]any {
+	e := c.Engine()
+	m := map[string]any{
+		"dim":        c.cfg.Dim,
+		"metric":     c.cfg.Metric,
+		"points":     e.Len(),
+		"partitions": e.Partitions(),
+		"inserted":   e.Inserted(),
+		"tombstones": e.Tombstones(),
+		"tagged":     e.TagCount(),
+		"inflight":   c.inflight.Load(),
+		"draining":   c.draining.Load(),
+	}
+	if c.cfg.MaxInflight > 0 {
+		m["max_inflight"] = c.cfg.MaxInflight
+	}
+	if fi, ok := e.FrozenInfo(); ok {
+		m["frozen"] = map[string]any{
+			"points": fi.FrozenLen, "tail_points": fi.TailLen, "sq8": fi.Quantized,
+		}
+	}
+	m["ingest"] = c.dur.Stats()
+	return m
+}

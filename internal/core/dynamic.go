@@ -242,8 +242,16 @@ func (e *Engine) Rebuild() error {
 	e.swapMu.Unlock()
 	d := e.dyn()
 	d.mu.Lock()
+	dead := make([]int64, 0, len(d.tombstone))
+	for id := range d.tombstone {
+		dead = append(dead, id)
+	}
 	d.tombstone = make(map[int64]bool)
 	d.inserted = 0
 	d.mu.Unlock()
+	// Compacted-away IDs no longer exist; drop their tags.
+	for _, id := range dead {
+		e.tags.delete(id)
+	}
 	return nil
 }

@@ -43,6 +43,10 @@ type Engine struct {
 	// dynamic is set at construction and never reassigned, so it can be
 	// read without holding swapMu; its own mutex guards the contents.
 	dynamic *dynamicState
+
+	// tags holds per-vector metadata consulted by filtered search; set
+	// at construction and never reassigned (internally concurrency-safe).
+	tags *tagStore
 }
 
 // view snapshots the routing tree and partition set for one operation.
@@ -66,7 +70,7 @@ func NewEngine(ds *vec.Dataset, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim, dynamic: newDynamicState()}
+	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim, dynamic: newDynamicState(), tags: newTagStore()}
 
 	// Build the partition indexes in parallel, one builder goroutine per
 	// CPU (each build itself is single-threaded for reproducibility).
@@ -351,6 +355,10 @@ func (e *Engine) SwapPartition(p int, l index.Local, folded []int64) error {
 			delete(d.tombstone, id)
 		}
 		d.mu.Unlock()
+		// Folded IDs left the index for good; drop their tags too.
+		for _, id := range folded {
+			e.tags.delete(id)
+		}
 	}
 	return nil
 }
@@ -459,6 +467,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		parts:   make([]index.Local, np),
 		dim:     dim,
 		dynamic: newDynamicState(),
+		tags:    newTagStore(),
 	}
 	for i := range e.parts {
 		g, err := hnsw.ReadFrom(br)

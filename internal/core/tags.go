@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Per-vector metadata tags. Tags are small string maps attached to
+// global IDs, consulted by filtered search during graph traversal. The
+// store is a sync.Map of immutable maps: SetTags installs a fresh copy
+// on every write and readers never see a map that is concurrently
+// mutated, so the filtered hot path can evaluate predicates lock-free
+// while upserts stream in.
+type tagStore struct {
+	m sync.Map // int64 -> map[string]string (immutable once stored)
+	n atomic.Int64
+}
+
+func newTagStore() *tagStore { return &tagStore{} }
+
+// get returns the stored immutable tag map for id (nil if untagged).
+// Callers must not mutate the result.
+func (t *tagStore) get(id int64) map[string]string {
+	v, ok := t.m.Load(id)
+	if !ok {
+		return nil
+	}
+	return v.(map[string]string)
+}
+
+// set installs a copy of tags for id; nil or empty removes the entry.
+func (t *tagStore) set(id int64, tags map[string]string) {
+	if len(tags) == 0 {
+		if _, loaded := t.m.LoadAndDelete(id); loaded {
+			t.n.Add(-1)
+		}
+		return
+	}
+	cp := make(map[string]string, len(tags))
+	for k, v := range tags {
+		cp[k] = v
+	}
+	if _, loaded := t.m.Swap(id, cp); !loaded {
+		t.n.Add(1)
+	}
+}
+
+// delete removes id's tags.
+func (t *tagStore) delete(id int64) {
+	if _, loaded := t.m.LoadAndDelete(id); loaded {
+		t.n.Add(-1)
+	}
+}
+
+// len returns the number of tagged IDs.
+func (t *tagStore) len() int { return int(t.n.Load()) }
+
+// snapshot copies the outer map; the inner maps are immutable and
+// shared.
+func (t *tagStore) snapshot() map[int64]map[string]string {
+	out := make(map[int64]map[string]string, t.len())
+	t.m.Range(func(k, v any) bool {
+		out[k.(int64)] = v.(map[string]string)
+		return true
+	})
+	return out
+}
+
+// SetTags attaches metadata tags to a global ID (replacing any previous
+// tags); nil or empty tags remove the entry. The map is copied. Safe
+// for concurrent use with searches.
+func (e *Engine) SetTags(id int64, tags map[string]string) {
+	e.tags.set(id, tags)
+}
+
+// Tags returns a copy of id's tags, or nil when untagged.
+func (e *Engine) Tags(id int64) map[string]string {
+	m := e.tags.get(id)
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]string, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// TagCount returns the number of IDs carrying tags.
+func (e *Engine) TagCount() int { return e.tags.len() }
+
+// TagsSnapshot returns a point-in-time view of all tags. The inner maps
+// are shared and must not be mutated; the durability layer persists
+// this alongside each snapshot.
+func (e *Engine) TagsSnapshot() map[int64]map[string]string {
+	return e.tags.snapshot()
+}
+
+// RestoreTags replaces the whole tag store — the recovery half of
+// TagsSnapshot, called after LoadEngine before WAL tail replay. The
+// store is cleared in place (the tags pointer is never reassigned) so
+// it stays safe against concurrent readers.
+func (e *Engine) RestoreTags(tags map[int64]map[string]string) {
+	e.tags.m.Range(func(k, _ any) bool {
+		e.tags.delete(k.(int64))
+		return true
+	})
+	for id, m := range tags {
+		e.tags.set(id, m)
+	}
+}

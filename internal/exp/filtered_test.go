@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestServingBenchFilteredSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	out, err := ServingBenchFiltered(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"filtered_1.00", "filtered_0.10", "filtered_0.01"} {
+		res, ok := out[key]
+		if !ok {
+			t.Fatalf("missing result %q (have %d entries)", key, len(out))
+		}
+		if res.Recall <= 0.5 || res.Recall > 1 {
+			t.Errorf("%s: pushdown recall = %v, want (0.5, 1]", key, res.Recall)
+		}
+		if res.QPS <= 0 {
+			t.Errorf("%s: QPS = %v", key, res.QPS)
+		}
+		if res.Filter == "" || res.Selectivity <= 0 {
+			t.Errorf("%s: filter metadata missing: %+v", key, res)
+		}
+	}
+	// At full selectivity post-filtering drops nothing, so the two
+	// strategies see the same candidates.
+	full := out["filtered_1.00"]
+	if full.PostFilterRecall < full.Recall-0.05 {
+		t.Errorf("full selectivity: post-filter recall %.4f far below pushdown %.4f",
+			full.PostFilterRecall, full.Recall)
+	}
+	// At 1% selectivity the naive baseline must be measurably worse:
+	// the unfiltered top-k rarely contains matching points, so after
+	// dropping non-matches few valid hits remain.
+	narrow := out["filtered_0.01"]
+	if narrow.PostFilterRecall >= narrow.Recall {
+		t.Errorf("1%% selectivity: post-filter recall %.4f not below pushdown %.4f",
+			narrow.PostFilterRecall, narrow.Recall)
+	}
+	if buf.Len() == 0 {
+		t.Error("no human-readable output")
+	}
+}

@@ -34,6 +34,15 @@ type ServingResult struct {
 	ArenaBytes  int64   `json:"arena_bytes,omitempty"`
 	RerankRatio float64 `json:"rerank_ratio,omitempty"`
 
+	// Filtered-search shape (zero for unfiltered variants). Recall is
+	// the pushdown recall against exact filtered ground truth;
+	// PostFilterRecall is the baseline that runs the unfiltered search
+	// and drops non-matching hits afterwards — the number pushdown has
+	// to beat at low selectivity.
+	Selectivity      float64 `json:"selectivity,omitempty"`
+	Filter           string  `json:"filter,omitempty"`
+	PostFilterRecall float64 `json:"post_filter_recall,omitempty"`
+
 	Recall     float64 `json:"recall"`
 	QPS        float64 `json:"qps"`
 	P50Micros  float64 `json:"p50_us"`

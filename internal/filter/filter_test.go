@@ -1,0 +1,145 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndMatch(t *testing.T) {
+	cases := []struct {
+		src   string
+		tags  map[string]string
+		match bool
+	}{
+		{"", map[string]string{"a": "1"}, true},
+		{"   ", nil, true},
+		{"bucket=hot", map[string]string{"bucket": "hot"}, true},
+		{"bucket=hot", map[string]string{"bucket": "cold"}, false},
+		{"bucket=hot", nil, false},
+		{"bucket in {hot,warm}", map[string]string{"bucket": "warm"}, true},
+		{"bucket in {hot,warm}", map[string]string{"bucket": "cold"}, false},
+		{"bucket=hot and lang=en", map[string]string{"bucket": "hot", "lang": "en"}, true},
+		{"bucket=hot and lang=en", map[string]string{"bucket": "hot", "lang": "de"}, false},
+		{"bucket=hot AND lang=en", map[string]string{"bucket": "hot", "lang": "en"}, true},
+		{"bucket=hot && lang=en", map[string]string{"bucket": "hot", "lang": "en"}, true},
+		// Contradictory equality terms match nothing.
+		{"k=a and k=b", map[string]string{"k": "a"}, false},
+		// Dots, dashes, colons, slashes in tokens.
+		{"path=/docs/a-b and v=1.2:3", map[string]string{"path": "/docs/a-b", "v": "1.2:3"}, true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := e.Matches(c.tags); got != c.match {
+			t.Errorf("Parse(%q).Matches(%v) = %v, want %v", c.src, c.tags, got, c.match)
+		}
+	}
+}
+
+func TestParseEmptyIsNil(t *testing.T) {
+	e, err := Parse("  \t ")
+	if err != nil || e != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", e, err)
+	}
+	if !e.Empty() || e.Canonical() != "" || !e.Matches(nil) {
+		t.Fatalf("nil expr should be empty, canonical \"\", match-all")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"=v",
+		"k=",
+		"k==v",
+		"k in hot",
+		"k in {",
+		"k in {}",
+		"k in {a,}",
+		"k in {a b}",
+		"k=a or k=b",
+		"k=a k=b",
+		"k = 'quoted'",
+		"k=a &",
+		"k=a and",
+		"and k=a",
+		strings.Repeat("x", MaxLen+1),
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", src)
+		}
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= MaxTerms; i++ {
+		if i > 0 {
+			sb.WriteString(" and ")
+		}
+		sb.WriteString("k")
+		sb.WriteString(strings.Repeat("x", i%3))
+		sb.WriteString("=v")
+	}
+	if _, err := Parse(sb.String()); err == nil {
+		t.Errorf("expected term-count limit error")
+	}
+
+	sb.Reset()
+	sb.WriteString("k in {v0")
+	for i := 1; i <= MaxValuesPerTerm; i++ {
+		sb.WriteString(",v")
+		sb.WriteString(strings.Repeat("y", 1+i%2))
+	}
+	sb.WriteString("}")
+	if _, err := Parse(sb.String()); err == nil {
+		t.Errorf("expected value-count limit error")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	// Same semantics, different spellings, one canonical form.
+	variants := []string{
+		"lang=en and bucket in {warm,hot,hot}",
+		"bucket in {hot,warm} AND lang=en",
+		"bucket in {warm,hot} && lang=en",
+		"  bucket   in   {  warm , hot }  and  lang=en ",
+	}
+	want := "bucket in {hot,warm} and lang=en"
+	for _, src := range variants {
+		e := MustParse(src)
+		if got := e.Canonical(); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", src, got, want)
+		}
+	}
+	// Canonical round-trips through Parse.
+	e := MustParse(want)
+	if e.Canonical() != want {
+		t.Errorf("canonical form not a fixed point: %q", e.Canonical())
+	}
+	// Single-value in-set collapses to equality.
+	if got := MustParse("k in {v}").Canonical(); got != "k=v" {
+		t.Errorf("k in {v} canonical = %q, want k=v", got)
+	}
+}
+
+func TestTermsCopy(t *testing.T) {
+	e := MustParse("a=1 and b in {x,y}")
+	ts := e.Terms()
+	if len(ts) != 2 || ts[0].Key != "a" || len(ts[1].Values) != 2 {
+		t.Fatalf("Terms() = %+v", ts)
+	}
+	ts[1].Values[0] = "mutated"
+	if e.Matches(map[string]string{"a": "1", "b": "x"}) != true {
+		t.Fatalf("mutating Terms() copy leaked into expression")
+	}
+}
+
+func TestNewProgrammatic(t *testing.T) {
+	e := New(Term{Key: "b", Values: []string{"z", "a", "z"}}, Term{Key: "a", Values: []string{"1"}})
+	if got, want := e.Canonical(), "a=1 and b in {a,z}"; got != want {
+		t.Errorf("New canonical = %q, want %q", got, want)
+	}
+}

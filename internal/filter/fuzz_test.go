@@ -1,0 +1,59 @@
+package filter
+
+import "testing"
+
+// FuzzFilterParse asserts three invariants over arbitrary input: the
+// parser never panics, any accepted expression canonicalizes to a
+// fixed point (Parse(Canonical()) succeeds and yields the same
+// canonical string), and Matches never panics on a canonical-form
+// tag probe.
+func FuzzFilterParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"bucket=hot",
+		"bucket in {hot,warm}",
+		"bucket=hot and lang=en",
+		"a=1 && b in {x,y,z}",
+		"k in {v}",
+		"k==v",
+		"k in {",
+		"=,{}&&",
+		"path=/a/b-c.d:e",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := e.Canonical()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, src, err)
+		}
+		if got := e2.Canonical(); got != canon {
+			t.Fatalf("canonical not a fixed point: %q -> %q -> %q", src, canon, got)
+		}
+		// Matching must not panic regardless of tag contents.
+		_ = e.Matches(nil)
+		_ = e.Matches(map[string]string{"k": "v"})
+		// A tag map built from the expression's own terms must satisfy
+		// it unless two terms contradict on the same key.
+		tags := map[string]string{}
+		contradiction := false
+		for _, term := range e.Terms() {
+			if prev, ok := tags[term.Key]; ok {
+				if !contains(term.Values, prev) {
+					contradiction = true
+				}
+				continue
+			}
+			tags[term.Key] = term.Values[0]
+		}
+		if !contradiction && !e.Matches(tags) {
+			t.Fatalf("expression %q rejects tags built from its own terms: %v", canon, tags)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package hnsw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topk"
+)
+
+// SearchFiltered returns the approximate k nearest neighbors of q whose
+// global ID satisfies keep, using the configured EfSearch beam width.
+// keep==nil degrades to an unfiltered search.
+func (g *Graph) SearchFiltered(q []float32, k int, keep func(int64) bool) ([]topk.Result, Stats, error) {
+	return g.SearchEfFiltered(q, k, g.cfg.EfSearch, keep)
+}
+
+// SearchEfFiltered is the filter-pushdown variant of SearchEf: the
+// predicate is evaluated during traversal, and only matching nodes are
+// admitted into the result set, while the beam frontier still expands
+// through non-matching nodes so the search can tunnel across regions of
+// the graph that the filter excludes. This is strictly stronger than
+// post-filtering a top-k list: at low selectivity the collector fills
+// slowly, which keeps the termination bound wide and forces the beam to
+// keep exploring until it has found k matching points (or exhausted the
+// connected component).
+//
+// The upper layers are traversed unfiltered — they only route the
+// descent, and constraining them would strand the search far from the
+// filtered region. keep is called at most once per visited node, and
+// must be safe for concurrent use if the graph is searched from
+// multiple goroutines.
+func (g *Graph) SearchEfFiltered(q []float32, k, ef int, keep func(int64) bool) ([]topk.Result, Stats, error) {
+	if keep == nil {
+		return g.SearchEf(q, k, ef)
+	}
+	g.epMu.RLock()
+	if g.empty {
+		g.epMu.RUnlock()
+		return nil, Stats{}, ErrEmpty
+	}
+	s := g.snapshotLocked()
+	g.epMu.RUnlock()
+
+	if len(q) != s.dim {
+		return nil, Stats{}, fmt.Errorf("hnsw: query dim %d, index dim %d", len(q), s.dim)
+	}
+	if ef < k {
+		ef = k
+	}
+	var st Stats
+	cur := s.entry
+	curDist := g.dist(q, s.vec(cur))
+	st.DistComps++
+	for l := s.maxL; l >= 1; l-- {
+		cur, curDist = g.greedyStep(&s, q, cur, curDist, l, &st)
+	}
+
+	ctx := ctxPool.Get().(*searchCtx)
+	cands := g.searchLayerFiltered(&s, q, cur, ef, 0, ctx, &st, keep)
+	ctxPool.Put(ctx)
+
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]topk.Result, len(cands))
+	for i, c := range cands {
+		d := c.dist
+		if g.sqrtL {
+			d = float32(math.Sqrt(float64(d)))
+		}
+		out[i] = topk.Result{ID: s.ids[c.id], Dist: d}
+	}
+	return out, st, nil
+}
+
+// searchLayerFiltered is searchLayer (Algorithm 2) with the result
+// collector gated on keep. Every visited node joins the frontier under
+// the usual bound test — exploration is driven by the geometry of the
+// graph, not by the filter — but only nodes whose ID matches the
+// predicate count toward the ef result set and therefore toward the
+// termination bound.
+func (g *Graph) searchLayerFiltered(s *snap, q []float32, entry uint32, ef, l int, ctx *searchCtx, st *Stats, keep func(int64) bool) []cand {
+	ctx.reset(len(s.nodes))
+	var frontier topk.MinQueue
+	results := topk.New(ef)
+
+	d := g.dist(q, s.vec(entry))
+	st.DistComps++
+	ctx.visit(entry)
+	frontier.PushMin(int64(entry), d)
+	if keep(s.ids[entry]) {
+		results.Push(int64(entry), d)
+	}
+
+	for frontier.Len() > 0 {
+		c := frontier.PopMin()
+		if c.Dist > results.Bound() {
+			break
+		}
+		st.Hops++
+		for _, nb := range g.neighbors(s, uint32(c.ID), l) {
+			if !ctx.visit(nb) {
+				continue
+			}
+			dn := g.dist(q, s.vec(nb))
+			st.DistComps++
+			if !results.Full() || dn < results.Bound() {
+				frontier.PushMin(int64(nb), dn)
+				if keep(s.ids[nb]) {
+					results.Push(int64(nb), dn)
+				}
+			}
+		}
+	}
+	rs := results.Results()
+	out := make([]cand, len(rs))
+	for i, r := range rs {
+		out[i] = cand{uint32(r.ID), r.Dist}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package hnsw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// SearchFiltered returns the approximate k nearest matching neighbors
+// using the beam width and re-rank budget fixed at freeze time.
+// keep==nil degrades to an unfiltered search.
+func (f *Frozen) SearchFiltered(q []float32, k int, keep func(int64) bool) ([]topk.Result, Stats, error) {
+	return f.SearchEfFiltered(q, k, f.efSearch, f.rerankK, keep)
+}
+
+// SearchEfFiltered is the filter-pushdown variant of Frozen.SearchEf:
+// the predicate gates admission into the result set during traversal
+// while the frontier keeps expanding through non-matching rows, exactly
+// mirroring Graph.SearchEfFiltered on the dynamic path. On the
+// quantized path the first pass collects matching candidates by SQ8
+// score and the top re-rank budget of them is re-scored at full
+// precision — non-matching rows never occupy re-rank slots.
+func (f *Frozen) SearchEfFiltered(q []float32, k, ef, rerankK int, keep func(int64) bool) ([]topk.Result, Stats, error) {
+	if keep == nil {
+		return f.SearchEf(q, k, ef, rerankK)
+	}
+	if len(f.ids) == 0 {
+		return nil, Stats{}, ErrEmpty
+	}
+	if len(q) != f.dim {
+		return nil, Stats{}, fmt.Errorf("hnsw: query dim %d, index dim %d", len(q), f.dim)
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("hnsw: non-positive k %d", k)
+	}
+	if ef < k {
+		ef = k
+	}
+	var st Stats
+	quant := f.codec != nil && rerankK >= 0
+	if !quant {
+		cands := f.searchFloatFiltered(q, ef, &st, keep)
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return f.report(cands), st, nil
+	}
+
+	qc := make([]uint8, f.dim)
+	if err := f.codec.Encode(q, qc); err != nil {
+		return nil, st, err
+	}
+	rr := rerankK
+	if rr == 0 {
+		rr = 4 * k
+	}
+	if rr < k {
+		rr = k
+	}
+	cands := f.searchBytesFiltered(qc, ef, &st, keep)
+	if len(cands) > rr {
+		cands = cands[:rr]
+	}
+	col := topk.New(k)
+	for _, c := range cands {
+		col.Push(int64(c.id), f.dist(q, f.vec(c.id)))
+	}
+	st.DistComps += int64(len(cands))
+	st.Reranked += int64(len(cands))
+	rs := col.Results()
+	out := make([]topk.Result, len(rs))
+	for i, r := range rs {
+		d := r.Dist
+		if f.sqrtL {
+			d = float32(math.Sqrt(float64(d)))
+		}
+		out[i] = topk.Result{ID: f.ids[r.ID], Dist: d}
+	}
+	return out, st, nil
+}
+
+// searchFloatFiltered is searchFloat with the result collector gated on
+// keep. The upper-layer greedy descent stays unfiltered — it only
+// routes the beam to the right region.
+func (f *Frozen) searchFloatFiltered(q []float32, ef int, st *Stats, keep func(int64) bool) []cand {
+	cur := f.entry
+	curDist := f.dist(q, f.vec(cur))
+	st.DistComps++
+	for l := f.maxLevel; l >= 1; l-- {
+		for changed := true; changed; {
+			changed = false
+			st.Hops++
+			for _, nb := range f.neighbors(l, cur) {
+				d := f.dist(q, f.vec(nb))
+				st.DistComps++
+				if d < curDist {
+					curDist, cur = d, nb
+					changed = true
+				}
+			}
+		}
+	}
+	ctx := ctxPool.Get().(*searchCtx)
+	defer ctxPool.Put(ctx)
+	ctx.reset(len(f.ids))
+	var frontier topk.MinQueue
+	results := topk.New(ef)
+	curDist = f.dist(q, f.vec(cur))
+	st.DistComps++
+	ctx.visit(cur)
+	frontier.PushMin(int64(cur), curDist)
+	if keep(f.ids[cur]) {
+		results.Push(int64(cur), curDist)
+	}
+	for frontier.Len() > 0 {
+		c := frontier.PopMin()
+		if c.Dist > results.Bound() {
+			break
+		}
+		st.Hops++
+		for _, nb := range f.neighbors(0, uint32(c.ID)) {
+			if !ctx.visit(nb) {
+				continue
+			}
+			dn := f.dist(q, f.vec(nb))
+			st.DistComps++
+			if !results.Full() || dn < results.Bound() {
+				frontier.PushMin(int64(nb), dn)
+				if keep(f.ids[nb]) {
+					results.Push(int64(nb), dn)
+				}
+			}
+		}
+	}
+	rs := results.Results()
+	out := make([]cand, len(rs))
+	for i, r := range rs {
+		out[i] = cand{uint32(r.ID), r.Dist}
+	}
+	return out
+}
+
+// searchBytesFiltered is searchBytes with the result collector gated on
+// keep: the SQ8 first pass only spends result (and later re-rank) slots
+// on matching rows.
+func (f *Frozen) searchBytesFiltered(qc []uint8, ef int, st *Stats, keep func(int64) bool) []cand {
+	cur := f.entry
+	curDist := float32(vec.SquaredL2Bytes(qc, f.code(cur)))
+	st.QuantComps++
+	for l := f.maxLevel; l >= 1; l-- {
+		for changed := true; changed; {
+			changed = false
+			st.Hops++
+			for _, nb := range f.neighbors(l, cur) {
+				d := float32(vec.SquaredL2Bytes(qc, f.code(nb)))
+				st.QuantComps++
+				if d < curDist {
+					curDist, cur = d, nb
+					changed = true
+				}
+			}
+		}
+	}
+	ctx := ctxPool.Get().(*searchCtx)
+	defer ctxPool.Put(ctx)
+	ctx.reset(len(f.ids))
+	var frontier topk.MinQueue
+	results := topk.New(ef)
+	curDist = float32(vec.SquaredL2Bytes(qc, f.code(cur)))
+	st.QuantComps++
+	ctx.visit(cur)
+	frontier.PushMin(int64(cur), curDist)
+	if keep(f.ids[cur]) {
+		results.Push(int64(cur), curDist)
+	}
+	for frontier.Len() > 0 {
+		c := frontier.PopMin()
+		if c.Dist > results.Bound() {
+			break
+		}
+		st.Hops++
+		for _, nb := range f.neighbors(0, uint32(c.ID)) {
+			if !ctx.visit(nb) {
+				continue
+			}
+			dn := float32(vec.SquaredL2Bytes(qc, f.code(nb)))
+			st.QuantComps++
+			if !results.Full() || dn < results.Bound() {
+				frontier.PushMin(int64(nb), dn)
+				if keep(f.ids[nb]) {
+					results.Push(int64(nb), dn)
+				}
+			}
+		}
+	}
+	rs := results.Results()
+	out := make([]cand, len(rs))
+	for i, r := range rs {
+		out[i] = cand{uint32(r.ID), r.Dist}
+	}
+	return out
+}

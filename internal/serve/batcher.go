@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
@@ -20,6 +21,9 @@ var (
 	// ErrDraining means the gateway is shutting down and admits no new
 	// work (HTTP 503).
 	ErrDraining = errors.New("serve: draining")
+	// ErrFilterUnsupported means a filtered search was submitted against
+	// a backend without a filtered batch path (HTTP 501).
+	ErrFilterUnsupported = errors.New("serve: backend does not support filtered search")
 )
 
 // BatcherConfig tunes the micro-batcher.
@@ -65,12 +69,16 @@ type answer struct {
 	err     error
 }
 
-// pending is one admitted request waiting for its round.
+// pending is one admitted request waiting for its round. Filtered
+// requests carry their compiled expression plus its canonical string;
+// only entries with the same canonical filter share a backend round.
 type pending struct {
-	ctx  context.Context
-	q    []float32
-	k    int
-	done chan answer // buffered 1: dispatcher never blocks on delivery
+	ctx   context.Context
+	q     []float32
+	k     int
+	f     *filter.Expr
+	canon string
+	done  chan answer // buffered 1: dispatcher never blocks on delivery
 }
 
 // Batcher coalesces concurrent single-query submissions into bounded
@@ -110,10 +118,23 @@ func NewBatcher(backend Backend, cfg BatcherConfig, stats *Stats) *Batcher {
 // batcher refuses with ErrDraining. On success the returned channel
 // delivers exactly one answer.
 func (b *Batcher) Submit(ctx context.Context, q []float32, k int) (<-chan answer, error) {
+	return b.SubmitFiltered(ctx, q, k, nil)
+}
+
+// SubmitFiltered is Submit carrying a tag filter to push into the
+// search. A nil filter is an unfiltered submission; a non-nil one
+// requires the backend to implement FilteredBackend.
+func (b *Batcher) SubmitFiltered(ctx context.Context, q []float32, k int, f *filter.Expr) (<-chan answer, error) {
 	if len(q) != b.backend.Dim() {
 		return nil, fmt.Errorf("serve: query dim %d, index dim %d", len(q), b.backend.Dim())
 	}
 	p := &pending{ctx: ctx, q: q, k: k, done: make(chan answer, 1)}
+	if !f.Empty() {
+		if _, ok := b.backend.(FilteredBackend); !ok {
+			return nil, ErrFilterUnsupported
+		}
+		p.f, p.canon = f, f.Canonical()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -140,7 +161,12 @@ func (b *Batcher) Draining() bool {
 // first. This is the call sites' one-stop entry; the single-flight cache
 // layers on top of it.
 func (b *Batcher) Do(ctx context.Context, q []float32, k int) ([]topk.Result, BatchMeta, error) {
-	ch, err := b.Submit(ctx, q, k)
+	return b.DoFiltered(ctx, q, k, nil)
+}
+
+// DoFiltered is Do with a tag filter pushed down (nil = unfiltered).
+func (b *Batcher) DoFiltered(ctx context.Context, q []float32, k int, f *filter.Expr) ([]topk.Result, BatchMeta, error) {
+	ch, err := b.SubmitFiltered(ctx, q, k, f)
 	if err != nil {
 		return nil, BatchMeta{}, err
 	}
@@ -211,9 +237,10 @@ func (b *Batcher) collect(first *pending) []*pending {
 }
 
 // dispatch runs one coalesced round: expired entries are dropped before
-// the backend sees them, the rest go out as a single SearchBatch bounded
-// by the latest member deadline, and each member gets its own trimmed
-// result row.
+// the backend sees them, then the survivors go out grouped by canonical
+// filter — entries under the same (possibly empty) filter share one
+// backend round, since the whole round runs under one predicate. The
+// common all-unfiltered case stays a single round.
 func (b *Batcher) dispatch(batch []*pending) {
 	live := batch[:0]
 	for _, p := range batch {
@@ -224,10 +251,26 @@ func (b *Batcher) dispatch(batch []*pending) {
 		}
 		live = append(live, p)
 	}
-	if len(live) == 0 {
-		return
+	for len(live) > 0 {
+		canon := live[0].canon
+		group := live[:0:0]
+		rest := live[:0]
+		for _, p := range live {
+			if p.canon == canon {
+				group = append(group, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		b.dispatchGroup(group)
+		live = rest
 	}
+}
 
+// dispatchGroup runs one backend round over entries sharing a filter:
+// bounded by the latest member deadline, each member getting its own
+// trimmed result row.
+func (b *Batcher) dispatchGroup(live []*pending) {
 	qs := vec.NewDataset(b.backend.Dim(), len(live))
 	maxK := 0
 	var deadline time.Time
@@ -259,7 +302,15 @@ func (b *Batcher) dispatch(batch []*pending) {
 		defer cancel()
 	}
 
-	out, err := b.backend.SearchBatch(ctx, qs, maxK)
+	var out BatchOutput
+	var err error
+	if f := live[0].f; f != nil {
+		// SubmitFiltered only admits filtered entries when the backend
+		// implements FilteredBackend, so this assertion cannot fail.
+		out, err = b.backend.(FilteredBackend).SearchBatchFiltered(ctx, qs, maxK, f)
+	} else {
+		out, err = b.backend.SearchBatch(ctx, qs, maxK)
+	}
 	b.stats.recordBatch(len(live))
 	if err != nil {
 		b.stats.BackendErrors.Add(1)

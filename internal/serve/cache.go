@@ -11,12 +11,23 @@ import (
 	"repro/internal/topk"
 )
 
-// cacheKey fingerprints a (query vector, k) pair. FNV-1a over the raw
-// float bits: exact-match caching only, which is what repeated traffic
-// (hot queries, retries, loadgen loops) produces.
-func cacheKey(q []float32, k int) uint64 {
+// cacheKey fingerprints a (collection, filter, query vector, k) tuple.
+// FNV-1a over the raw float bits: exact-match caching only, which is
+// what repeated traffic (hot queries, retries, loadgen loops) produces.
+// The collection name and the filter's canonical form are part of the
+// key even though caches are per-tenant — the same query under a
+// different filter (or in a different collection) is a different
+// result set and must never collide. Both strings are length-prefixed
+// so ("ab","c") and ("a","bc") cannot alias.
+func cacheKey(tenant, canon string, q []float32, k int) uint64 {
 	h := fnv.New64a()
 	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(tenant)))
+	h.Write(b[:])
+	h.Write([]byte(tenant))
+	binary.LittleEndian.PutUint32(b[:], uint32(len(canon)))
+	h.Write(b[:])
+	h.Write([]byte(canon))
 	binary.LittleEndian.PutUint32(b[:], uint32(k))
 	h.Write(b[:])
 	for _, x := range q {

@@ -209,9 +209,9 @@ func Start(tb testing.TB, opts Options) *Cluster {
 
 // SearchResponse mirrors the gateway's /v1/search JSON body.
 type SearchResponse struct {
-	K                int    `json:"k"`
-	Degraded         bool   `json:"degraded"`
-	FailedPartitions []int  `json:"failed_partitions"`
+	K                int   `json:"k"`
+	Degraded         bool  `json:"degraded"`
+	FailedPartitions []int `json:"failed_partitions"`
 	Results          []struct {
 		IDs    []int64   `json:"ids"`
 		Dists  []float32 `json:"dists"`

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/collection"
+)
+
+// Collection admin surface. List works on every server; create and
+// drop need a registry-backed one (NewCollectionServer) — a
+// single-backend gateway has nowhere to put a new collection's files
+// and answers 501.
+
+// collectionInfo is one entry of the GET /v1/collections response.
+type collectionInfo struct {
+	Name   string `json:"name"`
+	Dim    int    `json:"dim"`
+	Metric string `json:"metric,omitempty"`
+	Points int    `json:"points"`
+	Frozen bool   `json:"frozen,omitempty"`
+}
+
+// createCollectionRequest is the POST /v1/collections body: a name
+// plus the collection's Config fields inline ({"name":"docs","dim":128,
+// "metric":"cosine",...}).
+type createCollectionRequest struct {
+	Name string `json:"name"`
+	collection.Config
+}
+
+func (s *Server) handleColList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.RUnlock()
+	infos := make([]collectionInfo, 0, len(ts))
+	for _, t := range ts {
+		info := collectionInfo{Name: t.name, Dim: t.backend.Dim()}
+		if t.col != nil {
+			cfg := t.col.Config()
+			info.Metric = cfg.Metric
+			info.Frozen = cfg.Frozen
+			info.Points = t.col.Engine().Len()
+		}
+		infos = append(infos, info)
+	}
+	// Stable order for scripts and tests.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Name < infos[j-1].Name; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"collections": infos})
+}
+
+func (s *Server) handleColCreate(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, http.StatusNotImplemented, codeNotImplemented,
+			"this gateway serves a fixed backend; collection management needs -collections mode")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, codeDraining, ErrDraining.Error())
+		return
+	}
+	var req createCollectionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.stats.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	col, err := s.reg.Create(req.Name, req.Config)
+	if err != nil {
+		switch {
+		case errors.Is(err, collection.ErrExists):
+			writeError(w, http.StatusConflict, codeCollectionExists, err.Error())
+		case errors.Is(err, collection.ErrBadName):
+			writeError(w, http.StatusBadRequest, codeBadName, err.Error())
+		case errors.Is(err, collection.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, codeDraining, err.Error())
+		default:
+			s.stats.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		}
+		return
+	}
+	t := s.newTenant(req.Name, &CollectionBackend{Col: col, Threads: s.cfg.Threads}, col)
+	s.mu.Lock()
+	s.tenants[req.Name] = t
+	s.mu.Unlock()
+	cfg := col.Config()
+	writeJSON(w, http.StatusCreated, collectionInfo{
+		Name: req.Name, Dim: cfg.Dim, Metric: cfg.Metric, Frozen: cfg.Frozen,
+	})
+}
+
+func (s *Server) handleColDrop(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, http.StatusNotImplemented, codeNotImplemented,
+			"this gateway serves a fixed backend; collection management needs -collections mode")
+		return
+	}
+	name := r.PathValue("name")
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if ok {
+		delete(s.tenants, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownCollection, "unknown collection "+name)
+		return
+	}
+	// Unregistered first: new requests 404 immediately, then the
+	// tenant's queued work finishes, then the registry drains the
+	// collection's own in-flight admissions and deletes its files.
+	if err := t.batcher.Drain(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "drop interrupted: "+err.Error())
+		return
+	}
+	if err := s.reg.Drop(r.Context(), name); err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}

@@ -6,31 +6,37 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/collection"
 	"repro/internal/store"
 )
 
-// Write endpoints. POST /v1/upsert and /v1/delete route to the
-// backend's Mutator half when it has one (EngineBackend; the
+// Write endpoints. POST /v1/upsert and /v1/delete (and their
+// /v1/collections/{name}/ forms) route to the tenant backend's Mutator
+// half when it has one (EngineBackend, CollectionBackend; the
 // distributed MasterBackend is read-only and answers 501). Every
-// successful mutation purges the result cache: a cached row may now
-// contain a deleted ID or miss the fresh insert.
+// successful mutation purges that tenant's result cache — and only
+// that tenant's: caches are per-collection, so one collection's writes
+// never evict another's entries.
 
-// upsertPoint is one (id, vector) pair.
+// upsertPoint is one (id, vector) pair, optionally tagged for filtered
+// search.
 type upsertPoint struct {
-	ID     int64     `json:"id"`
-	Vector []float32 `json:"vector"`
+	ID     int64             `json:"id"`
+	Vector []float32         `json:"vector"`
+	Tags   map[string]string `json:"tags,omitempty"`
 }
 
-// upsertRequest is the POST /v1/upsert body: either a single point
-// ({"id":..,"vector":[..]}) or a batch ({"points":[{..},..]}).
+// upsertRequest is the upsert POST body: either a single point
+// ({"id":..,"vector":[..],"tags":{..}}) or a batch
+// ({"points":[{..},..]}).
 type upsertRequest struct {
-	ID     *int64        `json:"id,omitempty"`
-	Vector []float32     `json:"vector,omitempty"`
-	Points []upsertPoint `json:"points,omitempty"`
+	ID     *int64            `json:"id,omitempty"`
+	Vector []float32         `json:"vector,omitempty"`
+	Tags   map[string]string `json:"tags,omitempty"`
+	Points []upsertPoint     `json:"points,omitempty"`
 }
 
-// deleteRequest is the POST /v1/delete body: {"id":..} or
-// {"ids":[..]}.
+// deleteRequest is the delete POST body: {"id":..} or {"ids":[..]}.
 type deleteRequest struct {
 	ID  *int64  `json:"id,omitempty"`
 	IDs []int64 `json:"ids,omitempty"`
@@ -44,58 +50,80 @@ type mutateResponse struct {
 	Deleted  int `json:"deleted,omitempty"`
 }
 
-// mutator resolves the backend's write half, answering 501 when the
-// backend is read-only and 503 when the write circuit breaker is open
-// (the storage layer failed; mutations are refused until a restart
-// while searches keep serving).
-func (s *Server) mutator(w http.ResponseWriter) (Mutator, bool) {
-	m, ok := s.backend.(Mutator)
+// mutator resolves a tenant backend's write half, answering 501 when
+// the backend is read-only and 503 when the write circuit breaker is
+// open (the storage layer failed; mutations are refused until a
+// restart while searches keep serving).
+func (s *Server) mutator(t *tenant, w http.ResponseWriter) (Mutator, bool) {
+	m, ok := t.backend.(Mutator)
 	if !ok {
-		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "backend does not support writes"})
+		writeError(w, http.StatusNotImplemented, codeNotImplemented, "backend does not support writes")
 		return nil, false
 	}
-	if err := s.writeBroken(); err != nil {
+	if err := writeBroken(t); err != nil {
 		s.stats.WritesRejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-			Error: "write path failed, mutations rejected until restart: " + err.Error()})
+		writeError(w, http.StatusServiceUnavailable, codeWriteFailed,
+			"write path failed, mutations rejected until restart: "+err.Error())
 		return nil, false
 	}
 	return m, true
 }
 
-// mutationStatus maps a mid-batch mutation error to an HTTP status: a
-// storage failure that tripped the breaker is 503 (the replica is
-// degraded, not the request), anything else 500.
-func (s *Server) mutationStatus(err error) int {
-	if errors.Is(err, store.ErrWALFailed) {
+// mutationStatus maps a mid-batch mutation error to an HTTP status and
+// code: the tenant's admission quota is 429, draining 503, a storage
+// failure that tripped the breaker 503 (the replica is degraded, not
+// the request), anything else 500.
+func (s *Server) mutationStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, collection.ErrQuota):
+		return http.StatusTooManyRequests, codeQuota
+	case errors.Is(err, collection.ErrDraining):
+		return http.StatusServiceUnavailable, codeDraining
+	case errors.Is(err, store.ErrWALFailed):
 		s.stats.WritesRejected.Add(1)
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, codeWriteFailed
+	default:
+		return http.StatusInternalServerError, codeInternal
 	}
-	return http.StatusInternalServerError
 }
 
 func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeError(w, http.StatusMethodNotAllowed, codeBadRequest, "POST only")
 		return false
 	}
 	if s.Draining() {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ErrDraining.Error()})
+		writeError(w, http.StatusServiceUnavailable, codeDraining, ErrDraining.Error())
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(v); err != nil {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
 func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
-	mut, ok := s.mutator(w)
+	t, ok := s.tenantFor(w, DefaultCollection)
+	if !ok {
+		return
+	}
+	s.upsertTenant(t, w, r)
+}
+
+func (s *Server) handleColUpsert(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	s.upsertTenant(t, w, r)
+}
+
+func (s *Server) upsertTenant(t *tenant, w http.ResponseWriter, r *http.Request) {
+	mut, ok := s.mutator(t, w)
 	if !ok {
 		return
 	}
@@ -107,54 +135,87 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	if req.Vector != nil {
 		if points != nil {
 			s.stats.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set vector or points, not both"})
+			writeError(w, http.StatusBadRequest, codeBadRequest, "set vector or points, not both")
 			return
 		}
 		if req.ID == nil {
 			s.stats.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "upsert needs an id"})
+			writeError(w, http.StatusBadRequest, codeBadRequest, "upsert needs an id")
 			return
 		}
-		points = []upsertPoint{{ID: *req.ID, Vector: req.Vector}}
+		points = []upsertPoint{{ID: *req.ID, Vector: req.Vector, Tags: req.Tags}}
 	}
 	if len(points) == 0 {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no points"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no points")
 		return
 	}
 	if len(points) > s.cfg.MaxQueries {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("%d points exceeds the per-request limit %d", len(points), s.cfg.MaxQueries)})
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("%d points exceeds the per-request limit %d", len(points), s.cfg.MaxQueries))
 		return
 	}
-	dim := s.backend.Dim()
+	var tagged TaggedMutator
+	dim := t.backend.Dim()
 	for i, p := range points {
 		if len(p.Vector) != dim {
 			s.stats.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{
-				Error: fmt.Sprintf("point %d has dim %d, index dim %d", i, len(p.Vector), dim)})
+			writeError(w, http.StatusBadRequest, codeDimMismatch,
+				fmt.Sprintf("point %d has dim %d, collection %s has dim %d", i, len(p.Vector), t.name, dim))
 			return
+		}
+		if len(p.Tags) > 0 && tagged == nil {
+			tm, ok := mut.(TaggedMutator)
+			if !ok {
+				writeError(w, http.StatusNotImplemented, codeNotImplemented,
+					fmt.Sprintf("point %d carries tags but the backend does not support tagged upserts", i))
+				return
+			}
+			tagged = tm
 		}
 	}
 	for i, p := range points {
-		if err := mut.Upsert(p.Vector, p.ID); err != nil {
+		var err error
+		if len(p.Tags) > 0 {
+			err = tagged.UpsertTagged(p.Vector, p.ID, p.Tags)
+		} else {
+			err = mut.Upsert(p.Vector, p.ID)
+		}
+		if err != nil {
 			s.stats.Upserts.Add(int64(i))
 			if i > 0 {
-				s.cache.purge()
+				t.cache.purge()
 			}
-			writeJSON(w, s.mutationStatus(err), errorResponse{
-				Error: fmt.Sprintf("upsert of point %d (id %d) failed after %d applied: %v", i, p.ID, i, err)})
+			status, code := s.mutationStatus(err)
+			writeError(w, status, code,
+				fmt.Sprintf("upsert of point %d (id %d) failed after %d applied: %v", i, p.ID, i, err))
 			return
 		}
 	}
 	s.stats.Upserts.Add(int64(len(points)))
-	s.cache.purge()
+	t.cache.purge()
 	writeJSON(w, http.StatusOK, mutateResponse{Upserted: len(points)})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	mut, ok := s.mutator(w)
+	t, ok := s.tenantFor(w, DefaultCollection)
+	if !ok {
+		return
+	}
+	s.deleteTenant(t, w, r)
+}
+
+func (s *Server) handleColDelete(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	s.deleteTenant(t, w, r)
+}
+
+func (s *Server) deleteTenant(t *tenant, w http.ResponseWriter, r *http.Request) {
+	mut, ok := s.mutator(t, w)
 	if !ok {
 		return
 	}
@@ -166,28 +227,29 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if req.ID != nil {
 		if ids != nil {
 			s.stats.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set id or ids, not both"})
+			writeError(w, http.StatusBadRequest, codeBadRequest, "set id or ids, not both")
 			return
 		}
 		ids = []int64{*req.ID}
 	}
 	if len(ids) == 0 {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no ids"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no ids")
 		return
 	}
 	for i, id := range ids {
 		if err := mut.Delete(id); err != nil {
 			s.stats.Deletes.Add(int64(i))
 			if i > 0 {
-				s.cache.purge()
+				t.cache.purge()
 			}
-			writeJSON(w, s.mutationStatus(err), errorResponse{
-				Error: fmt.Sprintf("delete of id %d failed after %d applied: %v", id, i, err)})
+			status, code := s.mutationStatus(err)
+			writeError(w, status, code,
+				fmt.Sprintf("delete of id %d failed after %d applied: %v", id, i, err))
 			return
 		}
 	}
 	s.stats.Deletes.Add(int64(len(ids)))
-	s.cache.purge()
+	t.cache.purge()
 	writeJSON(w, http.StatusOK, mutateResponse{Deleted: len(ids)})
 }

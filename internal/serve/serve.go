@@ -30,6 +30,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/filter"
 	"repro/internal/store"
 	"repro/internal/topk"
 	"repro/internal/vec"
@@ -65,6 +66,16 @@ type Backend interface {
 	SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error)
 }
 
+// FilteredBackend is the optional filtered half of a backend: one round
+// answering every query under the same tag filter, with the predicate
+// pushed into the graph traversal rather than applied to the output.
+// Requests whose filter is non-empty are refused with ErrFilterUnsupported
+// when the backend lacks it. Like SearchBatch, it is called from the
+// single dispatcher goroutine.
+type FilteredBackend interface {
+	SearchBatchFiltered(ctx context.Context, queries *vec.Dataset, k int, f *filter.Expr) (BatchOutput, error)
+}
+
 // TopologyNotifier is implemented by backends whose result-set identity
 // can change underneath the gateway — the shard router, whose shard map
 // can be swapped and whose replicas go unhealthy and recover. The
@@ -86,6 +97,13 @@ type TopologyNotifier interface {
 type Mutator interface {
 	Upsert(v []float32, id int64) error
 	Delete(id int64) error
+}
+
+// TaggedMutator is the optional tagged write half: an upsert carrying
+// the point's metadata tags for filtered search. Upserts with tags
+// against a Mutator lacking it are refused with 501.
+type TaggedMutator interface {
+	UpsertTagged(v []float32, id int64, tags map[string]string) error
 }
 
 // VarzProvider lets a backend contribute extra top-level sections to
@@ -129,12 +147,32 @@ func (b *EngineBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k
 	return BatchOutput{Results: res}, err
 }
 
+// SearchBatchFiltered implements FilteredBackend: the whole round runs
+// under one pushed-down predicate.
+func (b *EngineBackend) SearchBatchFiltered(ctx context.Context, queries *vec.Dataset, k int, f *filter.Expr) (BatchOutput, error) {
+	res, err := b.Engine.SearchBatchFiltered(ctx, queries, k, f, b.Threads)
+	return BatchOutput{Results: res}, err
+}
+
 // Upsert implements Mutator.
 func (b *EngineBackend) Upsert(v []float32, id int64) error {
 	if b.Store != nil {
 		return b.Store.Upsert(v, id)
 	}
 	return b.Engine.Add(v, id)
+}
+
+// UpsertTagged implements TaggedMutator. Without a store the tags land
+// in the in-memory engine only, like the vector itself.
+func (b *EngineBackend) UpsertTagged(v []float32, id int64, tags map[string]string) error {
+	if b.Store != nil {
+		return b.Store.UpsertTagged(v, id, tags)
+	}
+	if err := b.Engine.Add(v, id); err != nil {
+		return err
+	}
+	b.Engine.SetTags(id, tags)
+	return nil
 }
 
 // Delete implements Mutator.

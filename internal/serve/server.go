@@ -6,10 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/collection"
 	"repro/internal/core"
+	"repro/internal/filter"
 	"repro/internal/topk"
 )
 
@@ -21,15 +25,18 @@ type ServerConfig struct {
 	DefaultK int
 	// MaxK caps per-request k (default: the backend's MaxK, else 1000).
 	MaxK int
-	// CacheSize is the LRU result-cache capacity in entries; 0 disables
-	// result caching (single-flight deduplication stays on regardless),
-	// negative uses the default 4096.
+	// CacheSize is the per-collection LRU result-cache capacity in
+	// entries; 0 disables result caching (single-flight deduplication
+	// stays on regardless), negative uses the default 4096.
 	CacheSize int
 	// DefaultTimeout bounds requests that do not carry their own
 	// timeout_ms; 0 leaves them deadline-free.
 	DefaultTimeout time.Duration
 	// MaxQueries bounds the queries one POST may carry (default 1024).
 	MaxQueries int
+	// Threads is the per-batch worker-pool width for collection-backed
+	// tenants created at runtime via POST /v1/collections (0 = GOMAXPROCS).
+	Threads int
 }
 
 func (c *ServerConfig) fill(backend Backend) {
@@ -37,10 +44,11 @@ func (c *ServerConfig) fill(backend Backend) {
 		c.DefaultK = 10
 	}
 	if c.MaxK <= 0 {
-		if mk := backend.MaxK(); mk > 0 {
-			c.MaxK = mk
-		} else {
-			c.MaxK = 1000
+		c.MaxK = 1000
+		if backend != nil {
+			if mk := backend.MaxK(); mk > 0 {
+				c.MaxK = mk
+			}
 		}
 	}
 	if c.DefaultK > c.MaxK {
@@ -54,41 +62,67 @@ func (c *ServerConfig) fill(backend Backend) {
 	}
 }
 
-// Server is the gateway: HTTP handlers over the micro-batcher, the
-// result cache, and the stats collector.
+// Server is the gateway: HTTP handlers over per-collection tenants,
+// each a micro-batcher + result cache over its backend. A
+// single-backend server (NewServer) has exactly one tenant named
+// "default", which the legacy un-prefixed routes resolve; a
+// registry-backed server (NewCollectionServer) has one tenant per
+// collection plus the create/drop admin surface.
 type Server struct {
-	backend Backend
-	cfg     ServerConfig
-	batcher *Batcher
-	cache   *resultCache
-	stats   *Stats
-	mux     *http.ServeMux
+	cfg   ServerConfig
+	stats *Stats
+	mux   *http.ServeMux
+	reg   *collection.Registry // nil in single-backend mode
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	draining atomic.Bool
 }
 
-// NewServer wires the gateway over backend and starts its dispatcher.
+// NewServer wires a single-backend gateway: one tenant, "default",
+// served by both the legacy routes and /v1/collections/default/*.
 func NewServer(backend Backend, cfg ServerConfig) *Server {
 	cfg.fill(backend)
+	s := newServer(cfg, nil)
+	s.tenants[DefaultCollection] = s.newTenant(DefaultCollection, backend, nil)
+	return s
+}
+
+// NewCollectionServer wires a multi-tenant gateway over a collection
+// registry: every registered collection becomes a tenant, and the
+// /v1/collections admin routes can create and drop them at runtime.
+// Legacy routes alias the collection named "default" when one exists.
+func NewCollectionServer(reg *collection.Registry, cfg ServerConfig) (*Server, error) {
+	cfg.fill(nil)
+	s := newServer(cfg, reg)
+	for _, name := range reg.Names() {
+		col, err := reg.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		s.tenants[name] = s.newTenant(name, &CollectionBackend{Col: col, Threads: cfg.Threads}, col)
+	}
+	return s, nil
+}
+
+func newServer(cfg ServerConfig, reg *collection.Registry) *Server {
 	s := &Server{
-		backend: backend,
 		cfg:     cfg,
 		stats:   NewStats(),
-		cache:   newResultCache(cfg.CacheSize),
 		mux:     http.NewServeMux(),
-	}
-	s.batcher = NewBatcher(backend, cfg.Batcher, s.stats)
-	// Routed backends report topology transitions (shard-map swaps,
-	// replicas dying or recovering); every one invalidates the result
-	// cache, so a cached row can never outlive the topology it was
-	// computed against.
-	if tn, ok := backend.(TopologyNotifier); ok {
-		tn.OnTopologyChange(func() {
-			s.cache.purge()
-			s.stats.TopologyPurges.Add(1)
-		})
+		reg:     reg,
+		tenants: make(map[string]*tenant),
 	}
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/upsert", s.handleUpsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/collections/{name}/search", s.handleColSearch)
+	s.mux.HandleFunc("POST /v1/collections/{name}/upsert", s.handleColUpsert)
+	s.mux.HandleFunc("POST /v1/collections/{name}/delete", s.handleColDelete)
+	s.mux.HandleFunc("GET /v1/collections", s.handleColList)
+	s.mux.HandleFunc("POST /v1/collections", s.handleColCreate)
+	s.mux.HandleFunc("DELETE /v1/collections/{name}", s.handleColDrop)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/varz", s.handleVarz)
 	return s
@@ -100,20 +134,39 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Stats exposes the served-traffic counters (tests and embedders).
 func (s *Server) Stats() *Stats { return s.stats }
 
-// Drain stops admitting queries, finishes everything queued, and waits
-// (bounded by ctx). Call it after http.Server.Shutdown so in-flight
-// handlers have delivered their submissions.
-func (s *Server) Drain(ctx context.Context) error { return s.batcher.Drain(ctx) }
+// Drain stops admitting queries, finishes everything queued in every
+// tenant, and waits (bounded by ctx). Call it after http.Server.Shutdown
+// so in-flight handlers have delivered their submissions. The registry
+// itself (stores, WALs) stays open — closing it is its owner's job.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.RUnlock()
+	var first error
+	for _, t := range ts {
+		if err := t.batcher.Drain(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Draining reports whether Drain has begun (healthz turns 503).
-func (s *Server) Draining() bool { return s.batcher.Draining() }
+func (s *Server) Draining() bool { return s.draining.Load() }
 
-// searchRequest is the POST /v1/search body. Exactly one of Query or
+// searchRequest is the search POST body. Exactly one of Query or
 // Queries must be set.
 type searchRequest struct {
 	Query   []float32   `json:"query,omitempty"`
 	Queries [][]float32 `json:"queries,omitempty"`
 	K       int         `json:"k,omitempty"`
+	// Filter is a tag-filter expression (filter.Parse syntax) pushed
+	// down into the graph traversal; empty means unfiltered.
+	Filter string `json:"filter,omitempty"`
 	// TimeoutMS is the per-request deadline; it rides the request context
 	// down to the batched search call. 0 uses the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -138,8 +191,27 @@ type searchResponse struct {
 	Results          []searchResult `json:"results"`
 }
 
+// Machine-readable error codes carried in every error body, so clients
+// can branch without parsing prose.
+const (
+	codeBadRequest        = "bad_request"
+	codeBadFilter         = "bad_filter"
+	codeDimMismatch       = "dim_mismatch"
+	codeUnknownCollection = "unknown_collection"
+	codeCollectionExists  = "collection_exists"
+	codeBadName           = "bad_name"
+	codeQuota             = "quota_exceeded"
+	codeOverloaded        = "overloaded"
+	codeDraining          = "draining"
+	codeDeadline          = "deadline_exceeded"
+	codeWriteFailed       = "write_failed"
+	codeNotImplemented    = "not_implemented"
+	codeInternal          = "internal"
+)
+
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -148,17 +220,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// failStatus maps a per-query error to the request's HTTP status. When a
-// batch fails in several ways the most actionable status wins: draining
-// beats overload beats deadline beats internal.
-func failStatus(errs []error) (int, error) {
+// writeError emits a typed JSON error. Retriable statuses (429, 503)
+// carry Retry-After so well-behaved clients back off.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
+}
+
+// failStatus maps a per-query error to the request's HTTP status and
+// error code. When a batch fails in several ways the most actionable
+// status wins: draining beats quota beats overload beats deadline.
+func failStatus(errs []error) (int, string, error) {
 	rank := func(err error) int {
 		switch {
-		case errors.Is(err, ErrDraining):
-			return 3
+		case errors.Is(err, ErrDraining), errors.Is(err, collection.ErrDraining):
+			return 5
+		case errors.Is(err, collection.ErrQuota):
+			return 4
 		case errors.Is(err, ErrOverloaded):
-			return 2
+			return 3
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			return 2
+		case errors.Is(err, ErrFilterUnsupported):
 			return 1
 		default:
 			return 0
@@ -174,59 +259,85 @@ func failStatus(errs []error) (int, error) {
 		}
 	}
 	switch bestRank {
+	case 5:
+		return http.StatusServiceUnavailable, codeDraining, best
+	case 4:
+		return http.StatusTooManyRequests, codeQuota, best
 	case 3:
-		return http.StatusServiceUnavailable, best
+		return http.StatusTooManyRequests, codeOverloaded, best
 	case 2:
-		return http.StatusTooManyRequests, best
+		return http.StatusGatewayTimeout, codeDeadline, best
 	case 1:
-		return http.StatusGatewayTimeout, best
+		return http.StatusNotImplemented, codeNotImplemented, best
 	default:
-		return http.StatusInternalServerError, best
+		return http.StatusInternalServerError, codeInternal, best
 	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeError(w, http.StatusMethodNotAllowed, codeBadRequest, "POST only")
 		return
 	}
+	t, ok := s.tenantFor(w, DefaultCollection)
+	if !ok {
+		return
+	}
+	s.searchTenant(t, w, r)
+}
+
+func (s *Server) handleColSearch(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	s.searchTenant(t, w, r)
+}
+
+func (s *Server) searchTenant(t *tenant, w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	var req searchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&req); err != nil {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	queries := req.Queries
 	if req.Query != nil {
 		if queries != nil {
 			s.stats.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set query or queries, not both"})
+			writeError(w, http.StatusBadRequest, codeBadRequest, "set query or queries, not both")
 			return
 		}
 		queries = [][]float32{req.Query}
 	}
 	if len(queries) == 0 {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no queries"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no queries")
 		return
 	}
 	if len(queries) > s.cfg.MaxQueries {
 		s.stats.BadRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("%d queries exceeds the per-request limit %d", len(queries), s.cfg.MaxQueries)})
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("%d queries exceeds the per-request limit %d", len(queries), s.cfg.MaxQueries))
 		return
 	}
-	dim := s.backend.Dim()
+	dim := t.backend.Dim()
 	for i, q := range queries {
 		if len(q) != dim {
 			s.stats.BadRequests.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{
-				Error: fmt.Sprintf("query %d has dim %d, index dim %d", i, len(q), dim)})
+			writeError(w, http.StatusBadRequest, codeDimMismatch,
+				fmt.Sprintf("query %d has dim %d, collection %s has dim %d", i, len(q), t.name, dim))
 			return
 		}
+	}
+	f, err := filter.Parse(req.Filter)
+	if err != nil {
+		s.stats.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, codeBadFilter, err.Error())
+		return
 	}
 	k := req.K
 	if k <= 0 {
@@ -256,14 +367,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	metas := make([]BatchMeta, len(queries))
 	errs := make([]error, len(queries))
 	if len(queries) == 1 {
-		results[0], metas[0], errs[0] = s.answerOne(ctx, queries[0], k)
+		results[0], metas[0], errs[0] = s.answerOne(t, ctx, queries[0], k, f)
 	} else {
 		var wg sync.WaitGroup
 		for i, q := range queries {
 			wg.Add(1)
 			go func(i int, q []float32) {
 				defer wg.Done()
-				results[i], metas[i], errs[i] = s.answerOne(ctx, q, k)
+				results[i], metas[i], errs[i] = s.answerOne(t, ctx, q, k, f)
 			}(i, q)
 		}
 		wg.Wait()
@@ -271,11 +382,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	for _, err := range errs {
 		if err != nil {
-			status, cause := failStatus(errs)
-			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-				w.Header().Set("Retry-After", "1")
-			}
-			writeJSON(w, status, errorResponse{Error: cause.Error()})
+			status, code, cause := failStatus(errs)
+			writeError(w, status, code, cause.Error())
 			return
 		}
 	}
@@ -299,27 +407,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// answerOne resolves a single query: cache hit, join an identical
-// in-flight search, or lead one through the batcher. Cache hits carry a
-// zero BatchMeta by construction — degraded rows are never stored.
-func (s *Server) answerOne(ctx context.Context, q []float32, k int) (searchResult, BatchMeta, error) {
-	key := cacheKey(q, k)
-	if res, ok := s.cache.get(key); ok {
+// answerOne resolves a single query within a tenant: cache hit, join an
+// identical in-flight search, or lead one through the batcher. Cache
+// hits carry a zero BatchMeta by construction — degraded rows are never
+// stored.
+func (s *Server) answerOne(t *tenant, ctx context.Context, q []float32, k int, f *filter.Expr) (searchResult, BatchMeta, error) {
+	key := cacheKey(t.name, f.Canonical(), q, k)
+	if res, ok := t.cache.get(key); ok {
 		s.stats.CacheHits.Add(1)
 		return toSearchResult(res, true), BatchMeta{}, nil
 	}
 	s.stats.CacheMisses.Add(1)
-	f, leader := s.cache.startFlight(key)
+	fl, leader := t.cache.startFlight(key)
 	if !leader {
 		s.stats.Coalesced.Add(1)
-		res, meta, err := f.wait(ctx)
+		res, meta, err := fl.wait(ctx)
 		if err != nil {
 			return searchResult{}, meta, err
 		}
 		return toSearchResult(res, false), meta, nil
 	}
-	res, meta, err := s.batcher.Do(ctx, q, k)
-	s.cache.finishFlight(key, f, res, meta, err)
+	res, meta, err := t.batcher.DoFiltered(ctx, q, k, f)
+	t.cache.finishFlight(key, fl, res, meta, err)
 	if err != nil {
 		return searchResult{}, meta, err
 	}
@@ -339,11 +448,23 @@ func toSearchResult(res []topk.Result, cached bool) searchResult {
 	return sr
 }
 
-// writeBroken returns the error that tripped the write circuit
-// breaker, or nil while the backend's write path is healthy.
-func (s *Server) writeBroken() error {
-	if wh, ok := s.backend.(WriteHealth); ok {
+// writeBroken returns the error that tripped a tenant's write circuit
+// breaker, or nil while its backend's write path is healthy.
+func writeBroken(t *tenant) error {
+	if wh, ok := t.backend.(WriteHealth); ok {
 		return wh.WriteFailed()
+	}
+	return nil
+}
+
+// anyWriteBroken scans every tenant's write path for readiness.
+func (s *Server) anyWriteBroken() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, t := range s.tenants {
+		if err := writeBroken(t); err != nil {
+			return fmt.Errorf("collection %s: %w", name, err)
+		}
 	}
 	return nil
 }
@@ -351,11 +472,11 @@ func (s *Server) writeBroken() error {
 // handleHealthz is both probes. Liveness (the default) answers whether
 // the process should keep running: 200 unless it is draining away.
 // Readiness (?ready=1) answers whether it should receive NEW traffic
-// and additionally goes not-ready when the write circuit breaker is
-// open — a storage-degraded replica can finish serving reads it already
-// has, but a load balancer should prefer healthy replicas for fresh
-// connections and an orchestrator should schedule a restart, not a
-// kill.
+// and additionally goes not-ready when any tenant's write circuit
+// breaker is open — a storage-degraded replica can finish serving reads
+// it already has, but a load balancer should prefer healthy replicas
+// for fresh connections and an orchestrator should schedule a restart,
+// not a kill.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		w.Header().Set("Retry-After", "1")
@@ -363,7 +484,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("ready") != "" {
-		if err := s.writeBroken(); err != nil {
+		if err := s.anyWriteBroken(); err != nil {
 			http.Error(w, "not-ready: write path failed: "+err.Error(), http.StatusServiceUnavailable)
 			return
 		}
@@ -374,28 +495,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	// Flatten the traffic snapshot to a map so VarzProvider backends can
-	// add sibling sections (engine occupancy, WAL/compaction counters).
+	// Flatten the traffic snapshot to a map so backend sections can sit
+	// alongside it (engine occupancy, WAL/compaction counters).
 	doc := map[string]any{}
 	if b, err := json.Marshal(s.stats.Snapshot()); err == nil {
 		json.Unmarshal(b, &doc)
 	}
-	if vp, ok := s.backend.(VarzProvider); ok {
-		for k, v := range vp.Varz() {
-			doc[k] = v
+	s.mu.RLock()
+	tenants := make(map[string]*tenant, len(s.tenants))
+	for name, t := range s.tenants {
+		tenants[name] = t
+	}
+	s.mu.RUnlock()
+	// The default tenant's backend sections stay top-level (the
+	// single-backend layout annserve dashboards scrape); every tenant
+	// additionally gets its own section under "collections".
+	if t, ok := tenants[DefaultCollection]; ok {
+		if vp, ok := t.backend.(VarzProvider); ok {
+			for k, v := range vp.Varz() {
+				doc[k] = v
+			}
 		}
 	}
-	if wh, ok := s.backend.(WriteHealth); ok {
-		breaker := map[string]any{
-			"writes_tripped":  false,
-			"writes_rejected": s.stats.WritesRejected.Load(),
+	cols := map[string]any{}
+	var tripped []string
+	for name, t := range tenants {
+		sec := map[string]any{}
+		if vp, ok := t.backend.(VarzProvider); ok {
+			for k, v := range vp.Varz() {
+				sec[k] = v
+			}
 		}
-		if err := wh.WriteFailed(); err != nil {
-			breaker["writes_tripped"] = true
-			breaker["reason"] = err.Error()
+		sec["cache_entries"] = t.cache.Len()
+		sec["queue_draining"] = t.batcher.Draining()
+		cols[name] = sec
+		if err := writeBroken(t); err != nil {
+			tripped = append(tripped, fmt.Sprintf("%s: %v", name, err))
 		}
-		doc["breaker"] = breaker
 	}
+	doc["collections"] = cols
+	breaker := map[string]any{
+		"writes_tripped":  len(tripped) > 0,
+		"writes_rejected": s.stats.WritesRejected.Load(),
+	}
+	if len(tripped) > 0 {
+		breaker["reason"] = strings.Join(tripped, "; ")
+	}
+	doc["breaker"] = breaker
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -101,9 +101,9 @@ func (s *Stats) Snapshot() Snapshot {
 		DegradedBatches:   s.DegradedBatches.Load(),
 		DegradedResponses: s.DegradedResponses.Load(),
 		TopologyPurges:    s.TopologyPurges.Load(),
-		BatchSize:      s.batchSizes.Summarize(),
-		LatencyUS:      s.latencies.Summarize(),
-		Runtime:        metrics.CaptureRuntime(),
+		BatchSize:         s.batchSizes.Summarize(),
+		LatencyUS:         s.latencies.Summarize(),
+		Runtime:           metrics.CaptureRuntime(),
 	}
 	if snap.Batches > 0 {
 		snap.MeanBatchSize = float64(snap.Queries) / float64(snap.Batches)

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/collection"
+	"repro/internal/filter"
+	"repro/internal/vec"
+)
+
+// DefaultCollection is the tenant legacy (un-prefixed) routes resolve
+// to: /v1/search is an alias for /v1/collections/default/search.
+const DefaultCollection = "default"
+
+// tenant is one served collection's vertical slice of the gateway:
+// its backend, its micro-batcher (one dispatcher goroutine per tenant,
+// so tenants never serialize behind each other), and its result cache.
+// Caches being per-tenant makes collection-scoped purge structural: a
+// mutation in one collection cannot evict another's entries.
+type tenant struct {
+	name    string
+	backend Backend
+	batcher *Batcher
+	cache   *resultCache
+	// col is set for registry-backed tenants; nil for the plain
+	// single-backend "default" tenant.
+	col *collection.Collection
+}
+
+// CollectionBackend adapts one collection.Collection to the gateway
+// Backend contract: searches and mutations go through the collection,
+// so they hit its admission quota and its WAL.
+type CollectionBackend struct {
+	Col *collection.Collection
+	// Threads is the worker-pool width per batch (0 = GOMAXPROCS).
+	Threads int
+}
+
+// Dim implements Backend.
+func (b *CollectionBackend) Dim() int { return b.Col.Config().Dim }
+
+// MaxK implements Backend; collections serve any k.
+func (b *CollectionBackend) MaxK() int { return 0 }
+
+// SearchBatch implements Backend.
+func (b *CollectionBackend) SearchBatch(ctx context.Context, queries *vec.Dataset, k int) (BatchOutput, error) {
+	res, err := b.Col.SearchBatch(ctx, queries, k, b.Threads)
+	return BatchOutput{Results: res}, err
+}
+
+// SearchBatchFiltered implements FilteredBackend.
+func (b *CollectionBackend) SearchBatchFiltered(ctx context.Context, queries *vec.Dataset, k int, f *filter.Expr) (BatchOutput, error) {
+	res, err := b.Col.SearchBatchFiltered(ctx, queries, k, f, b.Threads)
+	return BatchOutput{Results: res}, err
+}
+
+// Upsert implements Mutator.
+func (b *CollectionBackend) Upsert(v []float32, id int64) error { return b.Col.Upsert(v, id) }
+
+// UpsertTagged implements TaggedMutator.
+func (b *CollectionBackend) UpsertTagged(v []float32, id int64, tags map[string]string) error {
+	return b.Col.UpsertTagged(v, id, tags)
+}
+
+// Delete implements Mutator.
+func (b *CollectionBackend) Delete(id int64) error { return b.Col.Delete(id) }
+
+// WriteFailed implements WriteHealth over the collection's store.
+func (b *CollectionBackend) WriteFailed() error { return b.Col.Store().Failed() }
+
+// Varz implements VarzProvider.
+func (b *CollectionBackend) Varz() map[string]any { return b.Col.Varz() }
+
+// newTenant wires one tenant's batcher and cache over its backend.
+func (s *Server) newTenant(name string, backend Backend, col *collection.Collection) *tenant {
+	t := &tenant{
+		name:    name,
+		backend: backend,
+		batcher: NewBatcher(backend, s.cfg.Batcher, s.stats),
+		cache:   newResultCache(s.cfg.CacheSize),
+		col:     col,
+	}
+	// Routed backends report topology transitions (shard-map swaps,
+	// replicas dying or recovering); every one invalidates the result
+	// cache, so a cached row can never outlive the topology it was
+	// computed against.
+	if tn, ok := backend.(TopologyNotifier); ok {
+		tn.OnTopologyChange(func() {
+			t.cache.purge()
+			s.stats.TopologyPurges.Add(1)
+		})
+	}
+	return t
+}
+
+// tenantFor resolves a collection name to its tenant, answering the
+// typed 404 itself when the name is unknown.
+func (s *Server) tenantFor(w http.ResponseWriter, name string) (*tenant, bool) {
+	s.mu.RLock()
+	t, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownCollection,
+			"unknown collection "+name)
+		return nil, false
+	}
+	return t, true
+}

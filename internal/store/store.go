@@ -134,6 +134,15 @@ type generation struct {
 
 	Tombstones []int64 `json:"tombstones,omitempty"`
 	Inserted   int64   `json:"inserted,omitempty"`
+
+	// Tags is the per-vector metadata sidecar (tags-<seq>.json) holding
+	// the tag store as of the watermark, absent when no vector carries
+	// tags. It is checksummed like the snapshot: a corrupt sidecar fails
+	// the whole generation (serving matching vectors with silently lost
+	// filters would be worse than falling back a generation).
+	Tags      string `json:"tags,omitempty"`
+	TagsCRC   uint32 `json:"tags_crc32c,omitempty"`
+	TagsBytes int64  `json:"tags_bytes,omitempty"`
 }
 
 // manifest is the store's root pointer. Generations are ordered newest
@@ -173,6 +182,13 @@ const (
 )
 
 func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%020d.ann", seq) }
+
+func tagsName(seq uint64) string { return fmt.Sprintf("tags-%020d.json", seq) }
+
+// tagsFile is the on-disk shape of the tags sidecar.
+type tagsFile struct {
+	Tags map[int64]map[string]string `json:"tags"`
+}
 
 func writeManifest(fs fsx.FS, dir string, m manifest) error {
 	payload, err := json.Marshal(m)
@@ -329,6 +345,26 @@ func loadGeneration(fs fsx.FS, dir string, g generation) (*core.Engine, error) {
 	// counter as of the watermark ride in the manifest (their WAL
 	// records were truncated by the checkpoint that wrote them).
 	e.RestoreDynamic(g.Tombstones, g.Inserted)
+	// Per-vector tags ride in a checksummed sidecar; loading it is part
+	// of the generation's verification, so a lost or corrupt sidecar
+	// fails the generation rather than silently dropping every filter.
+	if g.Tags != "" {
+		tpath := filepath.Join(dir, g.Tags)
+		tb, err := fs.ReadFile(tpath)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading tags sidecar %s: %w", g.Tags, err)
+		}
+		if g.TagsCRC != 0 {
+			if got := crc32.Checksum(tb, crcTable); got != g.TagsCRC {
+				return nil, &CorruptError{Path: tpath, Reason: "tags sidecar CRC mismatch", WantCRC: g.TagsCRC, GotCRC: got}
+			}
+		}
+		var tf tagsFile
+		if jerr := json.Unmarshal(tb, &tf); jerr != nil {
+			return nil, &CorruptError{Path: tpath, Reason: "tags sidecar is not JSON: " + jerr.Error()}
+		}
+		e.RestoreTags(tf.Tags)
+	}
 	return e, nil
 }
 
@@ -426,9 +462,14 @@ func Open(dir string, opts Options) (*Durable, error) {
 		}
 		genErrs = append(genErrs, lerr)
 		opts.Logf("store: snapshot generation %s unusable (%v); quarantining and falling back", g.Snapshot, lerr)
-		bad := filepath.Join(dir, g.Snapshot)
-		if qerr := fs.Rename(bad, bad+corruptSuffix); qerr != nil && !os.IsNotExist(qerr) {
-			opts.Logf("store: quarantine of %s failed: %v", g.Snapshot, qerr)
+		bad := []string{filepath.Join(dir, g.Snapshot)}
+		if g.Tags != "" {
+			bad = append(bad, filepath.Join(dir, g.Tags))
+		}
+		for _, b := range bad {
+			if qerr := fs.Rename(b, b+corruptSuffix); qerr != nil && !os.IsNotExist(qerr) {
+				opts.Logf("store: quarantine of %s failed: %v", filepath.Base(b), qerr)
+			}
 		}
 	}
 	if e == nil {
@@ -463,6 +504,11 @@ func Open(dir string, opts Options) (*Durable, error) {
 			if err := e.AddAt(r.Part, r.Vec, r.ID, r.Level); err != nil {
 				return fmt.Errorf("store: replaying seq %d: %w", r.Seq, err)
 			}
+		case RecordUpsertTagged:
+			if err := e.AddAt(r.Part, r.Vec, r.ID, r.Level); err != nil {
+				return fmt.Errorf("store: replaying seq %d: %w", r.Seq, err)
+			}
+			e.SetTags(r.ID, r.Tags)
 		case RecordDelete:
 			e.Delete(r.ID)
 		default:
@@ -519,6 +565,17 @@ func (d *Durable) Failed() error { return d.wal.failure() }
 // routed partition and drawn HNSW level) before it is applied. After a
 // storage failure every call returns ErrWALFailed.
 func (d *Durable) Upsert(v []float32, id int64) error {
+	return d.upsert(v, id, nil, false)
+}
+
+// UpsertTagged durably inserts a vector together with its metadata
+// tags, in one WAL record: replay restores both or neither. A nil or
+// empty tags map clears any tags id carried (matching Engine.SetTags).
+func (d *Durable) UpsertTagged(v []float32, id int64, tags map[string]string) error {
+	return d.upsert(v, id, tags, true)
+}
+
+func (d *Durable) upsert(v []float32, id int64, tags map[string]string, tagged bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -533,12 +590,19 @@ func (d *Durable) Upsert(v []float32, id int64) error {
 		return err
 	}
 	rec := Record{Seq: d.seq + 1, Type: RecordUpsert, Part: home, Level: level, ID: id, Vec: v}
+	if tagged {
+		rec.Type = RecordUpsertTagged
+		rec.Tags = tags
+	}
 	if err := d.wal.append(rec); err != nil {
 		return err
 	}
 	d.seq++
 	if err := d.eng.AddAt(home, v, id, level); err != nil {
 		return err
+	}
+	if tagged {
+		d.eng.SetTags(id, tags)
 	}
 	d.stats.Upserts.Add(1)
 	if d.compacting == home {
@@ -632,6 +696,40 @@ func (d *Durable) checkpointLocked() error {
 	if err := fs.SyncDir(d.dir); err != nil {
 		return err
 	}
+	// Tags sidecar: the tag store as of the same watermark, written with
+	// the same atomic tmp+rename discipline, referenced (with CRC) from
+	// the generation. Skipped entirely when no vector carries tags.
+	var tagsRef generation
+	if snap := d.eng.TagsSnapshot(); len(snap) > 0 {
+		tb, err := json.Marshal(tagsFile{Tags: snap})
+		if err != nil {
+			return err
+		}
+		tname := tagsName(seq)
+		ttmp := filepath.Join(d.dir, tname+".tmp")
+		tf, err := fs.OpenFile(ttmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := tf.Write(tb); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Sync(); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		if err := fs.Rename(ttmp, filepath.Join(d.dir, tname)); err != nil {
+			return err
+		}
+		if err := fs.SyncDir(d.dir); err != nil {
+			return err
+		}
+		tagsRef = generation{Tags: tname, TagsCRC: crc32.Checksum(tb, crcTable), TagsBytes: int64(len(tb))}
+	}
 	tombs := d.eng.TombstoneIDs()
 	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
 	gens := append([]generation{{
@@ -641,6 +739,9 @@ func (d *Durable) checkpointLocked() error {
 		Bytes:      cw.n,
 		Tombstones: tombs,
 		Inserted:   d.eng.Inserted(),
+		Tags:       tagsRef.Tags,
+		TagsCRC:    tagsRef.TagsCRC,
+		TagsBytes:  tagsRef.TagsBytes,
 	}}, d.gens...)
 	if len(gens) > maxGenerations {
 		gens = gens[:maxGenerations]
@@ -659,12 +760,22 @@ func (d *Durable) checkpointLocked() error {
 	// retained generations and WAL segments below the oldest retained
 	// watermark are garbage. (Quarantined *.corrupt files are kept for
 	// the operator.)
-	keep := make(map[string]bool, len(gens))
+	keep := make(map[string]bool, 2*len(gens))
 	for _, g := range gens {
 		keep[g.Snapshot] = true
+		if g.Tags != "" {
+			keep[g.Tags] = true
+		}
 	}
 	if snaps, err := fsx.Glob(fs, filepath.Join(d.dir, "snap-*.ann")); err == nil {
 		for _, s := range snaps {
+			if !keep[filepath.Base(s)] {
+				fs.Remove(s)
+			}
+		}
+	}
+	if sidecars, err := fsx.Glob(fs, filepath.Join(d.dir, "tags-*.json")); err == nil {
+		for _, s := range sidecars {
 			if !keep[filepath.Base(s)] {
 				fs.Remove(s)
 			}

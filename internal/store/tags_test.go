@@ -1,0 +1,225 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTagsCrashRecoveryWAL kills the process with tags living only in
+// the WAL tail: no checkpoint after the tagged upserts. Reopen must
+// replay them into the tag store.
+func TestTagsCrashRecoveryWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := smallEngine(t, 800, 3)
+	d, err := Create(dir, e, Options{SyncEvery: 1, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	const nTagged, nPlain = 50, 20
+	for i := 0; i < nTagged; i++ {
+		id := int64(200000 + i)
+		tags := map[string]string{"tenant": fmt.Sprintf("t%d", i%3), "idx": fmt.Sprintf("%d", i)}
+		if err := d.UpsertTagged(randVec(rng, 8), id, tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nPlain; i++ {
+		if err := d.Upsert(randVec(rng, 8), int64(300000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A tagged upsert with nil tags must clear on replay too.
+	if err := d.UpsertTagged(randVec(rng, 8), 200000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil { // crash: no checkpoint, WAL only
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{SyncEvery: 1, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	e2 := d2.Engine()
+	for i := 1; i < nTagged; i++ {
+		id := int64(200000 + i)
+		got := e2.Tags(id)
+		if got["tenant"] != fmt.Sprintf("t%d", i%3) || got["idx"] != fmt.Sprintf("%d", i) {
+			t.Fatalf("id %d tags after WAL replay = %v", id, got)
+		}
+	}
+	if got := e2.Tags(200000); got != nil {
+		t.Fatalf("cleared id 200000 still has tags %v after replay", got)
+	}
+	if got := e2.Tags(300000); got != nil {
+		t.Fatalf("untagged id 300000 has tags %v", got)
+	}
+}
+
+// TestTagsCrashRecoverySnapshot checkpoints (folding tags into the
+// sidecar and truncating their WAL records), appends a small tagged
+// tail, crashes, and reopens: tags must come back from sidecar + tail.
+func TestTagsCrashRecoverySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := smallEngine(t, 800, 5)
+	d, err := Create(dir, e, Options{SyncEvery: 1, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 40; i++ {
+		if err := d.UpsertTagged(randVec(rng, 8), int64(400000+i), map[string]string{"gen": "pre"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The sidecar must exist and be referenced by the manifest.
+	gens, err := Manifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidecars, _ := filepath.Glob(filepath.Join(dir, "tags-*.json"))
+	if len(sidecars) == 0 {
+		t.Fatal("checkpoint wrote no tags sidecar")
+	}
+	_ = gens
+	// Tail after the checkpoint: new tagged ids plus a rewrite of an old
+	// one — replay must override the sidecar's value.
+	for i := 0; i < 10; i++ {
+		if err := d.UpsertTagged(randVec(rng, 8), int64(500000+i), map[string]string{"gen": "post"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.UpsertTagged(randVec(rng, 8), 400000, map[string]string{"gen": "rewritten"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{SyncEvery: 1, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	e2 := d2.Engine()
+	for i := 1; i < 40; i++ {
+		if got := e2.Tags(int64(400000 + i)); got["gen"] != "pre" {
+			t.Fatalf("id %d tags = %v, want gen=pre from sidecar", 400000+i, got)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := e2.Tags(int64(500000 + i)); got["gen"] != "post" {
+			t.Fatalf("id %d tags = %v, want gen=post from WAL tail", 500000+i, got)
+		}
+	}
+	if got := e2.Tags(400000); got["gen"] != "rewritten" {
+		t.Fatalf("id 400000 tags = %v, want replayed rewrite", got)
+	}
+}
+
+// TestTagsSidecarCorruptionFallsBack flips a byte in the newest
+// generation's tags sidecar: Open must quarantine that generation and
+// recover from the previous one plus a longer WAL replay.
+func TestTagsSidecarCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := smallEngine(t, 800, 9)
+	d, err := Create(dir, e, Options{SyncEvery: 1, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 25; i++ {
+		if err := d.UpsertTagged(randVec(rng, 8), int64(600000+i), map[string]string{"k": "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil { // generation 2: snapshot + sidecar
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sidecars, _ := filepath.Glob(filepath.Join(dir, "tags-*.json"))
+	if len(sidecars) != 1 {
+		t.Fatalf("expected 1 sidecar, found %v", sidecars)
+	}
+	b, err := os.ReadFile(sidecars[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(sidecars[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{SyncEvery: 1, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined %d generations, want 1", got)
+	}
+	// Fallback generation (Create's initial snapshot) has no tags, so
+	// everything must have been rebuilt from the full WAL replay.
+	e2 := d2.Engine()
+	for i := 0; i < 25; i++ {
+		if got := e2.Tags(int64(600000 + i)); got["k"] != "v" {
+			t.Fatalf("id %d tags = %v after fallback recovery", 600000+i, got)
+		}
+	}
+	// The corrupt sidecar was quarantined, not deleted.
+	q, _ := filepath.Glob(filepath.Join(dir, "tags-*"+corruptSuffix))
+	if len(q) != 1 {
+		all, _ := os.ReadDir(dir)
+		var names []string
+		for _, f := range all {
+			names = append(names, f.Name())
+		}
+		t.Fatalf("no quarantined sidecar; dir: %s", strings.Join(names, ", "))
+	}
+}
+
+// TestTaggedRecordRoundTrip pins the tagged WAL record encoding.
+func TestTaggedRecordRoundTrip(t *testing.T) {
+	r := Record{Seq: 9, Type: RecordUpsertTagged, Part: 3, Level: 2, ID: -5,
+		Vec:  []float32{1.5, -2.25},
+		Tags: map[string]string{"z": "last", "a": "first", "empty": ""}}
+	buf := encodeRecord(r)
+	got, err := decodePayload(buf[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != r.Seq || got.Type != r.Type || got.Part != r.Part || got.Level != r.Level || got.ID != r.ID {
+		t.Fatalf("header round-trip: %+v", got)
+	}
+	if len(got.Vec) != 2 || got.Vec[0] != 1.5 || got.Vec[1] != -2.25 {
+		t.Fatalf("vec round-trip: %v", got.Vec)
+	}
+	if len(got.Tags) != 3 || got.Tags["z"] != "last" || got.Tags["a"] != "first" || got.Tags["empty"] != "" {
+		t.Fatalf("tags round-trip: %v", got.Tags)
+	}
+	// Out-of-order keys in a hand-built block are rejected.
+	bad := encodeRecord(Record{Seq: 1, Type: RecordUpsertTagged, Vec: nil,
+		Tags: map[string]string{"b": "1", "a": "2"}})
+	// swap the two pairs' bytes: locate the tag block (offset 29 into payload)
+	p := append([]byte(nil), bad[8:]...)
+	blk := p[29:]
+	// block: count(2) a-pair(2+1+2+1=6) b-pair(6)
+	tmp := append([]byte(nil), blk[2:8]...)
+	copy(blk[2:8], blk[8:14])
+	copy(blk[8:14], tmp)
+	if _, err := decodePayload(p); err == nil {
+		t.Fatal("out-of-order tag keys decoded without error")
+	}
+}

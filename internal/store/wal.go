@@ -77,6 +77,12 @@ const (
 	RecordUpsert RecordType = 1
 	// RecordDelete logs one tombstone: (id).
 	RecordDelete RecordType = 2
+	// RecordUpsertTagged logs one vector insert carrying metadata tags:
+	// the RecordUpsert layout followed by a tag block. A separate type —
+	// rather than fields appended to RecordUpsert — keeps the type-1
+	// decoder's strict length check, so logs written by older builds
+	// replay unchanged and untagged upserts pay zero overhead.
+	RecordUpsertTagged RecordType = 3
 )
 
 func (t RecordType) String() string {
@@ -85,9 +91,16 @@ func (t RecordType) String() string {
 		return "upsert"
 	case RecordDelete:
 		return "delete"
+	case RecordUpsertTagged:
+		return "upsert-tagged"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
+
+// Tag-block limits: a tag key or value is length-prefixed with u16, and
+// one record carries at most maxTagsPerRecord pairs. Bounded so a
+// corrupt count fails fast.
+const maxTagsPerRecord = 1 << 12
 
 // Record is one logged mutation. Upserts carry the home partition and
 // the HNSW level the insert was assigned, so replay rebuilds a
@@ -98,7 +111,8 @@ type Record struct {
 	Part  int // upsert: home partition
 	Level int // upsert: HNSW level
 	ID    int64
-	Vec   []float32 // upsert only
+	Vec   []float32         // upsert only
+	Tags  map[string]string // upsert-tagged only
 }
 
 // CorruptError reports a WAL frame, snapshot, or manifest that failed
@@ -122,23 +136,52 @@ func (e *CorruptError) Error() string {
 
 // encodeRecord frames r: u32 payload length, u32 CRC32-C of payload,
 // payload. Payload layout: type u8, seq u64, id i64, then for upserts
-// part u32, level u32, dim u32, dim float32s.
+// part u32, level u32, dim u32, dim float32s. Tagged upserts append a
+// tag block: u16 pair count, then per pair u16 key length, key bytes,
+// u16 value length, value bytes.
 func encodeRecord(r Record) []byte {
 	n := 1 + 8 + 8
-	if r.Type == RecordUpsert {
+	upsert := r.Type == RecordUpsert || r.Type == RecordUpsertTagged
+	if upsert {
 		n += 4 + 4 + 4 + 4*len(r.Vec)
+	}
+	var keys []string
+	if r.Type == RecordUpsertTagged {
+		n += 2
+		keys = make([]string, 0, len(r.Tags))
+		for k := range r.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic bytes: same record always encodes identically
+		for _, k := range keys {
+			n += 2 + len(k) + 2 + len(r.Tags[k])
+		}
 	}
 	buf := make([]byte, 8+n)
 	p := buf[8:]
 	p[0] = byte(r.Type)
 	binary.LittleEndian.PutUint64(p[1:], r.Seq)
 	binary.LittleEndian.PutUint64(p[9:], uint64(r.ID))
-	if r.Type == RecordUpsert {
+	if upsert {
 		binary.LittleEndian.PutUint32(p[17:], uint32(r.Part))
 		binary.LittleEndian.PutUint32(p[21:], uint32(r.Level))
 		binary.LittleEndian.PutUint32(p[25:], uint32(len(r.Vec)))
 		for i, x := range r.Vec {
 			binary.LittleEndian.PutUint32(p[29+4*i:], math.Float32bits(x))
+		}
+	}
+	if r.Type == RecordUpsertTagged {
+		off := 29 + 4*len(r.Vec)
+		binary.LittleEndian.PutUint16(p[off:], uint16(len(keys)))
+		off += 2
+		for _, k := range keys {
+			v := r.Tags[k]
+			binary.LittleEndian.PutUint16(p[off:], uint16(len(k)))
+			off += 2
+			off += copy(p[off:], k)
+			binary.LittleEndian.PutUint16(p[off:], uint16(len(v)))
+			off += 2
+			off += copy(p[off:], v)
 		}
 	}
 	binary.LittleEndian.PutUint32(buf[0:], uint32(n))
@@ -159,23 +202,80 @@ func decodePayload(p []byte) (Record, error) {
 	switch r.Type {
 	case RecordDelete:
 		return r, nil
-	case RecordUpsert:
+	case RecordUpsert, RecordUpsertTagged:
 		if len(p) < 29 {
 			return Record{}, fmt.Errorf("upsert payload too short (%d bytes)", len(p))
 		}
 		r.Part = int(binary.LittleEndian.Uint32(p[17:]))
 		r.Level = int(binary.LittleEndian.Uint32(p[21:]))
 		dim := int(binary.LittleEndian.Uint32(p[25:]))
-		if len(p) != 29+4*dim {
-			return Record{}, fmt.Errorf("upsert payload %d bytes, want %d for dim %d", len(p), 29+4*dim, dim)
+		if dim < 0 || dim > (maxRecordBytes-29)/4 {
+			return Record{}, fmt.Errorf("implausible upsert dim %d", dim)
+		}
+		vecEnd := 29 + 4*dim
+		if r.Type == RecordUpsert {
+			if len(p) != vecEnd {
+				return Record{}, fmt.Errorf("upsert payload %d bytes, want %d for dim %d", len(p), vecEnd, dim)
+			}
+		} else if len(p) < vecEnd+2 {
+			return Record{}, fmt.Errorf("tagged upsert payload %d bytes, shorter than vector + tag count for dim %d", len(p), dim)
 		}
 		r.Vec = make([]float32, dim)
 		for i := range r.Vec {
 			r.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[29+4*i:]))
 		}
+		if r.Type == RecordUpsertTagged {
+			tags, err := decodeTagBlock(p[vecEnd:])
+			if err != nil {
+				return Record{}, err
+			}
+			r.Tags = tags
+		}
 		return r, nil
 	}
 	return Record{}, fmt.Errorf("unknown record type %d", p[0])
+}
+
+// decodeTagBlock parses the tag block of a tagged upsert, requiring it
+// to consume the slice exactly. Keys must be strictly increasing — the
+// canonical order encodeRecord writes — so every accepted record
+// re-encodes to its exact frame bytes (the round-trip invariant the WAL
+// fuzzer checks) and duplicates are impossible.
+func decodeTagBlock(b []byte) (map[string]string, error) {
+	n := int(binary.LittleEndian.Uint16(b))
+	if n > maxTagsPerRecord {
+		return nil, fmt.Errorf("implausible tag count %d", n)
+	}
+	off := 2
+	prev := ""
+	tags := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		var kv [2]string
+		for j := 0; j < 2; j++ {
+			if off+2 > len(b) {
+				return nil, fmt.Errorf("tag block truncated at pair %d", i)
+			}
+			l := int(binary.LittleEndian.Uint16(b[off:]))
+			off += 2
+			if off+l > len(b) {
+				return nil, fmt.Errorf("tag block truncated at pair %d", i)
+			}
+			kv[j] = string(b[off : off+l])
+			off += l
+		}
+		if kv[0] == "" {
+			return nil, fmt.Errorf("empty tag key at pair %d", i)
+		}
+		if i > 0 && kv[0] <= prev {
+			return nil, fmt.Errorf("tag keys out of canonical order at pair %d", i)
+		}
+		prev = kv[0]
+		tags[kv[0]] = kv[1]
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("tag block has %d trailing bytes", len(b)-off)
+	}
+	return tags, nil
 }
 
 // walSegment is one on-disk log file.

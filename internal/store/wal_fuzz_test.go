@@ -37,6 +37,9 @@ func FuzzReadRecord(f *testing.F) {
 		Record{Seq: 1, Type: RecordUpsert, Part: 2, Level: 1, ID: 42, Vec: []float32{1, 2, 3, 4}},
 		Record{Seq: 2, Type: RecordDelete, ID: 7},
 		Record{Seq: 3, Type: RecordUpsert, Part: 0, Level: 0, ID: -9, Vec: []float32{0.5}},
+		Record{Seq: 4, Type: RecordUpsertTagged, Part: 1, Level: 0, ID: 11, Vec: []float32{1, 2},
+			Tags: map[string]string{"lang": "en", "bucket": "hot"}},
+		Record{Seq: 5, Type: RecordUpsertTagged, Part: 0, Level: 1, ID: 12, Vec: []float32{3}},
 	)
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3])           // torn payload

@@ -38,11 +38,12 @@ tier1: build vet race
 # Focused race pass over the concurrency-heavy packages: the durable
 # store (WAL appends vs group-commit ticker vs compaction swaps), the
 # gateway (batcher/cache/mutations), the engine (searches vs swaps),
-# and the multi-tenant collection layer (filtered search vs mutation,
-# drain vs admission). Much faster than the full race suite; CI runs
-# both.
+# the multi-tenant collection layer (filtered search vs mutation,
+# drain vs admission), and the hybrid-retrieval packages (lock-free
+# BM25 reads vs writes, rank fusion). Much faster than the full race
+# suite; CI runs both.
 tier1-race:
-	$(GO) test -race -count=1 -timeout 900s ./internal/store/... ./internal/serve/... ./internal/core/... ./internal/collection/...
+	$(GO) test -race -count=1 -timeout 900s ./internal/store/... ./internal/serve/... ./internal/core/... ./internal/collection/... ./internal/lexical/... ./internal/fusion/...
 
 # End-to-end multi-node serving gate: gateway + worker shards over real
 # loopback TCP (internal/serve/clustertest) plus the shard RPC layer,
@@ -55,25 +56,31 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 # Serving-path regression gate: run the scalar / frozen / frozen_sq8
-# variants plus the filtered-search selectivity sweep on a reduced
-# workload; fail if the quantized path's recall drops more than a point
-# below scalar or the 1%-selectivity filtered pushdown recall falls
-# below 0.95. CI runs this on every push; the committed
+# variants, the filtered-search selectivity sweep, and the hybrid
+# (BM25 + vector rank fusion) benchmark on a reduced workload; fail if
+# the quantized path's recall drops more than a point below scalar,
+# the 1%-selectivity filtered pushdown recall falls below 0.95, or
+# hybrid RRF recall falls below the vector-only baseline on the
+# keyword-skewed workload. CI runs this on every push; the committed
 # BENCH_results.json is regenerated with the full default workload
 # (plain `annbench -json BENCH_results.json`).
 bench-smoke:
 	$(GO) run ./cmd/annbench -json /tmp/bench-smoke.json -points 20000 -queries 400 -gate
 
 # Short native-fuzzing passes: the WAL record scanner (no input may
-# panic it or deliver a record whose CRC does not verify), the SQ8
-# codec (non-finite rejection, round-trip bounds), and the filter
-# expression parser (no panic, canonical-form fixed point, reparse
-# equivalence). CI runs this on every push; run without -fuzztime
-# locally to dig deeper.
+# panic it or deliver a record whose CRC does not verify), the
+# upsert-text record codec (exact-length framing, byte-stable
+# re-encode), the SQ8 codec (non-finite rejection, round-trip bounds),
+# the filter expression parser (no panic, canonical-form fixed point,
+# reparse equivalence), and the lexical tokenizer (no panic,
+# deterministic, only lowercased alphanumeric terms). CI runs this on
+# every push; run without -fuzztime locally to dig deeper.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadRecord -fuzztime=10s -run '^$$' ./internal/store
+	$(GO) test -fuzz=FuzzTextRecord -fuzztime=10s -run '^$$' ./internal/store
 	$(GO) test -fuzz=FuzzSQ8Codec -fuzztime=10s -run '^$$' ./internal/vec
 	$(GO) test -fuzz=FuzzFilterParse -fuzztime=10s -run '^$$' ./internal/filter
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=10s -run '^$$' ./internal/lexical
 
 clean:
 	$(GO) clean ./...

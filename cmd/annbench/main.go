@@ -19,7 +19,11 @@
 // (filter matches 100%, 10% and 1% of the corpus), comparing pushdown
 // (predicate inside the graph traversal) against the naive post-filter
 // baseline; the entries land under "filtered_1.00", "filtered_0.10"
-// and "filtered_0.01".
+// and "filtered_0.01". It then runs the hybrid-retrieval benchmark — a
+// keyword-skewed workload (one query in five is answerable only via a
+// rare planted token) scored against exact fused ground truth — under
+// "hybrid_rrf" and "hybrid_weighted", each carrying both the fused
+// recall and the vector-only baseline recall against the same truth.
 //
 // With -shards N it additionally runs a sharded deployment (N worker
 // engines behind real loopback TCP, merged by the gateway's
@@ -28,9 +32,10 @@
 //	annbench -json BENCH_results.json -shards 3
 //
 // -gate turns the run into a CI regression check: it exits non-zero if
-// the frozen_sq8 recall drops more than one point below scalar, or if
-// the 1%-selectivity filtered recall falls below 0.95 (this is what
-// `make bench-smoke` runs).
+// the frozen_sq8 recall drops more than one point below scalar, if the
+// 1%-selectivity filtered recall falls below 0.95, or if hybrid RRF
+// recall falls below the vector-only baseline on the keyword-skewed
+// workload (this is what `make bench-smoke` runs).
 package main
 
 import (
@@ -86,6 +91,13 @@ func main() {
 		for k, v := range filtered {
 			doc[k] = v
 		}
+		hybrid, err := exp.ServingBenchHybrid(opts)
+		if err != nil {
+			log.Fatalf("hybrid serving bench: %v", err)
+		}
+		for k, v := range hybrid {
+			doc[k] = v
+		}
 		if *shards > 0 {
 			sharded, err := exp.ServingBenchSharded(opts, *shards)
 			if err != nil {
@@ -118,6 +130,13 @@ func main() {
 			}
 			log.Printf("filtered recall gate ok: 1%% selectivity pushdown %.4f (post-filter baseline %.4f)",
 				narrow.Recall, narrow.PostFilterRecall)
+			hy := doc["hybrid_rrf"]
+			if hy.Recall < hy.VectorOnlyRecall {
+				log.Fatalf("HYBRID RECALL GATE FAILED: fused recall %.4f < vector-only %.4f on the keyword-skewed workload",
+					hy.Recall, hy.VectorOnlyRecall)
+			}
+			log.Printf("hybrid recall gate ok: fused %.4f vs vector-only %.4f (%d keyword queries)",
+				hy.Recall, hy.VectorOnlyRecall, hy.KeywordQueries)
 		}
 		return
 	}

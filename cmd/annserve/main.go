@@ -15,6 +15,18 @@
 // runs recover from the newest snapshot plus the WAL tail, and -index
 // may be omitted.
 //
+// Add -lexical to either single-process form for hybrid retrieval:
+// upsert points may carry "text" (tokenized into a BM25 inverted index,
+// durable through the WAL and text sidecar when -wal is set) and
+// POST /v1/hybrid fuses the keyword and vector rankings (RRF or
+// weighted min-max):
+//
+//	annserve -index sift.ann -wal /var/lib/ann/store -lexical -addr :8080
+//
+// In multi-tenant mode hybrid retrieval is per-collection instead:
+// create the collection with "lexical": true (optionally "bm25_k1",
+// "bm25_b", "stopwords") and use /v1/collections/{name}/hybrid.
+//
 // Multi-tenant (named collections, each with its own dim, metric,
 // WAL and quota; create/drop at runtime over HTTP):
 //
@@ -83,6 +95,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fsx"
 	"repro/internal/hnsw"
+	"repro/internal/lexical"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -124,6 +137,7 @@ func main() {
 		ef      = flag.Int("ef", 0, "override HNSW efSearch (single-process mode)")
 		threads = flag.Int("threads", 0, "search threads per batch round (0 = GOMAXPROCS)")
 
+		lexOn   = flag.Bool("lexical", false, "single-process mode: enable hybrid retrieval — upsert points may carry \"text\" (BM25-indexed, WAL-durable with -wal) and POST /v1/hybrid fuses keyword and vector rankings")
 		frozen  = flag.Bool("frozen", false, "serve from flat frozen layouts: contiguous arena + CSR adjacency, re-frozen across compactions (single-process mode)")
 		sq8     = flag.Bool("sq8", false, "with -frozen: SQ8 quantized first pass + exact re-rank (L2-family metrics)")
 		rerankK = flag.Int("rerank-k", 0, "with -sq8: candidates re-ranked at full precision (>0 fixed, 0 = 4*k per query, <0 = exact scoring)")
@@ -240,6 +254,11 @@ func main() {
 				CompactRatio: *compactRatio,
 				Logf:         log.Printf,
 			}
+			if *lexOn {
+				// Default BM25 parameters; the text sidecar and upsert-text
+				// WAL records make the lexical index crash-durable.
+				opts.Lexical = &lexical.Config{}
+			}
 			if *chaosSpec != "" {
 				rules, cerr := fsx.ParseFaults(*chaosSpec)
 				if cerr != nil {
@@ -283,7 +302,10 @@ func main() {
 			}
 		}
 		log.Printf("index: %d points, %d partitions, dim %d", e.Len(), e.Partitions(), e.Dim())
-		backend := &serve.EngineBackend{Engine: e, Threads: *threads, Store: d}
+		if *lexOn {
+			log.Printf("lexical: hybrid retrieval enabled (%d documents indexed)", e.TextCount())
+		}
+		backend := &serve.EngineBackend{Engine: e, Threads: *threads, Store: d, Lexical: *lexOn}
 		if err := serveHTTP(*addr, backend, srvCfg, *drainFor); err != nil {
 			log.Fatal(err)
 		}

@@ -5,7 +5,8 @@
 //
 //	annwal /var/lib/ann/store
 //
-// Dump every WAL record:
+// Dump every WAL record; upsert-tagged records show their tag count and
+// upsert-text records show the text length plus a short preview:
 //
 //	annwal -dump /var/lib/ann/store
 //
@@ -76,9 +77,9 @@ func doScan(dir string, dump bool) {
 		fmt.Printf("manifest: %v\n", err)
 	}
 	var (
-		total, upserts, deletes int
-		first, last             uint64
-		byPart                  = map[int]int{}
+		total, upserts, tagged, texted, deletes int
+		first, last                             uint64
+		byPart                                  = map[int]int{}
 	)
 	err := store.ScanWAL(dir, func(r store.Record) error {
 		if total == 0 {
@@ -90,6 +91,12 @@ func doScan(dir string, dump bool) {
 		case store.RecordUpsert:
 			upserts++
 			byPart[r.Part]++
+		case store.RecordUpsertTagged:
+			tagged++
+			byPart[r.Part]++
+		case store.RecordUpsertText:
+			texted++
+			byPart[r.Part]++
 		case store.RecordDelete:
 			deletes++
 		}
@@ -97,6 +104,12 @@ func doScan(dir string, dump bool) {
 			switch r.Type {
 			case store.RecordUpsert:
 				fmt.Printf("%8d  upsert  id=%-12d part=%d level=%d dim=%d\n", r.Seq, r.ID, r.Part, r.Level, len(r.Vec))
+			case store.RecordUpsertTagged:
+				fmt.Printf("%8d  %s  id=%-12d part=%d level=%d dim=%d tags=%d\n",
+					r.Seq, r.Type, r.ID, r.Part, r.Level, len(r.Vec), len(r.Tags))
+			case store.RecordUpsertText:
+				fmt.Printf("%8d  %s  id=%-12d part=%d level=%d dim=%d text=%dB %q\n",
+					r.Seq, r.Type, r.ID, r.Part, r.Level, len(r.Vec), len(r.Text), textPreview(r.Text))
 			default:
 				fmt.Printf("%8d  %-6s  id=%d\n", r.Seq, r.Type, r.ID)
 			}
@@ -110,7 +123,8 @@ func doScan(dir string, dump bool) {
 		}
 		log.Fatal(err)
 	}
-	fmt.Printf("wal: %d records (seq %d..%d): %d upserts, %d deletes\n", total, first, last, upserts, deletes)
+	fmt.Printf("wal: %d records (seq %d..%d): %d upserts, %d tagged, %d text, %d deletes\n",
+		total, first, last, upserts, tagged, texted, deletes)
 	parts := make([]int, 0, len(byPart))
 	for p := range byPart {
 		parts = append(parts, p)
@@ -173,6 +187,16 @@ func doVerify(dir string) {
 		log.Fatalf("FAIL: %d corrupt artifacts (%d good WAL records before the first bad one)", bad, n)
 	}
 	fmt.Printf("OK: %d generations, %d WAL records, all frames and CRCs valid\n", len(gens), n)
+}
+
+// textPreview truncates document text to one short printable line for
+// -dump output.
+func textPreview(s string) string {
+	const max = 32
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
 }
 
 func doReplay(dir string) {

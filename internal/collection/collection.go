@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/filter"
+	"repro/internal/lexical"
 	"repro/internal/store"
 	"repro/internal/topk"
 	"repro/internal/vec"
@@ -47,6 +48,12 @@ var (
 	// ErrDraining reports a request against a collection being dropped
 	// or a registry being closed.
 	ErrDraining = errors.New("collection: draining")
+	// ErrLexicalDisabled reports a text upsert or hybrid search against a
+	// collection created without "lexical": true. The gate is at create
+	// time because BM25 parameters and stopwords are part of the
+	// collection's durable contract — they shape tokenization, which
+	// shapes what the WAL's text records replay into.
+	ErrLexicalDisabled = errors.New("collection: lexical indexing disabled")
 )
 
 // Config declares one collection. It is written to collection.json at
@@ -77,6 +84,28 @@ type Config struct {
 	MaxInflight int `json:"max_inflight,omitempty"`
 	// Seed makes index construction reproducible (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Lexical opts the collection into hybrid retrieval: text upserts are
+	// BM25-indexed and persisted, and /hybrid searches are served. Off by
+	// default because every text upsert pays tokenization and the text
+	// sidecar grows checkpoints.
+	Lexical bool `json:"lexical,omitempty"`
+	// BM25K1 / BM25B tune BM25 term-frequency saturation and length
+	// normalization (0 selects the standard 1.2 / 0.75).
+	BM25K1 float64 `json:"bm25_k1,omitempty"`
+	BM25B  float64 `json:"bm25_b,omitempty"`
+	// Stopwords are dropped at tokenization time; they never enter the
+	// index and never score. Immutable after create (they are part of the
+	// durability contract). Use lexical.DefaultStopwords for English.
+	Stopwords []string `json:"stopwords,omitempty"`
+}
+
+// lexicalConfig maps the collection's BM25 settings onto the index
+// config, or nil when the collection is not lexical.
+func (c Config) lexicalConfig() *lexical.Config {
+	if !c.Lexical {
+		return nil
+	}
+	return &lexical.Config{K1: c.BM25K1, B: c.BM25B, Stopwords: c.Stopwords}
 }
 
 func (c *Config) fill() error {
@@ -127,6 +156,10 @@ type Collection struct {
 
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	// Hybrid search counters by fusion mode, surfaced in Varz.
+	hybridRRF      atomic.Int64
+	hybridWeighted atomic.Int64
 }
 
 // Name returns the collection's registry name.
@@ -247,6 +280,49 @@ func (c *Collection) UpsertTagged(v []float32, id int64, tags map[string]string)
 	return c.dur.UpsertTagged(v, id, tags)
 }
 
+// UpsertText durably inserts a vector together with document text for
+// hybrid retrieval. The collection must have been created with
+// "lexical": true.
+func (c *Collection) UpsertText(v []float32, id int64, text string) error {
+	if !c.cfg.Lexical {
+		return fmt.Errorf("%w: %q", ErrLexicalDisabled, c.name)
+	}
+	if err := c.checkDim(v); err != nil {
+		return err
+	}
+	if err := c.acquire(); err != nil {
+		return err
+	}
+	defer c.release()
+	return c.dur.UpsertText(v, id, text)
+}
+
+// SearchHybrid answers a hybrid (vector + BM25 text) query, fusing the
+// two legs per opts. The collection must be lexical.
+func (c *Collection) SearchHybrid(q []float32, text string, k int, opts core.HybridOptions) ([]core.HybridResult, error) {
+	if !c.cfg.Lexical {
+		return nil, fmt.Errorf("%w: %q", ErrLexicalDisabled, c.name)
+	}
+	if len(q) != 0 {
+		if err := c.checkDim(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	rs, err := c.Engine().SearchHybrid(q, text, k, opts)
+	if err == nil {
+		if opts.Fusion == core.FusionWeighted {
+			c.hybridWeighted.Add(1)
+		} else {
+			c.hybridRRF.Add(1)
+		}
+	}
+	return rs, err
+}
+
 // Delete durably tombstones an ID.
 func (c *Collection) Delete(id int64) error {
 	if err := c.acquire(); err != nil {
@@ -290,6 +366,19 @@ func (c *Collection) Varz() map[string]any {
 	}
 	if c.cfg.MaxInflight > 0 {
 		m["max_inflight"] = c.cfg.MaxInflight
+	}
+	if c.cfg.Lexical {
+		ls := e.LexicalStats()
+		m["lexical"] = map[string]any{
+			"docs":            ls.Docs,
+			"terms":           ls.Terms,
+			"postings_bytes":  ls.PostingsBytes,
+			"avg_doc_len":     ls.AvgDocLen,
+			"k1":              ls.K1,
+			"b":               ls.B,
+			"hybrid_rrf":      c.hybridRRF.Load(),
+			"hybrid_weighted": c.hybridWeighted.Load(),
+		}
 	}
 	if fi, ok := e.FrozenInfo(); ok {
 		m["frozen"] = map[string]any{

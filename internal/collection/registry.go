@@ -26,6 +26,15 @@ func freeze(d *store.Durable, cfg Config) error {
 
 const configName = "collection.json"
 
+// storeOptions specializes the registry-wide store options for one
+// collection: a lexical collection's store must know the BM25
+// configuration before it restores the text sidecar or replays text
+// records, since tokenization happens at indexing time.
+func storeOptions(base store.Options, cfg Config) store.Options {
+	base.Lexical = cfg.lexicalConfig()
+	return base
+}
+
 // Options tunes the registry.
 type Options struct {
 	// Store configures every collection's durability layer (WAL fsync
@@ -106,7 +115,7 @@ func Open(root string, opts Options) (*Registry, error) {
 		if err := cfg.fill(); err != nil {
 			return nil, r.closeWith(fmt.Errorf("collection: %s: %w", cfgPath, err))
 		}
-		d, err := store.Open(filepath.Join(root, name, "data"), opts.Store)
+		d, err := store.Open(filepath.Join(root, name, "data"), storeOptions(opts.Store, cfg))
 		if err != nil {
 			return nil, r.closeWith(fmt.Errorf("collection: opening %q: %w", name, err))
 		}
@@ -167,7 +176,7 @@ func (r *Registry) Create(name string, cfg Config) (*Collection, error) {
 	// A half-created data dir from a crashed earlier Create would make
 	// store.Create fail with "already holds a store"; clear it.
 	os.RemoveAll(dataDir)
-	d, err := store.Create(dataDir, e, r.opts.Store)
+	d, err := store.Create(dataDir, e, storeOptions(r.opts.Store, cfg))
 	if err != nil {
 		return nil, err
 	}

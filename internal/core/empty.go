@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hnsw"
 	"repro/internal/index"
+	"repro/internal/lexical"
 	"repro/internal/vptree"
 )
 
@@ -38,6 +39,7 @@ func NewEmptyEngine(dim int, cfg Config) (*Engine, error) {
 		parts:   []index.Local{index.WrapHNSW(g)},
 		dynamic: newDynamicState(),
 		tags:    newTagStore(),
+		lex:     lexical.NewIndex(lexical.Config{}),
 	}
 	if cfg.Frozen {
 		if err := e.Freeze(hnsw.FreezeOptions{SQ8: cfg.SQ8, RerankK: cfg.RerankK}); err != nil {

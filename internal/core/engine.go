@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/hnsw"
 	"repro/internal/index"
+	"repro/internal/lexical"
 	"repro/internal/topk"
 	"repro/internal/vec"
 	"repro/internal/vptree"
@@ -47,6 +48,13 @@ type Engine struct {
 	// tags holds per-vector metadata consulted by filtered search; set
 	// at construction and never reassigned (internally concurrency-safe).
 	tags *tagStore
+
+	// lex is the BM25 inverted index behind SearchHybrid. Like tags it
+	// is internally concurrency-safe; the pointer itself is guarded by
+	// lexMu only because SetLexicalConfig may swap in a reconfigured
+	// empty index before any documents are indexed.
+	lexMu sync.RWMutex
+	lex   *lexical.Index
 }
 
 // view snapshots the routing tree and partition set for one operation.
@@ -70,7 +78,7 @@ func NewEngine(ds *vec.Dataset, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim, dynamic: newDynamicState(), tags: newTagStore()}
+	e := &Engine{cfg: cfg, tree: res.Tree, parts: make([]index.Local, cfg.Partitions), dim: ds.Dim, dynamic: newDynamicState(), tags: newTagStore(), lex: lexical.NewIndex(lexical.Config{})}
 
 	// Build the partition indexes in parallel, one builder goroutine per
 	// CPU (each build itself is single-threaded for reproducibility).
@@ -468,6 +476,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		dim:     dim,
 		dynamic: newDynamicState(),
 		tags:    newTagStore(),
+		lex:     lexical.NewIndex(lexical.Config{}),
 	}
 	for i := range e.parts {
 		g, err := hnsw.ReadFrom(br)

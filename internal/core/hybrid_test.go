@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/lexical"
+)
+
+// hybridEngine builds an empty-born engine with 60 vectors, text on
+// every third document, and tags for filter tests.
+func hybridEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEmptyEngine(8, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for id := int64(0); id < 60; id++ {
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		if err := e.Add(v, id); err != nil {
+			t.Fatal(err)
+		}
+		e.SetTags(id, map[string]string{"par": map[bool]string{true: "even", false: "odd"}[id%2 == 0]})
+		if id%3 == 0 {
+			text := "common corpus token"
+			if id == 42 {
+				text = "rare needle token"
+			}
+			e.SetText(id, text, v)
+		}
+	}
+	return e
+}
+
+func TestSearchHybridLegs(t *testing.T) {
+	e := hybridEngine(t)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = 0.4
+	}
+
+	// Both legs present: the keyword-only document must surface even if
+	// the vector leg alone would miss it.
+	rs, err := e.SearchHybrid(q, "needle", 5, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.ID == 42 {
+			found = true
+			if r.BM25 <= 0 {
+				t.Fatalf("lexical hit carries BM25=%v", r.BM25)
+			}
+			if !r.HasDist {
+				t.Fatal("lexical-only candidate missing exact distance re-score")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("keyword-only doc 42 missing from hybrid results: %+v", rs)
+	}
+
+	// Text-only query: pure BM25 ranking, no distances.
+	rs, err = e.SearchHybrid(nil, "common corpus", 5, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("text-only hybrid returned nothing")
+	}
+	for _, r := range rs {
+		if r.HasDist {
+			t.Fatalf("text-only query reported a distance: %+v", r)
+		}
+	}
+
+	// Vector-only query through the hybrid path still works.
+	rs, err = e.SearchHybrid(q, "", 5, HybridOptions{})
+	if err != nil || len(rs) != 5 {
+		t.Fatalf("vector-only hybrid = %d results, %v", len(rs), err)
+	}
+
+	// No legs at all is a usage error.
+	if _, err := e.SearchHybrid(nil, "", 5, HybridOptions{}); err == nil {
+		t.Fatal("hybrid search with no legs succeeded")
+	}
+	// Dim mismatch is a usage error.
+	if _, err := e.SearchHybrid(make([]float32, 3), "x", 5, HybridOptions{}); err == nil {
+		t.Fatal("hybrid search with wrong dim succeeded")
+	}
+	// Unknown fusion mode is a usage error.
+	if _, err := e.SearchHybrid(q, "x", 5, HybridOptions{Fusion: "borda"}); err == nil {
+		t.Fatal("unknown fusion mode accepted")
+	}
+}
+
+func TestSearchHybridFilterAndTombstones(t *testing.T) {
+	e := hybridEngine(t)
+	q := make([]float32, 8)
+
+	// Doc 42 is even; an odd-only filter must exclude it from both legs.
+	rs, err := e.SearchHybrid(q, "needle common", 10, HybridOptions{Filter: filter.MustParse("par=odd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.ID%2 == 0 {
+			t.Fatalf("even doc %d passed odd-only filter", r.ID)
+		}
+	}
+
+	// Tombstoned documents never score on the lexical leg.
+	e.Delete(42)
+	rs, err = e.SearchHybrid(nil, "needle", 10, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.ID == 42 {
+			t.Fatal("deleted doc scored on lexical leg")
+		}
+	}
+}
+
+func TestSearchHybridFusionModes(t *testing.T) {
+	e := hybridEngine(t)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = 0.4
+	}
+	rrf, err := e.SearchHybrid(q, "common corpus", 5, HybridOptions{Fusion: FusionRRF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtd, err := e.SearchHybrid(q, "common corpus", 5, HybridOptions{Fusion: FusionWeighted, VecWeight: 0.3, LexWeight: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrf) == 0 || len(wtd) == 0 {
+		t.Fatalf("fusion modes returned %d / %d results", len(rrf), len(wtd))
+	}
+	// Same query twice must reproduce exactly (determinism).
+	again, err := e.SearchHybrid(q, "common corpus", 5, HybridOptions{Fusion: FusionRRF})
+	if err != nil || !reflect.DeepEqual(rrf, again) {
+		t.Fatalf("hybrid search is not reproducible: %v", err)
+	}
+}
+
+func TestSetLexicalConfigLifecycle(t *testing.T) {
+	e, err := NewEmptyEngine(8, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetLexicalConfig(lexical.Config{Stopwords: lexical.DefaultStopwords}); err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float32, 8)
+	if err := e.Add(v, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.SetText(1, "the quick fox", v)
+	if got := e.SearchLexical("the", 5, nil); got != nil {
+		t.Fatalf("stopword scored: %v", got)
+	}
+	if got := e.SearchLexical("quick", 5, nil); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("content term missing: %v", got)
+	}
+	// Reconfiguring a populated index must be refused.
+	if err := e.SetLexicalConfig(lexical.Config{}); err == nil {
+		t.Fatal("SetLexicalConfig succeeded on a populated index")
+	}
+}
+
+func TestTextsSnapshotRestoreDump(t *testing.T) {
+	e := hybridEngine(t)
+	var want bytes.Buffer
+	if err := e.LexicalDump(&want); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.TextsSnapshot()
+
+	e2, err := NewEmptyEngine(8, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.RestoreTexts(snap)
+	var got bytes.Buffer
+	if err := e2.LexicalDump(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("restored dump diverges:\n%s---\n%s", got.String(), want.String())
+	}
+	if e2.TextCount() != e.TextCount() {
+		t.Fatalf("TextCount %d != %d", e2.TextCount(), e.TextCount())
+	}
+}

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/fusion"
+	"repro/internal/lexical"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Hybrid serving benchmark: the SIFT stand-in corpus with synthetic
+// document text, searched through Engine.SearchHybrid and scored
+// against exact hybrid ground truth — the exact vector leg (brute
+// force) fused with the exact BM25 leg by the same formula the engine
+// uses. The workload is keyword-skewed on purpose: one query in five
+// asks for a rare token planted on a document that is NOT among the
+// query's vector neighbors, so a vector-only search cannot find it.
+// The headline number is fused recall@k vs the vector-only baseline
+// against the same truth; bench-smoke gates on hybrid >= vector-only.
+
+// hybridVocab is the shared vocabulary common documents draw from.
+// Small enough that common terms have high document frequency (low
+// idf), so planted rare tokens dominate BM25 when asked for.
+var hybridVocab = []string{
+	"amber", "basalt", "cedar", "delta", "ember", "fjord", "garnet",
+	"harbor", "indigo", "juniper", "krill", "lumen", "marble", "nectar",
+	"onyx", "pumice", "quartz", "raven", "slate", "tundra", "umber",
+	"violet", "willow", "xenon", "yarrow", "zephyr",
+}
+
+// hybridText returns document i's synthetic text: 4–8 common words
+// drawn deterministically from the vocabulary.
+func hybridText(rng *rand.Rand) string {
+	n := 4 + rng.Intn(5)
+	out := make([]byte, 0, 64)
+	for j := 0; j < n; j++ {
+		if j > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, hybridVocab[rng.Intn(len(hybridVocab))]...)
+	}
+	return string(out)
+}
+
+// hybridWorkload is the text side of the benchmark: per-document texts
+// aligned with dataset positions, per-query texts, and which queries
+// are keyword-only (answerable lexically, invisible to vectors).
+type hybridWorkload struct {
+	texts      []string // by dataset position
+	queryTexts []string
+	keyword    int // how many queries carry a planted rare token
+}
+
+// buildHybridTexts assigns every document its text and plants one
+// unique rare token per keyword query on a vector-unrelated document.
+// Queries are perturbed copies of data point i%N (see
+// dataset.PerturbedQueries), so planting on a hashed far-away position
+// keeps the keyword target out of the query's true neighborhood.
+func buildHybridTexts(w *workload, o Options) *hybridWorkload {
+	n := w.data.Len()
+	rng := rand.New(rand.NewSource(o.Seed + 97))
+	hw := &hybridWorkload{
+		texts:      make([]string, n),
+		queryTexts: make([]string, w.queries.Len()),
+	}
+	for i := 0; i < n; i++ {
+		hw.texts[i] = hybridText(rng)
+	}
+	for i := 0; i < w.queries.Len(); i++ {
+		if i%5 == 0 {
+			// Keyword-only query: a unique token planted on one far doc.
+			pos := int((int64(i)*2654435761 + 12345) % int64(n))
+			if pos == i%n {
+				pos = (pos + n/2) % n
+			}
+			token := fmt.Sprintf("needle%d", i)
+			hw.texts[pos] = hw.texts[pos] + " " + token
+			hw.queryTexts[i] = token
+			hw.keyword++
+		} else {
+			// Plain hybrid query: two common words.
+			hw.queryTexts[i] = hybridVocab[rng.Intn(len(hybridVocab))] + " " +
+				hybridVocab[rng.Intn(len(hybridVocab))]
+		}
+	}
+	return hw
+}
+
+// hybridTruth fuses the EXACT legs — brute-force vector top-legK and
+// exact BM25 top-legK — with the same formula and parameters the engine
+// uses, yielding the fused top-k every measured variant is scored
+// against.
+func hybridTruth(w *workload, hw *hybridWorkload, idx *lexical.Index, o Options, legK int, weighted bool) [][]int32 {
+	vecLegs := bruteforce.SearchBatch(w.data, w.queries, legK, vec.L2)
+	out := make([][]int32, w.queries.Len())
+	for i := range out {
+		vl := make([]fusion.Candidate, len(vecLegs[i]))
+		for j, r := range vecLegs[i] {
+			vl[j] = fusion.Candidate{ID: r.ID, Score: -float64(r.Dist)}
+		}
+		fusion.Sort(vl)
+		scored := idx.Search(hw.queryTexts[i], legK, nil)
+		ll := make([]fusion.Candidate, len(scored))
+		for j, s := range scored {
+			ll[j] = fusion.Candidate{ID: s.ID, Score: s.Score}
+		}
+		var fused []fusion.Candidate
+		if weighted {
+			fused = fusion.WeightedMinMax([]float64{0.5, 0.5}, o.K, vl, ll)
+		} else {
+			fused = fusion.RRF(0, o.K, vl, ll)
+		}
+		row := make([]int32, len(fused))
+		for j, c := range fused {
+			row[j] = int32(c.ID)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// ServingBenchHybrid builds one engine over the text-augmented SIFT
+// stand-in and measures Engine.SearchHybrid under both fusion modes
+// against exact hybrid truth. Results are keyed "hybrid_rrf" and
+// "hybrid_weighted".
+func ServingBenchHybrid(o Options) (map[string]*ServingResult, error) {
+	o.fill()
+	w, err := descriptorWorkload("sift", o, false)
+	if err != nil {
+		return nil, err
+	}
+	hw := buildHybridTexts(w, o)
+	e, buildSec, err := servingEngine(w, o)
+	if err != nil {
+		return nil, err
+	}
+	// Index texts on the engine and on the exact-truth index. Both
+	// tokenize identically, so the lexical legs agree exactly.
+	truthIdx := lexical.NewIndex(lexical.Config{})
+	for i := 0; i < w.data.Len(); i++ {
+		id := w.data.ID(i)
+		e.SetText(id, hw.texts[i], w.data.At(i))
+		truthIdx.Set(id, hw.texts[i], nil)
+	}
+	// The engine defaults LegK to 4k (core.HybridOptions.fill); the
+	// truth must fuse legs of the same depth.
+	legK := 4 * o.K
+	if legK < 10 {
+		legK = 10
+	}
+
+	header(o.Out, "Hybrid serving benchmark (BM25 + vector rank fusion)")
+	out := make(map[string]*ServingResult, 2)
+	for _, mode := range []string{core.FusionRRF, core.FusionWeighted} {
+		truth := hybridTruth(w, hw, truthIdx, o, legK, mode == core.FusionWeighted)
+		res, err := measureHybrid(e, w, hw, o, mode, truth, buildSec)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid %s: %w", mode, err)
+		}
+		out[res.Variant] = res
+		printHybrid(o, w, res)
+	}
+	return out, nil
+}
+
+// measureHybrid times the fused path and computes the vector-only
+// baseline recall against the same hybrid truth.
+func measureHybrid(e *core.Engine, w *workload, hw *hybridWorkload, o Options, mode string, truth [][]int32, buildSec float64) (*ServingResult, error) {
+	n := w.queries.Len()
+	results := make([][]topk.Result, n)
+	lats := make([]float64, n)
+	run0 := time.Now()
+	for i := 0; i < n; i++ {
+		q0 := time.Now()
+		rs, err := e.SearchHybrid(w.queries.At(i), hw.queryTexts[i], o.K, core.HybridOptions{Fusion: mode})
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		lats[i] = float64(time.Since(q0).Microseconds())
+		row := make([]topk.Result, len(rs))
+		for j, h := range rs {
+			row[j] = topk.Result{ID: h.ID, Dist: h.Dist}
+		}
+		results[i] = row
+	}
+	wall := time.Since(run0).Seconds()
+
+	// Vector-only baseline: the regular ANN search scored against the
+	// SAME fused truth. Untimed — only its recall matters.
+	vecOnly := make([][]topk.Result, n)
+	for i := 0; i < n; i++ {
+		rs, err := e.Search(w.queries.At(i), o.K)
+		if err != nil {
+			return nil, fmt.Errorf("baseline query %d: %w", i, err)
+		}
+		vecOnly[i] = rs
+	}
+
+	sum := metrics.Summarize(lats)
+	return &ServingResult{
+		Variant:          "hybrid_" + mode,
+		Dataset:          w.name,
+		Points:           w.data.Len(),
+		Queries:          n,
+		Dim:              w.data.Dim,
+		K:                o.K,
+		Partitions:       e.Partitions(),
+		NProbe:           2,
+		Threads:          1,
+		Seed:             o.Seed,
+		BuildSec:         buildSec,
+		Fusion:           mode,
+		KeywordQueries:   hw.keyword,
+		Recall:           metrics.MeanRecall(results, truth),
+		VectorOnlyRecall: metrics.MeanRecall(vecOnly, truth),
+		QPS:              float64(n) / wall,
+		P50Micros:        sum.P50,
+		P90Micros:        sum.P90,
+		P99Micros:        sum.P99,
+		MeanMicros:       sum.Mean,
+		MaxMicros:        sum.Max,
+	}, nil
+}
+
+func printHybrid(o Options, w *workload, res *ServingResult) {
+	fmt.Fprintf(o.Out, "%-15s %s: %d points dim %d, %d queries (%d keyword-only), k=%d\n",
+		res.Variant, w.name, res.Points, res.Dim, res.Queries, res.KeywordQueries, o.K)
+	fmt.Fprintf(o.Out, "%-15s fused recall %.4f vs vector-only %.4f | %.0f QPS | p50 %.0fµs p99 %.0fµs\n",
+		res.Variant, res.Recall, res.VectorOnlyRecall, res.QPS, res.P50Micros, res.P99Micros)
+}

@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestServingBenchHybridSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	out, err := ServingBenchHybrid(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"hybrid_rrf", "hybrid_weighted"} {
+		res, ok := out[key]
+		if !ok {
+			t.Fatalf("missing result %q (have %d entries)", key, len(out))
+		}
+		if res.Recall <= 0.5 || res.Recall > 1 {
+			t.Errorf("%s: fused recall = %v, want (0.5, 1]", key, res.Recall)
+		}
+		if res.QPS <= 0 {
+			t.Errorf("%s: QPS = %v", key, res.QPS)
+		}
+		if res.KeywordQueries == 0 || res.Fusion == "" {
+			t.Errorf("%s: hybrid metadata missing: %+v", key, res)
+		}
+		// The workload is keyword-skewed: one query in five is
+		// answerable only through the lexical leg, so the vector-only
+		// baseline must trail fused recall strictly.
+		if res.VectorOnlyRecall >= res.Recall {
+			t.Errorf("%s: vector-only recall %.4f not below fused %.4f",
+				key, res.VectorOnlyRecall, res.Recall)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Error("no human-readable output")
+	}
+}

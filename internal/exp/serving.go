@@ -43,6 +43,15 @@ type ServingResult struct {
 	Filter           string  `json:"filter,omitempty"`
 	PostFilterRecall float64 `json:"post_filter_recall,omitempty"`
 
+	// Hybrid-retrieval shape (zero for non-hybrid variants). Recall is
+	// fused recall against exact hybrid ground truth (exact vector leg +
+	// exact BM25 leg, same fusion); VectorOnlyRecall is the vector-only
+	// baseline against the SAME truth — the number hybrid has to beat on
+	// a keyword-skewed workload.
+	Fusion           string  `json:"fusion,omitempty"`
+	VectorOnlyRecall float64 `json:"vector_only_recall,omitempty"`
+	KeywordQueries   int     `json:"keyword_queries,omitempty"`
+
 	Recall     float64 `json:"recall"`
 	QPS        float64 `json:"qps"`
 	P50Micros  float64 `json:"p50_us"`

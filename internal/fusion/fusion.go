@@ -1,0 +1,109 @@
+// Package fusion merges ranked candidate lists from heterogeneous
+// retrieval legs — the vector top-k and the BM25 top-k — into one
+// hybrid ranking. Two schemes are provided:
+//
+//   - Reciprocal-rank fusion (RRF): score(d) = Σ_legs 1/(K + rank_d),
+//     rank 1-based, K=60 by default. Rank-only, so it needs no score
+//     calibration between legs and is the robust default.
+//   - Weighted min-max fusion: each leg's scores are min-max normalized
+//     to [0,1] (higher = better) and combined as Σ w_leg · norm(d);
+//     documents absent from a leg contribute 0 for it.
+//
+// Both schemes break ties on ascending document ID and are pure
+// functions of their inputs, so fused rankings are reproducible across
+// runs and across crash recovery.
+package fusion
+
+import "sort"
+
+// DefaultRRFK is the standard reciprocal-rank fusion constant from
+// Cormack et al.; it damps the gap between the first few ranks.
+const DefaultRRFK = 60
+
+// Candidate is one scored document in a leg's ranking. Score
+// orientation is higher = better (vector legs pass negated distance).
+type Candidate struct {
+	ID    int64
+	Score float64
+}
+
+// Sort orders a candidate list best-first (descending score) with
+// deterministic ascending-ID tie-breaking — the ranking convention
+// every fusion input and output uses.
+func Sort(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Score != cs[j].Score {
+			return cs[i].Score > cs[j].Score
+		}
+		return cs[i].ID < cs[j].ID
+	})
+}
+
+// RRF fuses the lists by reciprocal rank: each list is read best-first
+// (callers pass lists already ranked; order within a list is taken as
+// its ranking) and a document scores Σ 1/(kParam + rank) over the lists
+// it appears in. kParam <= 0 selects DefaultRRFK. The fused top k is
+// returned best-first; k <= 0 returns the full fused ranking.
+func RRF(kParam float64, k int, lists ...[]Candidate) []Candidate {
+	if kParam <= 0 {
+		kParam = DefaultRRFK
+	}
+	scores := make(map[int64]float64)
+	for _, list := range lists {
+		for rank, c := range list {
+			scores[c.ID] += 1 / (kParam + float64(rank+1))
+		}
+	}
+	return collect(scores, k)
+}
+
+// WeightedMinMax fuses the lists by weighted normalized score. Each
+// list is min-max normalized independently: norm = (s-min)/(max-min),
+// or 1 for every entry when the list has no score spread (max == min),
+// since presence in a leg is positive evidence. weights[i] weighs
+// lists[i]; missing weights default to 1. The fused top k is returned
+// best-first; k <= 0 returns the full fused ranking.
+func WeightedMinMax(weights []float64, k int, lists ...[]Candidate) []Candidate {
+	scores := make(map[int64]float64)
+	for li, list := range lists {
+		if len(list) == 0 {
+			continue
+		}
+		w := 1.0
+		if li < len(weights) {
+			w = weights[li]
+		}
+		lo, hi := list[0].Score, list[0].Score
+		for _, c := range list[1:] {
+			if c.Score < lo {
+				lo = c.Score
+			}
+			if c.Score > hi {
+				hi = c.Score
+			}
+		}
+		spread := hi - lo
+		for _, c := range list {
+			norm := 1.0
+			if spread > 0 {
+				norm = (c.Score - lo) / spread
+			}
+			scores[c.ID] += w * norm
+		}
+	}
+	return collect(scores, k)
+}
+
+// collect materializes a score map as a best-first ranking, truncated
+// to k when k > 0.
+func collect(scores map[int64]float64, k int) []Candidate {
+	out := make([]Candidate, 0, len(scores))
+	for id, s := range scores {
+		out = append(out, Candidate{ID: id, Score: s})
+	}
+	Sort(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package fusion
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func ids(cs []Candidate) []int64 {
+	out := make([]int64, len(cs))
+	for i, c := range cs {
+		out[i] = c.ID
+	}
+	return out
+}
+
+func TestRRFBasics(t *testing.T) {
+	vec := []Candidate{{ID: 1, Score: -0.1}, {ID: 2, Score: -0.2}, {ID: 3, Score: -0.3}}
+	lex := []Candidate{{ID: 3, Score: 9}, {ID: 4, Score: 5}}
+
+	got := RRF(60, 0, vec, lex)
+	// Doc 3 appears in both legs (rank 3 + rank 1) and must win.
+	if got[0].ID != 3 {
+		t.Fatalf("fused order %v, want doc 3 first", ids(got))
+	}
+	want3 := 1/63.0 + 1/61.0
+	if math.Abs(got[0].Score-want3) > 1e-15 {
+		t.Fatalf("doc 3 score %v, want %v", got[0].Score, want3)
+	}
+	if len(got) != 4 {
+		t.Fatalf("fused %d docs, want 4", len(got))
+	}
+
+	if got := RRF(60, 2, vec, lex); len(got) != 2 {
+		t.Fatalf("k=2 returned %d", len(got))
+	}
+}
+
+func TestRRFDefaultK(t *testing.T) {
+	l := []Candidate{{ID: 7, Score: 1}}
+	got := RRF(0, 0, l)
+	if want := 1 / (DefaultRRFK + 1.0); got[0].Score != want {
+		t.Fatalf("score %v, want %v", got[0].Score, want)
+	}
+}
+
+func TestRRFTieBreakByID(t *testing.T) {
+	// Two docs at the same rank in disjoint lists: identical scores,
+	// ascending-ID order must be stable.
+	a := []Candidate{{ID: 9, Score: 1}}
+	b := []Candidate{{ID: 2, Score: 1}}
+	got := RRF(60, 0, a, b)
+	if !reflect.DeepEqual(ids(got), []int64{2, 9}) {
+		t.Fatalf("tie order %v", ids(got))
+	}
+}
+
+func TestWeightedMinMax(t *testing.T) {
+	vec := []Candidate{{ID: 1, Score: -0.1}, {ID: 2, Score: -0.5}} // norms: 1, 0
+	lex := []Candidate{{ID: 2, Score: 3}, {ID: 3, Score: 1}}       // norms: 1, 0
+
+	got := WeightedMinMax([]float64{0.5, 0.5}, 0, vec, lex)
+	// Doc 1: 0.5*1 = 0.5; doc 2: 0.5*0 + 0.5*1 = 0.5; doc 3: 0.
+	// Docs 1 and 2 tie -> ID order.
+	if !reflect.DeepEqual(ids(got), []int64{1, 2, 3}) {
+		t.Fatalf("order %v", ids(got))
+	}
+	if got[0].Score != 0.5 || got[1].Score != 0.5 || got[2].Score != 0 {
+		t.Fatalf("scores %v", got)
+	}
+}
+
+func TestWeightedMinMaxDegenerateList(t *testing.T) {
+	// A single-candidate leg has no spread: presence counts as 1.
+	lex := []Candidate{{ID: 5, Score: 2.5}}
+	got := WeightedMinMax([]float64{2}, 0, lex)
+	if len(got) != 1 || got[0].Score != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// Equal scores across a leg likewise all normalize to 1.
+	flat := []Candidate{{ID: 1, Score: 4}, {ID: 2, Score: 4}}
+	got = WeightedMinMax(nil, 0, flat)
+	if got[0].Score != 1 || got[1].Score != 1 {
+		t.Fatalf("flat leg %v", got)
+	}
+}
+
+func TestWeightedMissingWeightDefaultsToOne(t *testing.T) {
+	a := []Candidate{{ID: 1, Score: 1}, {ID: 2, Score: 0}}
+	b := []Candidate{{ID: 2, Score: 1}, {ID: 1, Score: 0}}
+	got := WeightedMinMax([]float64{1}, 0, a, b) // weight for b omitted
+	if got[0].Score != 1 || got[1].Score != 1 {
+		t.Fatalf("scores %v", got)
+	}
+}
+
+func TestEmptyLegs(t *testing.T) {
+	if got := RRF(60, 5); got != nil && len(got) != 0 {
+		t.Fatalf("RRF of nothing: %v", got)
+	}
+	if got := WeightedMinMax(nil, 5, nil, nil); got != nil && len(got) != 0 {
+		t.Fatalf("weighted of nothing: %v", got)
+	}
+	one := []Candidate{{ID: 1, Score: 1}}
+	if got := RRF(60, 5, one, nil); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("single leg: %v", got)
+	}
+}
+
+// Fusion must be bit-reproducible: same inputs, same floats out.
+func TestDeterminism(t *testing.T) {
+	vec := make([]Candidate, 50)
+	lex := make([]Candidate, 50)
+	for i := range vec {
+		vec[i] = Candidate{ID: int64(i * 3 % 71), Score: -float64(i) * 0.017}
+		lex[i] = Candidate{ID: int64(i * 7 % 71), Score: 100 - float64(i)*1.3}
+	}
+	r1 := RRF(60, 10, vec, lex)
+	w1 := WeightedMinMax([]float64{0.7, 0.3}, 10, vec, lex)
+	for trial := 0; trial < 20; trial++ {
+		if r2 := RRF(60, 10, vec, lex); !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("RRF nondeterministic: %v vs %v", r1, r2)
+		}
+		if w2 := WeightedMinMax([]float64{0.7, 0.3}, 10, vec, lex); !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("weighted nondeterministic: %v vs %v", w1, w2)
+		}
+	}
+}

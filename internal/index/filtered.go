@@ -12,7 +12,9 @@ import (
 // an unfiltered top-k afterwards. keep==nil must behave exactly like
 // Search. Implemented by the HNSW-backed locals (dynamic and frozen)
 // and by the flat scan (exactly); engines post-filter for locals
-// without this capability via SearchFiltered below.
+// without this capability via SearchFiltered below. Filtered hybrid
+// retrieval reuses this path for its vector leg, so the same predicate
+// semantics apply to both legs of a fused query.
 type FilteredSearcher interface {
 	SearchFiltered(q []float32, k int, keep func(int64) bool) ([]topk.Result, Stats, error)
 }

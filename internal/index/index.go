@@ -14,6 +14,10 @@
 //
 // The single-process engine accepts any of them via Config.LocalIndex;
 // the ablate-local experiment compares them under identical routing.
+// Every engine search path — plain top-k, filter pushdown
+// (FilteredSearcher), and the vector leg of hybrid retrieval
+// (DESIGN §11) — goes through this abstraction, so swapping the local
+// index never changes which query shapes a deployment can serve.
 package index
 
 import (

@@ -1,0 +1,45 @@
+package lexical
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize asserts the tokenizer's contract on arbitrary input: no
+// panic, no empty or over-long terms, lowercase letter/digit runes
+// only, and stability under re-tokenization (the property crash
+// recovery depends on — a rebuilt index must tokenize identically).
+func FuzzTokenize(f *testing.F) {
+	f.Add("Hello, World!")
+	f.Add("")
+	f.Add("foo_bar 123 ÅNGSTRÖM")
+	f.Add(strings.Repeat("x", 200))
+	f.Add("\xff\xfe broken utf8 \x80")
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("empty term from %q", s)
+			}
+			n := 0
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("non-alphanumeric rune %q in term %q", r, tok)
+				}
+				if r != unicode.ToLower(r) {
+					t.Fatalf("non-lowercase rune %q in term %q", r, tok)
+				}
+				n++
+			}
+			if n > MaxTermRunes {
+				t.Fatalf("term %q exceeds %d runes", tok, MaxTermRunes)
+			}
+		}
+		again := Tokenize(strings.Join(toks, " "))
+		if !reflect.DeepEqual(again, toks) {
+			t.Fatalf("unstable: %q -> %v -> %v", s, toks, again)
+		}
+	})
+}

@@ -1,0 +1,440 @@
+package lexical
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// BM25 defaults (the standard Robertson/Walker settings).
+const (
+	DefaultK1 = 1.2
+	DefaultB  = 0.75
+)
+
+// postingBytes is the in-memory footprint of one posting entry,
+// reported under /varz so operators can see what the lexical index
+// costs.
+const postingBytes = 8 + 8 + 4 // id + version + tf
+
+// Config parameterizes an Index. Zero values select the defaults
+// (K1=1.2, B=0.75, no stopwords); B is clamped to [0,1].
+type Config struct {
+	K1        float64
+	B         float64
+	Stopwords []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.K1 <= 0 {
+		c.K1 = DefaultK1
+	}
+	if c.B <= 0 {
+		c.B = 0
+	}
+	if c.B > 1 {
+		c.B = 1
+	}
+	if c.B == 0 {
+		c.B = DefaultB
+	}
+	return c
+}
+
+// Doc is the durable unit the store persists per document: the raw text
+// (the index is rebuilt by re-tokenizing it) and a copy of the vector it
+// was upserted with, kept so fused candidates can be re-scored with
+// exact float32 distances regardless of which approximate leg produced
+// them.
+type Doc struct {
+	Text string    `json:"t"`
+	Vec  []float32 `json:"v,omitempty"`
+}
+
+// Scored is one BM25 hit, higher score = better match.
+type Scored struct {
+	ID    int64
+	Score float64
+}
+
+// posting records that a document contained a term tf times at a given
+// document version. Postings are append-only; superseded versions stay
+// in place and scoring skips any entry whose version no longer matches
+// the document's current version.
+type posting struct {
+	id  int64
+	ver uint64
+	tf  uint32
+}
+
+// postingList is the immutable published view of one term's postings.
+// Writers may append into spare capacity beyond the published length
+// (readers never index past their header's len) and then publish a new
+// header, so growth is amortized without copying the whole list.
+type postingList struct {
+	entries []posting
+}
+
+// docEntry is the current state of one document. Entries are immutable
+// once published.
+type docEntry struct {
+	ver    uint64
+	tokens int
+	text   string
+	vec    []float32
+}
+
+// Stats is a point-in-time summary for /varz.
+type Stats struct {
+	Docs          int     `json:"docs"`
+	Terms         int     `json:"terms"`
+	PostingsBytes int64   `json:"postings_bytes"`
+	Searches      int64   `json:"searches"`
+	AvgDocLen     float64 `json:"avg_doc_len"`
+	K1            float64 `json:"k1"`
+	B             float64 `json:"b"`
+}
+
+// Index is the BM25 inverted index. Reads (Search, Text, Vector, Stats)
+// are lock-free; writes (Set, Delete, Restore) are serialized by an
+// internal mutex.
+type Index struct {
+	cfg  Config
+	stop map[string]struct{}
+
+	mu  sync.Mutex // serializes writers
+	ver uint64     // last assigned document version (mu-guarded)
+
+	postings sync.Map // string -> *postingList
+	docs     sync.Map // int64 -> *docEntry
+
+	ndocs    atomic.Int64
+	totalTok atomic.Int64
+	terms    atomic.Int64
+	pbytes   atomic.Int64
+	searches atomic.Int64
+}
+
+// NewIndex returns an empty index with cfg's BM25 parameters and
+// stopword set.
+func NewIndex(cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	return &Index{cfg: cfg, stop: stopSet(cfg.Stopwords)}
+}
+
+// Params returns the effective BM25 parameters.
+func (x *Index) Params() (k1, b float64) { return x.cfg.K1, x.cfg.B }
+
+// tokenize applies the index's stopword filter on top of Tokenize.
+func (x *Index) tokenize(s string) []string {
+	toks := Tokenize(s)
+	if x.stop == nil {
+		return toks
+	}
+	kept := toks[:0]
+	for _, t := range toks {
+		if _, drop := x.stop[t]; !drop {
+			kept = append(kept, t)
+		}
+	}
+	return kept
+}
+
+// Set indexes text under id, replacing any previous document. The
+// vector is copied and retained for exact re-scoring of fused results.
+func (x *Index) Set(id int64, text string, vec []float32) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.setLocked(id, text, vec)
+}
+
+func (x *Index) setLocked(id int64, text string, vec []float32) {
+	toks := x.tokenize(text)
+	x.ver++
+	ver := x.ver
+
+	// Term frequencies in first-occurrence order so postings append
+	// deterministically for a given document text.
+	tf := make(map[string]uint32, len(toks))
+	order := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if tf[t] == 0 {
+			order = append(order, t)
+		}
+		tf[t]++
+	}
+	for _, t := range order {
+		x.appendPosting(t, posting{id: id, ver: ver, tf: tf[t]})
+	}
+
+	var old *docEntry
+	if v, ok := x.docs.Load(id); ok {
+		old = v.(*docEntry)
+	}
+	vcp := append([]float32(nil), vec...)
+	x.docs.Store(id, &docEntry{ver: ver, tokens: len(toks), text: text, vec: vcp})
+	if old == nil {
+		x.ndocs.Add(1)
+	} else {
+		x.totalTok.Add(-int64(old.tokens))
+	}
+	x.totalTok.Add(int64(len(toks)))
+}
+
+// appendPosting publishes term's list with p appended. Must hold mu.
+func (x *Index) appendPosting(term string, p posting) {
+	var entries []posting
+	if v, ok := x.postings.Load(term); ok {
+		entries = v.(*postingList).entries
+	} else {
+		x.terms.Add(1)
+	}
+	// append may write into spare capacity past the published length;
+	// concurrent readers hold the old header and never index that far.
+	entries = append(entries, p)
+	x.postings.Store(term, &postingList{entries: entries})
+	x.pbytes.Add(postingBytes)
+}
+
+// Delete removes id's document. Its postings stay behind as stale
+// versions that scoring skips.
+func (x *Index) Delete(id int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if v, ok := x.docs.Load(id); ok {
+		e := v.(*docEntry)
+		x.docs.Delete(id)
+		x.ndocs.Add(-1)
+		x.totalTok.Add(-int64(e.tokens))
+	}
+}
+
+// Text returns id's stored raw text.
+func (x *Index) Text(id int64) (string, bool) {
+	v, ok := x.docs.Load(id)
+	if !ok {
+		return "", false
+	}
+	return v.(*docEntry).text, true
+}
+
+// Vector returns the vector id was last upserted with. The slice is
+// shared and must not be mutated.
+func (x *Index) Vector(id int64) ([]float32, bool) {
+	v, ok := x.docs.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*docEntry).vec, true
+}
+
+// Docs returns the number of live documents.
+func (x *Index) Docs() int { return int(x.ndocs.Load()) }
+
+// Stats summarizes the index for /varz.
+func (x *Index) Stats() Stats {
+	n := x.ndocs.Load()
+	avg := 0.0
+	if n > 0 {
+		avg = float64(x.totalTok.Load()) / float64(n)
+	}
+	return Stats{
+		Docs:          int(n),
+		Terms:         int(x.terms.Load()),
+		PostingsBytes: x.pbytes.Load(),
+		Searches:      x.searches.Load(),
+		AvgDocLen:     avg,
+		K1:            x.cfg.K1,
+		B:             x.cfg.B,
+	}
+}
+
+// Search scores the live corpus with BM25 and returns the top k,
+// best-first. allow (optional) restricts the candidate set — hybrid
+// search passes tombstone + filter predicates through it, and document
+// frequencies are computed over the allowed live set so scores describe
+// the corpus actually being searched. Ties break on ascending ID, and
+// score accumulation order is fixed (query-term order), so rankings are
+// bit-reproducible for equal index contents — in particular before and
+// after crash recovery.
+func (x *Index) Search(query string, k int, allow func(int64) bool) []Scored {
+	x.searches.Add(1)
+	if k <= 0 {
+		return nil
+	}
+	toks := x.tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(toks))
+	terms := toks[:0]
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			terms = append(terms, t)
+		}
+	}
+	n := float64(x.ndocs.Load())
+	if n == 0 {
+		return nil
+	}
+	avgdl := float64(x.totalTok.Load()) / n
+	if avgdl <= 0 {
+		avgdl = 1
+	}
+
+	type hit struct {
+		id int64
+		tf uint32
+		dl float64
+	}
+	scores := make(map[int64]float64)
+	var hits []hit
+	for _, t := range terms {
+		v, ok := x.postings.Load(t)
+		if !ok {
+			continue
+		}
+		entries := v.(*postingList).entries
+		hits = hits[:0]
+		for i := range entries {
+			p := entries[i]
+			dv, ok := x.docs.Load(p.id)
+			if !ok {
+				continue
+			}
+			d := dv.(*docEntry)
+			if d.ver != p.ver {
+				continue // superseded by a newer Set
+			}
+			if allow != nil && !allow(p.id) {
+				continue
+			}
+			hits = append(hits, hit{id: p.id, tf: p.tf, dl: float64(d.tokens)})
+		}
+		df := float64(len(hits))
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		for _, h := range hits {
+			tf := float64(h.tf)
+			norm := tf * (x.cfg.K1 + 1) / (tf + x.cfg.K1*(1-x.cfg.B+x.cfg.B*h.dl/avgdl))
+			scores[h.id] += idf * norm
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	out := make([]Scored, 0, len(scores))
+	for id, s := range scores {
+		out = append(out, Scored{ID: id, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Snapshot returns a point-in-time view of every live document; the
+// durability layer persists it alongside each engine snapshot. Vec
+// slices are shared and must not be mutated.
+func (x *Index) Snapshot() map[int64]Doc {
+	out := make(map[int64]Doc, x.Docs())
+	x.docs.Range(func(k, v any) bool {
+		e := v.(*docEntry)
+		out[k.(int64)] = Doc{Text: e.text, Vec: e.vec}
+		return true
+	})
+	return out
+}
+
+// Restore replaces the whole index with docs — the recovery half of
+// Snapshot, called after LoadEngine before WAL tail replay. Documents
+// are re-tokenized in ascending ID order, so two restores of equal
+// contents produce identical indexes. The maps are cleared in place
+// (the Index pointer is never reassigned), matching the tagStore
+// recovery discipline.
+func (x *Index) Restore(docs map[int64]Doc) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.docs.Range(func(k, _ any) bool {
+		x.docs.Delete(k)
+		return true
+	})
+	x.postings.Range(func(k, _ any) bool {
+		x.postings.Delete(k)
+		return true
+	})
+	x.ver = 0
+	x.ndocs.Store(0)
+	x.totalTok.Store(0)
+	x.terms.Store(0)
+	x.pbytes.Store(0)
+	ids := make([]int64, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d := docs[id]
+		x.setLocked(id, d.Text, d.Vec)
+	}
+}
+
+// DumpPostings writes the live index in a canonical text form: a header
+// with corpus totals, then one line per live posting sorted by (term,
+// ID). Stale entries are excluded, so any two indexes holding the same
+// live documents dump identical bytes regardless of construction
+// history — full WAL replay, sidecar restore, or live writes. The
+// crash-recovery tests diff this against an oracle.
+func (x *Index) DumpPostings(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "docs=%d tokens=%d k1=%g b=%g\n", x.ndocs.Load(), x.totalTok.Load(), x.cfg.K1, x.cfg.B)
+	var terms []string
+	x.postings.Range(func(k, _ any) bool {
+		terms = append(terms, k.(string))
+		return true
+	})
+	sort.Strings(terms)
+	type row struct {
+		id int64
+		tf uint32
+		dl int
+	}
+	for _, t := range terms {
+		v, ok := x.postings.Load(t)
+		if !ok {
+			continue
+		}
+		entries := v.(*postingList).entries
+		var rows []row
+		for i := range entries {
+			p := entries[i]
+			dv, ok := x.docs.Load(p.id)
+			if !ok {
+				continue
+			}
+			d := dv.(*docEntry)
+			if d.ver != p.ver {
+				continue
+			}
+			rows = append(rows, row{id: p.id, tf: p.tf, dl: d.tokens})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+		for _, r := range rows {
+			fmt.Fprintf(bw, "%s\t%d\t%d\t%d\n", t, r.id, r.tf, r.dl)
+		}
+	}
+	return bw.Flush()
+}

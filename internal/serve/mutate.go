@@ -19,11 +19,14 @@ import (
 // never evict another's entries.
 
 // upsertPoint is one (id, vector) pair, optionally tagged for filtered
-// search.
+// search or carrying document text for hybrid retrieval. Text and tags
+// are mutually exclusive per point — the WAL has one record layout per
+// upsert kind, so a point picks which sidecar it rides.
 type upsertPoint struct {
 	ID     int64             `json:"id"`
 	Vector []float32         `json:"vector"`
 	Tags   map[string]string `json:"tags,omitempty"`
+	Text   string            `json:"text,omitempty"`
 }
 
 // upsertRequest is the upsert POST body: either a single point
@@ -33,6 +36,7 @@ type upsertRequest struct {
 	ID     *int64            `json:"id,omitempty"`
 	Vector []float32         `json:"vector,omitempty"`
 	Tags   map[string]string `json:"tags,omitempty"`
+	Text   string            `json:"text,omitempty"`
 	Points []upsertPoint     `json:"points,omitempty"`
 }
 
@@ -75,6 +79,9 @@ func (s *Server) mutator(t *tenant, w http.ResponseWriter) (Mutator, bool) {
 // the request), anything else 500.
 func (s *Server) mutationStatus(err error) (int, string) {
 	switch {
+	case errors.Is(err, collection.ErrLexicalDisabled):
+		s.stats.BadRequests.Add(1)
+		return http.StatusBadRequest, codeLexicalDisabled
 	case errors.Is(err, collection.ErrQuota):
 		return http.StatusTooManyRequests, codeQuota
 	case errors.Is(err, collection.ErrDraining):
@@ -143,7 +150,7 @@ func (s *Server) upsertTenant(t *tenant, w http.ResponseWriter, r *http.Request)
 			writeError(w, http.StatusBadRequest, codeBadRequest, "upsert needs an id")
 			return
 		}
-		points = []upsertPoint{{ID: *req.ID, Vector: req.Vector, Tags: req.Tags}}
+		points = []upsertPoint{{ID: *req.ID, Vector: req.Vector, Tags: req.Tags, Text: req.Text}}
 	}
 	if len(points) == 0 {
 		s.stats.BadRequests.Add(1)
@@ -156,13 +163,22 @@ func (s *Server) upsertTenant(t *tenant, w http.ResponseWriter, r *http.Request)
 			fmt.Sprintf("%d points exceeds the per-request limit %d", len(points), s.cfg.MaxQueries))
 		return
 	}
-	var tagged TaggedMutator
+	var (
+		tagged TaggedMutator
+		texter TextMutator
+	)
 	dim := t.backend.Dim()
 	for i, p := range points {
 		if len(p.Vector) != dim {
 			s.stats.BadRequests.Add(1)
 			writeError(w, http.StatusBadRequest, codeDimMismatch,
 				fmt.Sprintf("point %d has dim %d, collection %s has dim %d", i, len(p.Vector), t.name, dim))
+			return
+		}
+		if len(p.Tags) > 0 && p.Text != "" {
+			s.stats.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Sprintf("point %d carries both tags and text; a point picks one", i))
 			return
 		}
 		if len(p.Tags) > 0 && tagged == nil {
@@ -174,18 +190,31 @@ func (s *Server) upsertTenant(t *tenant, w http.ResponseWriter, r *http.Request)
 			}
 			tagged = tm
 		}
+		if p.Text != "" && texter == nil {
+			xm, ok := mut.(TextMutator)
+			if !ok {
+				writeError(w, http.StatusNotImplemented, codeNotImplemented,
+					fmt.Sprintf("point %d carries text but the backend does not support text upserts", i))
+				return
+			}
+			texter = xm
+		}
 	}
 	for i, p := range points {
 		var err error
-		if len(p.Tags) > 0 {
+		switch {
+		case len(p.Tags) > 0:
 			err = tagged.UpsertTagged(p.Vector, p.ID, p.Tags)
-		} else {
+		case p.Text != "":
+			err = texter.UpsertText(p.Vector, p.ID, p.Text)
+		default:
 			err = mut.Upsert(p.Vector, p.ID)
 		}
 		if err != nil {
 			s.stats.Upserts.Add(int64(i))
 			if i > 0 {
 				t.cache.purge()
+				t.hybrid.purge()
 			}
 			status, code := s.mutationStatus(err)
 			writeError(w, status, code,
@@ -195,6 +224,7 @@ func (s *Server) upsertTenant(t *tenant, w http.ResponseWriter, r *http.Request)
 	}
 	s.stats.Upserts.Add(int64(len(points)))
 	t.cache.purge()
+	t.hybrid.purge()
 	writeJSON(w, http.StatusOK, mutateResponse{Upserted: len(points)})
 }
 
@@ -242,6 +272,7 @@ func (s *Server) deleteTenant(t *tenant, w http.ResponseWriter, r *http.Request)
 			s.stats.Deletes.Add(int64(i))
 			if i > 0 {
 				t.cache.purge()
+				t.hybrid.purge()
 			}
 			status, code := s.mutationStatus(err)
 			writeError(w, status, code,
@@ -251,5 +282,6 @@ func (s *Server) deleteTenant(t *tenant, w http.ResponseWriter, r *http.Request)
 	}
 	s.stats.Deletes.Add(int64(len(ids)))
 	t.cache.purge()
+	t.hybrid.purge()
 	writeJSON(w, http.StatusOK, mutateResponse{Deleted: len(ids)})
 }

@@ -29,6 +29,7 @@ package serve
 import (
 	"context"
 
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/store"
@@ -106,6 +107,24 @@ type TaggedMutator interface {
 	UpsertTagged(v []float32, id int64, tags map[string]string) error
 }
 
+// HybridBackend is the optional hybrid-retrieval half of a backend: a
+// vector leg and/or a BM25 text leg, rank-fused (see core.SearchHybrid).
+// Hybrid queries bypass the micro-batcher — they are per-query by
+// nature (each carries its own text) — so implementations are called
+// concurrently from handler goroutines and must be thread-safe.
+// POST /v1/collections/{name}/hybrid answers 501 when the backend
+// lacks this.
+type HybridBackend interface {
+	SearchHybrid(ctx context.Context, q []float32, text string, k int, opts core.HybridOptions) ([]core.HybridResult, error)
+}
+
+// TextMutator is the optional text write half: an upsert carrying the
+// point's document text for hybrid retrieval. Upserts with text against
+// a backend lacking it are refused with 501.
+type TextMutator interface {
+	UpsertText(v []float32, id int64, text string) error
+}
+
 // VarzProvider lets a backend contribute extra top-level sections to
 // /varz (e.g. engine occupancy, WAL and compaction counters).
 type VarzProvider interface {
@@ -132,6 +151,11 @@ type EngineBackend struct {
 	// Store, when non-nil, is the durability layer mutations route
 	// through (WAL + snapshots + compaction).
 	Store *store.Durable
+	// Lexical enables text upserts and hybrid search (annserve -lexical).
+	// Off by default: the gate mirrors the per-collection "lexical"
+	// config flag, keeping tokenization cost and text-sidecar growth
+	// opt-in on every serving path.
+	Lexical bool
 }
 
 // Dim implements Backend.
@@ -175,6 +199,32 @@ func (b *EngineBackend) UpsertTagged(v []float32, id int64, tags map[string]stri
 	return nil
 }
 
+// UpsertText implements TextMutator. Requires Lexical.
+func (b *EngineBackend) UpsertText(v []float32, id int64, text string) error {
+	if !b.Lexical {
+		return collection.ErrLexicalDisabled
+	}
+	if b.Store != nil {
+		return b.Store.UpsertText(v, id, text)
+	}
+	if err := b.Engine.Add(v, id); err != nil {
+		return err
+	}
+	b.Engine.SetText(id, text, v)
+	return nil
+}
+
+// SearchHybrid implements HybridBackend. Requires Lexical.
+func (b *EngineBackend) SearchHybrid(ctx context.Context, q []float32, text string, k int, opts core.HybridOptions) ([]core.HybridResult, error) {
+	if !b.Lexical {
+		return nil, collection.ErrLexicalDisabled
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Engine.SearchHybrid(q, text, k, opts)
+}
+
 // Delete implements Mutator.
 func (b *EngineBackend) Delete(id int64) error {
 	if b.Store != nil {
@@ -208,6 +258,18 @@ func (b *EngineBackend) Varz() map[string]any {
 	}
 	if b.Store != nil {
 		m["ingest"] = b.Store.Stats()
+	}
+	if b.Lexical {
+		ls := b.Engine.LexicalStats()
+		m["lexical"] = map[string]any{
+			"docs":           ls.Docs,
+			"terms":          ls.Terms,
+			"postings_bytes": ls.PostingsBytes,
+			"avg_doc_len":    ls.AvgDocLen,
+			"searches":       ls.Searches,
+			"k1":             ls.K1,
+			"b":              ls.B,
+		}
 	}
 	if fi, ok := b.Engine.FrozenInfo(); ok {
 		m["frozen"] = map[string]any{

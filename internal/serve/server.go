@@ -117,6 +117,8 @@ func newServer(cfg ServerConfig, reg *collection.Registry) *Server {
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/upsert", s.handleUpsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/hybrid", s.handleHybrid)
+	s.mux.HandleFunc("POST /v1/collections/{name}/hybrid", s.handleColHybrid)
 	s.mux.HandleFunc("POST /v1/collections/{name}/search", s.handleColSearch)
 	s.mux.HandleFunc("POST /v1/collections/{name}/upsert", s.handleColUpsert)
 	s.mux.HandleFunc("POST /v1/collections/{name}/delete", s.handleColDelete)
@@ -200,6 +202,8 @@ const (
 	codeUnknownCollection = "unknown_collection"
 	codeCollectionExists  = "collection_exists"
 	codeBadName           = "bad_name"
+	codeMissingLeg        = "missing_leg"
+	codeLexicalDisabled   = "lexical_disabled"
 	codeQuota             = "quota_exceeded"
 	codeOverloaded        = "overloaded"
 	codeDraining          = "draining"
@@ -527,6 +531,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		sec["cache_entries"] = t.cache.Len()
+		sec["hybrid_cache_entries"] = t.hybrid.Len()
 		sec["queue_draining"] = t.batcher.Draining()
 		cols[name] = sec
 		if err := writeBroken(t); err != nil {

@@ -25,6 +25,9 @@ type Stats struct {
 	Deletes        atomic.Int64 // IDs tombstoned via POST /v1/delete
 	WritesRejected atomic.Int64 // mutations refused by the open write circuit breaker
 
+	HybridRequests  atomic.Int64 // hybrid queries received (after parsing)
+	HybridCacheHits atomic.Int64 // answered from the hybrid result cache
+
 	DegradedBatches   atomic.Int64 // backend rounds that returned a partial (degraded) answer
 	DegradedResponses atomic.Int64 // HTTP responses delivered with degraded markers
 	TopologyPurges    atomic.Int64 // cache purges forced by shard-topology changes
@@ -67,6 +70,9 @@ type Snapshot struct {
 	WritesRejected int64 `json:"writes_rejected"`
 	QueueDepth     int64 `json:"queue_depth"`
 
+	HybridRequests  int64 `json:"hybrid_requests"`
+	HybridCacheHits int64 `json:"hybrid_cache_hits"`
+
 	DegradedBatches   int64 `json:"degraded_batches"`
 	DegradedResponses int64 `json:"degraded_responses"`
 	TopologyPurges    int64 `json:"topology_purges"`
@@ -97,6 +103,9 @@ func (s *Stats) Snapshot() Snapshot {
 		Deletes:        s.Deletes.Load(),
 		WritesRejected: s.WritesRejected.Load(),
 		QueueDepth:     s.queueDepth.Load(),
+
+		HybridRequests:  s.HybridRequests.Load(),
+		HybridCacheHits: s.HybridCacheHits.Load(),
 
 		DegradedBatches:   s.DegradedBatches.Load(),
 		DegradedResponses: s.DegradedResponses.Load(),

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/collection"
+	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/vec"
 )
@@ -23,6 +24,8 @@ type tenant struct {
 	backend Backend
 	batcher *Batcher
 	cache   *resultCache
+	// hybrid caches fused hybrid rows; purged wherever cache is.
+	hybrid *hybridCache
 	// col is set for registry-backed tenants; nil for the plain
 	// single-backend "default" tenant.
 	col *collection.Collection
@@ -63,6 +66,20 @@ func (b *CollectionBackend) UpsertTagged(v []float32, id int64, tags map[string]
 	return b.Col.UpsertTagged(v, id, tags)
 }
 
+// UpsertText implements TextMutator; the collection enforces its
+// lexical gate and dim check.
+func (b *CollectionBackend) UpsertText(v []float32, id int64, text string) error {
+	return b.Col.UpsertText(v, id, text)
+}
+
+// SearchHybrid implements HybridBackend.
+func (b *CollectionBackend) SearchHybrid(ctx context.Context, q []float32, text string, k int, opts core.HybridOptions) ([]core.HybridResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Col.SearchHybrid(q, text, k, opts)
+}
+
 // Delete implements Mutator.
 func (b *CollectionBackend) Delete(id int64) error { return b.Col.Delete(id) }
 
@@ -79,6 +96,7 @@ func (s *Server) newTenant(name string, backend Backend, col *collection.Collect
 		backend: backend,
 		batcher: NewBatcher(backend, s.cfg.Batcher, s.stats),
 		cache:   newResultCache(s.cfg.CacheSize),
+		hybrid:  newHybridCache(s.cfg.CacheSize),
 		col:     col,
 	}
 	// Routed backends report topology transitions (shard-map swaps,
@@ -88,6 +106,7 @@ func (s *Server) newTenant(name string, backend Backend, col *collection.Collect
 	if tn, ok := backend.(TopologyNotifier); ok {
 		tn.OnTopologyChange(func() {
 			t.cache.purge()
+			t.hybrid.purge()
 			s.stats.TopologyPurges.Add(1)
 		})
 	}

@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fsx"
+	"repro/internal/lexical"
 )
 
 var (
@@ -91,6 +92,12 @@ type Options struct {
 	// FS is the filesystem all store I/O goes through (default the
 	// real OS). Tests and chaos drills inject fsx.Faulty here.
 	FS fsx.FS
+	// Lexical, when non-nil, configures the engine's BM25 index (k1, b,
+	// stopwords) before any text is restored or replayed. Tokenization
+	// happens at indexing time, so recovery must apply the same
+	// parameters the writer used — collections plumb their
+	// collection.json lexical settings through here.
+	Lexical *lexical.Config
 	// Logf, when non-nil, receives recovery and compaction progress.
 	Logf func(format string, args ...any)
 }
@@ -143,6 +150,16 @@ type generation struct {
 	Tags      string `json:"tags,omitempty"`
 	TagsCRC   uint32 `json:"tags_crc32c,omitempty"`
 	TagsBytes int64  `json:"tags_bytes,omitempty"`
+
+	// Text is the lexical-document sidecar (text-<seq>.json) holding
+	// every indexed document (raw text + vector copy) as of the
+	// watermark, absent when no document is indexed. Checksummed like
+	// the tags sidecar: a corrupt sidecar quarantines the generation and
+	// recovery falls back to the previous one plus a longer WAL replay,
+	// so the BM25 index is never silently partial.
+	Text      string `json:"text,omitempty"`
+	TextCRC   uint32 `json:"text_crc32c,omitempty"`
+	TextBytes int64  `json:"text_bytes,omitempty"`
 }
 
 // manifest is the store's root pointer. Generations are ordered newest
@@ -188,6 +205,16 @@ func tagsName(seq uint64) string { return fmt.Sprintf("tags-%020d.json", seq) }
 // tagsFile is the on-disk shape of the tags sidecar.
 type tagsFile struct {
 	Tags map[int64]map[string]string `json:"tags"`
+}
+
+func textsName(seq uint64) string { return fmt.Sprintf("text-%020d.json", seq) }
+
+// textsFile is the on-disk shape of the lexical-document sidecar. Raw
+// text (not postings) is persisted: the deterministic tokenizer
+// rebuilds the inverted index on load, so the format stays independent
+// of index internals.
+type textsFile struct {
+	Docs map[int64]lexical.Doc `json:"docs"`
 }
 
 func writeManifest(fs fsx.FS, dir string, m manifest) error {
@@ -326,7 +353,7 @@ func sweepTemps(fs fsx.FS, dir string, logf func(string, ...any)) (int, error) {
 // loadGeneration reads, checksum-verifies, and decodes one snapshot
 // generation. A checksum mismatch or undecodable image is a
 // *CorruptError (wrapped), telling Open to quarantine and fall back.
-func loadGeneration(fs fsx.FS, dir string, g generation) (*core.Engine, error) {
+func loadGeneration(fs fsx.FS, dir string, g generation, lex *lexical.Config) (*core.Engine, error) {
 	path := filepath.Join(dir, g.Snapshot)
 	b, err := fs.ReadFile(path)
 	if err != nil {
@@ -340,6 +367,13 @@ func loadGeneration(fs fsx.FS, dir string, g generation) (*core.Engine, error) {
 	e, err := core.LoadEngine(bytes.NewReader(b))
 	if err != nil {
 		return nil, fmt.Errorf("store: decoding snapshot %s: %w", g.Snapshot, err)
+	}
+	// BM25 parameters must be in force before any text is restored or
+	// replayed — tokenization happens at indexing time.
+	if lex != nil {
+		if err := e.SetLexicalConfig(*lex); err != nil {
+			return nil, err
+		}
 	}
 	// The snapshot file holds the graphs; the tombstone set and inserted
 	// counter as of the watermark ride in the manifest (their WAL
@@ -364,6 +398,26 @@ func loadGeneration(fs fsx.FS, dir string, g generation) (*core.Engine, error) {
 			return nil, &CorruptError{Path: tpath, Reason: "tags sidecar is not JSON: " + jerr.Error()}
 		}
 		e.RestoreTags(tf.Tags)
+	}
+	// Lexical documents likewise: a lost or corrupt sidecar fails the
+	// generation rather than serving hybrid queries over a silently
+	// emptied index.
+	if g.Text != "" {
+		xpath := filepath.Join(dir, g.Text)
+		xb, err := fs.ReadFile(xpath)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading text sidecar %s: %w", g.Text, err)
+		}
+		if g.TextCRC != 0 {
+			if got := crc32.Checksum(xb, crcTable); got != g.TextCRC {
+				return nil, &CorruptError{Path: xpath, Reason: "text sidecar CRC mismatch", WantCRC: g.TextCRC, GotCRC: got}
+			}
+		}
+		var xf textsFile
+		if jerr := json.Unmarshal(xb, &xf); jerr != nil {
+			return nil, &CorruptError{Path: xpath, Reason: "text sidecar is not JSON: " + jerr.Error()}
+		}
+		e.RestoreTexts(xf.Docs)
 	}
 	return e, nil
 }
@@ -416,6 +470,11 @@ func Create(dir string, e *core.Engine, opts Options) (*Durable, error) {
 	} else if err != ErrNoStore {
 		return nil, err
 	}
+	if opts.Lexical != nil {
+		if err := e.SetLexicalConfig(*opts.Lexical); err != nil {
+			return nil, err
+		}
+	}
 	d := &Durable{dir: dir, opts: opts, eng: e, compacting: -1}
 	if err := d.checkpointLocked(); err != nil {
 		return nil, err
@@ -455,7 +514,7 @@ func Open(dir string, opts Options) (*Durable, error) {
 		genErrs []error
 	)
 	for _, g := range m.Generations {
-		le, lerr := loadGeneration(fs, dir, g)
+		le, lerr := loadGeneration(fs, dir, g, opts.Lexical)
 		if lerr == nil {
 			e, gen = le, g
 			break
@@ -465,6 +524,9 @@ func Open(dir string, opts Options) (*Durable, error) {
 		bad := []string{filepath.Join(dir, g.Snapshot)}
 		if g.Tags != "" {
 			bad = append(bad, filepath.Join(dir, g.Tags))
+		}
+		if g.Text != "" {
+			bad = append(bad, filepath.Join(dir, g.Text))
 		}
 		for _, b := range bad {
 			if qerr := fs.Rename(b, b+corruptSuffix); qerr != nil && !os.IsNotExist(qerr) {
@@ -509,6 +571,11 @@ func Open(dir string, opts Options) (*Durable, error) {
 				return fmt.Errorf("store: replaying seq %d: %w", r.Seq, err)
 			}
 			e.SetTags(r.ID, r.Tags)
+		case RecordUpsertText:
+			if err := e.AddAt(r.Part, r.Vec, r.ID, r.Level); err != nil {
+				return fmt.Errorf("store: replaying seq %d: %w", r.Seq, err)
+			}
+			e.SetText(r.ID, r.Text, r.Vec)
 		case RecordDelete:
 			e.Delete(r.ID)
 		default:
@@ -573,6 +640,43 @@ func (d *Durable) Upsert(v []float32, id int64) error {
 // empty tags map clears any tags id carried (matching Engine.SetTags).
 func (d *Durable) UpsertTagged(v []float32, id int64, tags map[string]string) error {
 	return d.upsert(v, id, tags, true)
+}
+
+// UpsertText durably inserts a vector together with the document text
+// the lexical index tokenizes, in one WAL record: replay restores both
+// or neither, so the BM25 index can never reference a vector the graph
+// lost (or vice versa).
+func (d *Durable) UpsertText(v []float32, id int64, text string) error {
+	if len(text) > MaxTextBytes {
+		return fmt.Errorf("store: document text %d bytes exceeds limit %d", len(text), MaxTextBytes)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	home, err := d.eng.Home(v)
+	if err != nil {
+		return err
+	}
+	level, err := d.eng.DrawLevel(home)
+	if err != nil {
+		return err
+	}
+	rec := Record{Seq: d.seq + 1, Type: RecordUpsertText, Part: home, Level: level, ID: id, Vec: v, Text: text}
+	if err := d.wal.append(rec); err != nil {
+		return err
+	}
+	d.seq++
+	if err := d.eng.AddAt(home, v, id, level); err != nil {
+		return err
+	}
+	d.eng.SetText(id, text, v)
+	d.stats.Upserts.Add(1)
+	if d.compacting == home {
+		d.sidelog = append(d.sidelog, sideRec{v: append([]float32(nil), v...), id: id, level: level})
+	}
+	return nil
 }
 
 func (d *Durable) upsert(v []float32, id int64, tags map[string]string, tagged bool) error {
@@ -730,6 +834,41 @@ func (d *Durable) checkpointLocked() error {
 		}
 		tagsRef = generation{Tags: tname, TagsCRC: crc32.Checksum(tb, crcTable), TagsBytes: int64(len(tb))}
 	}
+	// Lexical-document sidecar: raw text + vector copy per document,
+	// same atomic discipline. The inverted index itself is not
+	// serialized — loading re-tokenizes, which the deterministic
+	// tokenizer guarantees rebuilds it exactly.
+	var textRef generation
+	if snap := d.eng.TextsSnapshot(); len(snap) > 0 {
+		xb, err := json.Marshal(textsFile{Docs: snap})
+		if err != nil {
+			return err
+		}
+		xname := textsName(seq)
+		xtmp := filepath.Join(d.dir, xname+".tmp")
+		xf, err := fs.OpenFile(xtmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := xf.Write(xb); err != nil {
+			xf.Close()
+			return err
+		}
+		if err := xf.Sync(); err != nil {
+			xf.Close()
+			return err
+		}
+		if err := xf.Close(); err != nil {
+			return err
+		}
+		if err := fs.Rename(xtmp, filepath.Join(d.dir, xname)); err != nil {
+			return err
+		}
+		if err := fs.SyncDir(d.dir); err != nil {
+			return err
+		}
+		textRef = generation{Text: xname, TextCRC: crc32.Checksum(xb, crcTable), TextBytes: int64(len(xb))}
+	}
 	tombs := d.eng.TombstoneIDs()
 	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
 	gens := append([]generation{{
@@ -742,6 +881,9 @@ func (d *Durable) checkpointLocked() error {
 		Tags:       tagsRef.Tags,
 		TagsCRC:    tagsRef.TagsCRC,
 		TagsBytes:  tagsRef.TagsBytes,
+		Text:       textRef.Text,
+		TextCRC:    textRef.TextCRC,
+		TextBytes:  textRef.TextBytes,
 	}}, d.gens...)
 	if len(gens) > maxGenerations {
 		gens = gens[:maxGenerations]
@@ -760,11 +902,14 @@ func (d *Durable) checkpointLocked() error {
 	// retained generations and WAL segments below the oldest retained
 	// watermark are garbage. (Quarantined *.corrupt files are kept for
 	// the operator.)
-	keep := make(map[string]bool, 2*len(gens))
+	keep := make(map[string]bool, 3*len(gens))
 	for _, g := range gens {
 		keep[g.Snapshot] = true
 		if g.Tags != "" {
 			keep[g.Tags] = true
+		}
+		if g.Text != "" {
+			keep[g.Text] = true
 		}
 	}
 	if snaps, err := fsx.Glob(fs, filepath.Join(d.dir, "snap-*.ann")); err == nil {
@@ -775,6 +920,13 @@ func (d *Durable) checkpointLocked() error {
 		}
 	}
 	if sidecars, err := fsx.Glob(fs, filepath.Join(d.dir, "tags-*.json")); err == nil {
+		for _, s := range sidecars {
+			if !keep[filepath.Base(s)] {
+				fs.Remove(s)
+			}
+		}
+	}
+	if sidecars, err := fsx.Glob(fs, filepath.Join(d.dir, "text-*.json")); err == nil {
 		for _, s := range sidecars {
 			if !keep[filepath.Base(s)] {
 				fs.Remove(s)

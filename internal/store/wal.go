@@ -83,6 +83,12 @@ const (
 	// decoder's strict length check, so logs written by older builds
 	// replay unchanged and untagged upserts pay zero overhead.
 	RecordUpsertTagged RecordType = 3
+	// RecordUpsertText logs one vector insert carrying the raw document
+	// text the lexical index tokenizes: the RecordUpsert layout followed
+	// by u32 text length + text bytes. Replay re-tokenizes, so the BM25
+	// index needs no serialization of its own — the deterministic
+	// tokenizer rebuilds it exactly.
+	RecordUpsertText RecordType = 4
 )
 
 func (t RecordType) String() string {
@@ -93,6 +99,8 @@ func (t RecordType) String() string {
 		return "delete"
 	case RecordUpsertTagged:
 		return "upsert-tagged"
+	case RecordUpsertText:
+		return "upsert-text"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -101,6 +109,12 @@ func (t RecordType) String() string {
 // one record carries at most maxTagsPerRecord pairs. Bounded so a
 // corrupt count fails fast.
 const maxTagsPerRecord = 1 << 12
+
+// MaxTextBytes bounds the document text one upsert-text record may
+// carry (1 MiB — far beyond short-document BM25's useful range), so a
+// corrupt length field fails fast and the gateway can reject oversized
+// bodies with a typed error instead of logging them.
+const MaxTextBytes = 1 << 20
 
 // Record is one logged mutation. Upserts carry the home partition and
 // the HNSW level the insert was assigned, so replay rebuilds a
@@ -113,6 +127,7 @@ type Record struct {
 	ID    int64
 	Vec   []float32         // upsert only
 	Tags  map[string]string // upsert-tagged only
+	Text  string            // upsert-text only
 }
 
 // CorruptError reports a WAL frame, snapshot, or manifest that failed
@@ -138,12 +153,16 @@ func (e *CorruptError) Error() string {
 // payload. Payload layout: type u8, seq u64, id i64, then for upserts
 // part u32, level u32, dim u32, dim float32s. Tagged upserts append a
 // tag block: u16 pair count, then per pair u16 key length, key bytes,
-// u16 value length, value bytes.
+// u16 value length, value bytes. Text upserts append u32 text length
+// and the text bytes.
 func encodeRecord(r Record) []byte {
 	n := 1 + 8 + 8
-	upsert := r.Type == RecordUpsert || r.Type == RecordUpsertTagged
+	upsert := r.Type == RecordUpsert || r.Type == RecordUpsertTagged || r.Type == RecordUpsertText
 	if upsert {
 		n += 4 + 4 + 4 + 4*len(r.Vec)
+	}
+	if r.Type == RecordUpsertText {
+		n += 4 + len(r.Text)
 	}
 	var keys []string
 	if r.Type == RecordUpsertTagged {
@@ -184,6 +203,11 @@ func encodeRecord(r Record) []byte {
 			off += copy(p[off:], v)
 		}
 	}
+	if r.Type == RecordUpsertText {
+		off := 29 + 4*len(r.Vec)
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(r.Text)))
+		copy(p[off+4:], r.Text)
+	}
 	binary.LittleEndian.PutUint32(buf[0:], uint32(n))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(p, crcTable))
 	return buf
@@ -202,7 +226,7 @@ func decodePayload(p []byte) (Record, error) {
 	switch r.Type {
 	case RecordDelete:
 		return r, nil
-	case RecordUpsert, RecordUpsertTagged:
+	case RecordUpsert, RecordUpsertTagged, RecordUpsertText:
 		if len(p) < 29 {
 			return Record{}, fmt.Errorf("upsert payload too short (%d bytes)", len(p))
 		}
@@ -213,12 +237,19 @@ func decodePayload(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("implausible upsert dim %d", dim)
 		}
 		vecEnd := 29 + 4*dim
-		if r.Type == RecordUpsert {
+		switch r.Type {
+		case RecordUpsert:
 			if len(p) != vecEnd {
 				return Record{}, fmt.Errorf("upsert payload %d bytes, want %d for dim %d", len(p), vecEnd, dim)
 			}
-		} else if len(p) < vecEnd+2 {
-			return Record{}, fmt.Errorf("tagged upsert payload %d bytes, shorter than vector + tag count for dim %d", len(p), dim)
+		case RecordUpsertTagged:
+			if len(p) < vecEnd+2 {
+				return Record{}, fmt.Errorf("tagged upsert payload %d bytes, shorter than vector + tag count for dim %d", len(p), dim)
+			}
+		case RecordUpsertText:
+			if len(p) < vecEnd+4 {
+				return Record{}, fmt.Errorf("text upsert payload %d bytes, shorter than vector + text length for dim %d", len(p), dim)
+			}
 		}
 		r.Vec = make([]float32, dim)
 		for i := range r.Vec {
@@ -230,6 +261,16 @@ func decodePayload(p []byte) (Record, error) {
 				return Record{}, err
 			}
 			r.Tags = tags
+		}
+		if r.Type == RecordUpsertText {
+			tl := int(binary.LittleEndian.Uint32(p[vecEnd:]))
+			if tl > MaxTextBytes {
+				return Record{}, fmt.Errorf("implausible text length %d", tl)
+			}
+			if len(p) != vecEnd+4+tl {
+				return Record{}, fmt.Errorf("text upsert payload %d bytes, want %d for dim %d text %d", len(p), vecEnd+4+tl, dim, tl)
+			}
+			r.Text = string(p[vecEnd+4:])
 		}
 		return r, nil
 	}
